@@ -1,0 +1,44 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one of the paper's tables/figures.  Because
+pytest captures stdout, benches register their rendered tables through
+the ``report`` fixture; a terminal-summary hook prints everything at
+the end of the run (so ``pytest benchmarks/ --benchmark-only`` output
+contains the paper's rows/series verbatim).  Tables are also written to
+``benchmarks/results/`` as text and CSV.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_sections: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """``report(name, text)``: register a rendered artefact for the
+    terminal summary and persist it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        _sections.append((name, text))
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _sections:
+        return
+    terminalreporter.section("paper artefacts (regenerated)")
+    for name, text in _sections:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {name} =====")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,71 @@
+"""ABL3 — scalability of the static analyses.
+
+The paper argues TPDF keeps CSDF-style compile-time analyzability; this
+bench measures how the full analysis chain (consistency + rate safety +
+liveness) scales with graph size on generated consistent graphs
+(concrete and parametric), giving the reproduction a cost profile the
+paper does not report but a downstream adopter will ask for.
+"""
+
+import time
+
+import pytest
+
+from repro.tpdf import check_boundedness, random_consistent_graph
+from repro.util import ascii_table
+
+SIZES = (10, 20, 40, 80)
+
+
+@pytest.mark.parametrize("n_actors", SIZES)
+def test_analysis_scaling_concrete(benchmark, n_actors):
+    graph = random_consistent_graph(
+        n_actors, extra_edges=n_actors // 2, n_cycles=2, seed=7,
+    )
+    result = benchmark(check_boundedness, graph)
+    assert result.bounded
+
+
+@pytest.mark.parametrize("n_actors", SIZES)
+def test_analysis_scaling_parametric(benchmark, n_actors):
+    graph = random_consistent_graph(
+        n_actors, extra_edges=n_actors // 2, seed=11, parametric=True,
+    )
+    result = benchmark(check_boundedness, graph)
+    assert result.bounded
+
+
+def test_scalability_summary(benchmark, report):
+    """Summary table of the full chain across sizes (single shot each;
+    the benchmark fixture times one representative mid-size run so the
+    test participates in --benchmark-only sessions)."""
+    benchmark.pedantic(
+        check_boundedness,
+        args=(random_consistent_graph(20, extra_edges=10, seed=7),),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for n_actors in SIZES:
+        for parametric in (False, True):
+            graph = random_consistent_graph(
+                n_actors, extra_edges=n_actors // 2,
+                n_cycles=0 if parametric else 2,
+                seed=7 if not parametric else 11,
+                parametric=parametric,
+            )
+            start = time.perf_counter()
+            verdict = check_boundedness(graph)
+            elapsed = (time.perf_counter() - start) * 1000
+            assert verdict.bounded
+            rows.append([
+                n_actors,
+                "parametric" if parametric else "concrete",
+                len(graph.channels),
+                f"{elapsed:.1f}",
+            ])
+    table = ascii_table(
+        ["actors", "rates", "channels", "full analysis (ms)"],
+        rows,
+        title="ABL3 — static analysis chain runtime vs graph size",
+    )
+    report("ablation_scalability", table)

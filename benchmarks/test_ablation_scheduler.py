@@ -1,0 +1,61 @@
+"""ABL1 — ablation of the control-actor scheduling rules (Sec. III-D).
+
+The paper schedules control actors with the highest priority (and
+Fig. 5 pins C1 to a separate PE) so reconfiguration decisions never
+wait behind kernels.  This bench measures the canonical-period makespan
+of Fig. 2 with each rule toggled, across p values, on a small cluster.
+Control work is tiny in this graph, so the expected effect is a modest
+but consistent no-worse-with-priority pattern; the bench prints all
+four configurations for inspection.
+"""
+
+from repro.platform import single_cluster
+from repro.scheduling import build_canonical_period, list_schedule
+from repro.tpdf import fig2_graph
+from repro.util import ascii_table
+
+P_VALUES = (1, 2, 4, 8)
+CORES = 4
+
+
+def sweep():
+    rows = []
+    graph = fig2_graph()
+    platform = single_cluster(CORES)
+    for p in P_VALUES:
+        period = build_canonical_period(graph, {"p": p})
+        makespans = {}
+        for control_priority in (True, False):
+            for dedicated in (True, False):
+                result = list_schedule(
+                    period,
+                    platform,
+                    control_priority=control_priority,
+                    dedicated_control_pe=dedicated,
+                )
+                makespans[(control_priority, dedicated)] = result.makespan
+        rows.append((p, makespans))
+    return rows
+
+
+def test_ablation_control_priority(benchmark, report):
+    rows = benchmark(sweep)
+    table_rows = []
+    for p, makespans in rows:
+        table_rows.append([
+            p,
+            makespans[(True, True)],
+            makespans[(True, False)],
+            makespans[(False, True)],
+            makespans[(False, False)],
+        ])
+        # The paper's configuration must not be worse than ignoring the
+        # control-priority rule under the same PE partitioning.
+        assert makespans[(True, True)] <= makespans[(False, True)] + 1e-9
+        assert makespans[(True, False)] <= makespans[(False, False)] + 1e-9
+    table = ascii_table(
+        ["p", "prio+dedicated (paper)", "prio only", "dedicated only", "neither"],
+        table_rows,
+        title=f"ABL1 — Fig. 2 makespan on {CORES} PEs with control rules toggled",
+    )
+    report("ablation_scheduler", table)

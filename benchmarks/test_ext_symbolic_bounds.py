@@ -1,0 +1,56 @@
+"""EXT4 — the Fig. 8 closed forms derived symbolically + MCR bounds.
+
+The sweep bench (FIG8) *measures* buffer totals point by point; this
+bench derives the paper's formulas **as polynomials** from the graph
+structure — ``Buff_CSDF = beta(17N + L)`` from the static baseline and
+``Buff_TPDF = 3 + beta(12N + L)`` from the mode-restricted TPDF graph —
+and prints the max-cycle-ratio throughput bounds of both
+implementations for a concrete operating point.
+"""
+
+import pytest
+
+from repro.apps.ofdm import bindings_for, build_ofdm_csdf, build_ofdm_tpdf
+from repro.csdf import max_cycle_ratio, self_timed_execution, symbolic_total_bound
+from repro.symbolic import Poly
+from repro.tpdf import restrict_to_selection
+from repro.util import ascii_table
+
+
+def derive():
+    beta, n, l = Poly.var("beta"), Poly.var("N"), Poly.var("L")
+    csdf_total = symbolic_total_bound(build_ofdm_csdf())
+    restricted = restrict_to_selection(build_ofdm_tpdf(), "DUP", ["in", "qam"])
+    restricted = restrict_to_selection(restricted, "TRAN", ["qam", "out"])
+    tpdf_total = symbolic_total_bound(restricted.as_csdf()).subs({"M": 4})
+    return csdf_total, tpdf_total, restricted, (beta, n, l)
+
+
+def test_ext4_symbolic_fig8_formulas(benchmark, report):
+    csdf_total, tpdf_total, restricted, (beta, n, l) = benchmark(derive)
+    assert csdf_total == beta * (17 * n + l)
+    assert tpdf_total == 3 + beta * (12 * n + l)
+
+    bindings = bindings_for(4, 64, 4, 4)
+    mcr_tpdf = max_cycle_ratio(restricted.as_csdf(), bindings)
+    mcr_csdf = max_cycle_ratio(build_ofdm_csdf(), bindings)
+    period_tpdf = self_timed_execution(
+        restricted.as_csdf(), bindings, iterations=6
+    ).iteration_period
+    assert period_tpdf == pytest.approx(mcr_tpdf, abs=1e-3)
+
+    table = ascii_table(
+        ["quantity", "paper", "derived symbolically"],
+        [
+            ["Buff_TPDF (M=4)", "3 + beta(12N + L)", str(tpdf_total)],
+            ["Buff_CSDF", "beta(17N + L)", str(csdf_total)],
+        ],
+        title="EXT4 — Fig. 8 closed forms as polynomials",
+    )
+    extra = (
+        f"\nMCR iteration-period bounds at beta=4, N=64, L=4 (unit exec "
+        f"times):\n  TPDF (QAM path only): {mcr_tpdf:.3f}"
+        f"\n  CSDF (both paths):    {mcr_csdf:.3f}"
+        f"\n  self-timed TPDF period (measured): {period_tpdf:.3f}"
+    )
+    report("ext4_symbolic_bounds", table + extra)

@@ -1,0 +1,45 @@
+"""EXT2 — self-timed throughput vs core budget.
+
+The paper's evaluation reports buffers; this extension bench profiles
+the performance dimension its MPPA-256 motivation implies: steady-state
+iteration period of the Fig. 2 graph and the OFDM demodulator under
+increasing core budgets (software-pipelined self-timed execution).
+Expected shape: the period shrinks with cores until the critical
+cycle/bottleneck saturates it.
+"""
+
+from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+from repro.csdf import throughput_vs_cores
+from repro.tpdf import fig2_graph
+from repro.util import ascii_table
+
+CORES = (1, 2, 4, 8)
+
+
+def sweep():
+    fig2 = fig2_graph().as_csdf()
+    ofdm = build_ofdm_tpdf().as_csdf()
+    return (
+        throughput_vs_cores(fig2, {"p": 4}, core_budgets=CORES, iterations=4),
+        throughput_vs_cores(ofdm, bindings_for(4, 64, 4, 4),
+                            core_budgets=CORES, iterations=4),
+    )
+
+
+def test_ext2_throughput_vs_cores(benchmark, report):
+    fig2_results, ofdm_results = benchmark(sweep)
+    rows = []
+    for name, results in (("Fig. 2 (p=4)", fig2_results),
+                          ("OFDM (beta=4, N=64)", ofdm_results)):
+        periods = [results[c].iteration_period for c in CORES]
+        # More cores never slow the steady state down.
+        assert all(a >= b - 1e-9 for a, b in zip(periods, periods[1:]))
+        for cores, period in zip(CORES, periods):
+            rows.append([name, cores, f"{period:.2f}",
+                         f"{results[cores].makespan:.2f}"])
+    table = ascii_table(
+        ["graph", "cores", "steady-state period", "makespan (4 iters)"],
+        rows,
+        title="EXT2 — self-timed throughput vs core budget",
+    )
+    report("ext2_throughput", table)

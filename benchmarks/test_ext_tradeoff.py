@@ -1,0 +1,85 @@
+"""EXT3 — buffer-size / throughput trade-off under blocking writes.
+
+Fig. 8 reports *minimum* buffers for one iteration; a deployment also
+needs to know what those minimal buffers cost in throughput when
+iterations pipeline.  This bench scales the minimal capacities of the
+Fig. 2 graph and the OFDM demodulator and measures the steady-state
+iteration period with back-pressure: tighter buffers serialize the
+pipeline, larger budgets saturate at the bottleneck actor.
+"""
+
+from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+from repro.csdf import (
+    buffer_throughput_tradeoff,
+    min_buffers_for_full_throughput,
+    self_timed_execution,
+)
+from repro.tpdf import fig2_graph
+from repro.util import ascii_table
+
+SCALES = (1.0, 1.5, 2.0, 4.0)
+
+
+def sweep():
+    fig2 = fig2_graph().as_csdf()
+    ofdm = build_ofdm_tpdf().as_csdf()
+    return (
+        buffer_throughput_tradeoff(fig2, {"p": 4}, scales=SCALES, iterations=4),
+        buffer_throughput_tradeoff(
+            ofdm, bindings_for(2, 32, 4, 4), scales=SCALES, iterations=4
+        ),
+    )
+
+
+def test_ext3_buffer_throughput_tradeoff(benchmark, report):
+    fig2_points, ofdm_points = benchmark(sweep)
+    rows = []
+    for name, points in (("Fig. 2 (p=4)", fig2_points),
+                         ("OFDM (beta=2, N=32)", ofdm_points)):
+        periods = [result.iteration_period for _, result in points]
+        assert all(a >= b - 1e-9 for a, b in zip(periods, periods[1:]))
+        for scale, (budget, result) in zip(SCALES, points):
+            rows.append([
+                name, f"{scale:.1f}x", budget,
+                f"{result.iteration_period:.2f}",
+                f"{result.makespan:.2f}",
+            ])
+    table = ascii_table(
+        ["graph", "capacity scale", "total buffer", "steady period",
+         "makespan (4 iters)"],
+        rows,
+        title="EXT3 — buffer budget vs steady-state throughput "
+              "(blocking writes; 1.0x = minimal single-proc buffers)",
+    )
+    report("ext3_tradeoff", table)
+
+
+def test_ext3_min_buffers_for_full_throughput(benchmark, report):
+    """DSE point: the smallest capacities that still sustain the
+    unconstrained steady-state period."""
+    graph = fig2_graph().as_csdf()
+    bindings = {"p": 4}
+
+    caps = benchmark.pedantic(
+        min_buffers_for_full_throughput, args=(graph, bindings),
+        kwargs={"iterations": 5}, rounds=1, iterations=1,
+    )
+    unconstrained = self_timed_execution(graph, bindings, iterations=5)
+    constrained = self_timed_execution(
+        graph, bindings, iterations=5, capacities=caps
+    )
+    assert abs(constrained.iteration_period
+               - unconstrained.iteration_period) < 1e-6
+
+    rows = [
+        [name, unconstrained.peaks[name], caps[name]]
+        for name in sorted(caps)
+    ]
+    rows.append(["TOTAL", sum(unconstrained.peaks.values()), sum(caps.values())])
+    table = ascii_table(
+        ["channel", "unconstrained peak", "min capacity @ full throughput"],
+        rows,
+        title=f"EXT3b — Fig. 2 (p=4) buffer DSE; steady period "
+              f"{unconstrained.iteration_period:.2f} preserved",
+    )
+    report("ext3_min_buffers", table)

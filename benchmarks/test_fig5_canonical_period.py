@@ -1,0 +1,36 @@
+"""FIG5 — Fig. 5 of the paper: canonical period of Fig. 2 at p = 1.
+
+Paper artefact: occurrences A1 A2 B1 B2 C1 D1 E1 E2 F1 F2; C1 mapped
+onto a separate processing element; F1/F2 fired immediately after
+receiving the control tokens.
+"""
+
+from repro.platform import single_cluster
+from repro.scheduling import build_canonical_period, list_schedule
+from repro.tpdf import fig2_graph
+
+
+def analyse():
+    period = build_canonical_period(fig2_graph(), {"p": 1})
+    mapping = list_schedule(period, single_cluster(4), dedicated_control_pe=True)
+    return period, mapping
+
+
+def test_fig5_canonical_period(benchmark, report):
+    period, mapping = benchmark(analyse)
+    names = {f"{a}{k}" for a, k in period.occurrences()}
+    assert names == {"A1", "A2", "B1", "B2", "C1", "D1", "E1", "E2", "F1", "F2"}
+    control_pe = mapping.platform.pes[-1]
+    assert mapping.pe_of(("C", 1)) == control_pe
+
+    lines = [
+        "Fig. 5 — canonical period of Fig. 2 for p = 1",
+        "(paper: 10 occurrences, C1 on its own PE, F fired on control tokens)",
+        "",
+        period.describe(),
+        "",
+        f"list schedule on 4 PEs (PE {control_pe.index} reserved for control):",
+        mapping.gantt(),
+        f"makespan: {mapping.makespan}  critical path: {period.critical_path_length()}",
+    ]
+    report("fig5_canonical_period", "\n".join(lines))

@@ -1,0 +1,79 @@
+"""FIG6 — the edge-detection case study (Sec. IV-A).
+
+Two artefacts:
+
+* the execution-time table (paper, on an i3 @ 2.53 GHz, 1024x1024:
+  QuickMask 200 / Sobel 473 / Prewitt 522 / Canny 1040 ms) — our cost
+  model is calibrated to that row, and we print our real numpy filters'
+  wall-clock ratios next to the paper's as evidence the ordering is
+  intrinsic;
+* the deadline behaviour: with the 500 ms clock, the transaction must
+  select the best *finished* detector (Sobel for these numbers; Canny
+  only wins once the deadline exceeds its completion time).
+"""
+
+import numpy as np
+
+from repro.apps.edge import (
+    DEFAULT_METHODS,
+    PAPER_TIMES_MS,
+    fig6_table,
+    run_edge_experiment,
+    synthetic_scene,
+    wallclock_ratios,
+)
+from repro.util import ascii_table
+
+IMAGE = np.zeros((1024, 1024))
+
+
+def run_deadline_study():
+    # A featureless frame runs Canny at the fast end of its content
+    # span (884 model ms); 700 ms sits between Prewitt (522) and that.
+    rows = []
+    for period in (250.0, 500.0, 700.0, 1300.0):
+        exp = run_edge_experiment([IMAGE], period=period, frames=1)
+        rows.append((period, exp.finished_by_deadline(), exp.chosen_methods()))
+    return rows
+
+
+def test_fig6_timing_table(benchmark, report):
+    ratios = benchmark.pedantic(
+        wallclock_ratios, args=(synthetic_scene(256, noise=4.0),),
+        rounds=3, iterations=1,
+    )
+    paper_ratio = {m: PAPER_TIMES_MS[m] / PAPER_TIMES_MS["quickmask"]
+                   for m in DEFAULT_METHODS}
+    rows = [
+        [m, paper_ms, model_ms, f"{paper_ratio[m]:.2f}x", f"{ratios[m]:.2f}x"]
+        for (m, paper_ms, model_ms) in fig6_table()
+    ]
+    table = ascii_table(
+        ["method", "paper ms (i3)", "model ms", "paper ratio", "our numpy ratio"],
+        rows,
+        title="Fig. 6 table — detector execution times (1024x1024)",
+    )
+    # Shape check: our real filters preserve the paper's headline
+    # ordering — Canny is the most expensive by a clear margin.  The
+    # QuickMask/Sobel/Prewitt gap is within wall-clock noise for numpy
+    # convolutions, so only the robust part of the ordering is asserted.
+    assert ratios["canny"] == max(ratios[m] for m in DEFAULT_METHODS)
+    assert ratios["canny"] > 2.0 * ratios["quickmask"]
+    report("fig6_timing_table", table)
+
+
+def test_fig6_deadline_selection(benchmark, report):
+    rows = benchmark(run_deadline_study)
+    by_period = {period: chosen for period, _, chosen in rows}
+    assert by_period[250.0] == ["quickmask"]
+    assert by_period[500.0] == ["sobel"]   # the paper's 500 ms deadline
+    assert by_period[700.0] == ["prewitt"]
+    assert by_period[1300.0] == ["canny"]
+
+    table = ascii_table(
+        ["deadline (ms)", "finished by deadline", "transaction selects"],
+        [[p, ", ".join(f), ", ".join(c)] for p, f, c in rows],
+        title="Fig. 6 behaviour — best finished result at each deadline "
+              "(priority Canny > Prewitt > Sobel > QuickMask)",
+    )
+    report("fig6_deadline_selection", table)

@@ -1,0 +1,65 @@
+"""FIG8 — the paper's headline evaluation: minimum buffer size of the
+OFDM demodulator vs vectorization degree beta, TPDF against CSDF.
+
+Paper: Buff_TPDF = 3 + beta(12N + L), Buff_CSDF = beta(17N + L), for
+N in {512, 1024}, beta in 10..100, L = 1; TPDF improves on CSDF by 29%
+(1 - 12/17 = 29.4%).  We *measure* both sides by executing one
+buffer-minimizing iteration of each implementation and print the
+measured series next to the paper's closed forms.
+"""
+
+import pytest
+
+from repro.apps.ofdm import fig8_point, fig8_series
+from repro.util import ascii_series_plot, ascii_table, write_csv
+
+BETAS = tuple(range(10, 101, 10))
+
+
+def test_fig8_full_sweep(benchmark, report):
+    series = benchmark.pedantic(
+        fig8_series, kwargs={"betas": BETAS, "ns": (512, 1024)},
+        rounds=1, iterations=1,
+    )
+    for point in series:
+        assert point.tpdf_measured == point.tpdf_paper
+        assert point.csdf_measured == point.csdf_paper
+        assert point.improvement == pytest.approx(1 - 12 / 17, abs=0.005)
+
+    rows = [
+        [pt.n, pt.beta, pt.tpdf_measured, pt.tpdf_paper, pt.csdf_measured,
+         pt.csdf_paper, f"{100 * pt.improvement:.1f}%"]
+        for pt in series
+    ]
+    table = ascii_table(
+        ["N", "beta", "TPDF measured", "TPDF paper", "CSDF measured",
+         "CSDF paper", "improvement"],
+        rows,
+        title="Fig. 8 — minimum buffer size vs vectorization degree "
+              "(paper: ~29% improvement)",
+    )
+    xs = list(BETAS)
+    plot = ascii_series_plot(
+        xs,
+        {
+            "TPDF N=512": [pt.tpdf_measured for pt in series if pt.n == 512],
+            "CSDF N=512": [pt.csdf_measured for pt in series if pt.n == 512],
+            "TPDF N=1024": [pt.tpdf_measured for pt in series if pt.n == 1024],
+            "CSDF N=1024": [pt.csdf_measured for pt in series if pt.n == 1024],
+        },
+        title="Fig. 8 (ASCII rendering)",
+    )
+    write_csv(
+        "benchmarks/results/fig8_buffer_sizes.csv",
+        ["N", "beta", "tpdf_measured", "tpdf_paper", "csdf_measured",
+         "csdf_paper", "improvement"],
+        [[pt.n, pt.beta, pt.tpdf_measured, pt.tpdf_paper, pt.csdf_measured,
+          pt.csdf_paper, pt.improvement] for pt in series],
+    )
+    report("fig8_buffer_sizes", table + "\n\n" + plot)
+
+
+def test_fig8_single_point_cost(benchmark):
+    """Timing reference: one Fig. 8 measurement point."""
+    point = benchmark(fig8_point, 100, 1024)
+    assert point.tpdf_measured == point.tpdf_paper

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Redundancy with vote — one of the Transaction actions of Sec. II-B.
+
+Three replicas compute the same function; one of them is fault-injected
+and sometimes returns garbage.  A Transaction kernel in "vote" mode
+consumes all three results and emits the majority value, masking the
+fault.  This behaviour (like speculation and deadline selection) is a
+Transaction-process capability that plain dataflow MoCs lack.
+
+Run:  python examples/fault_tolerant_voting.py
+"""
+
+import numpy as np
+
+from repro.sim import Simulator
+from repro.tpdf import ControlToken, Mode, TPDFGraph, transaction
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    graph = TPDFGraph("tmr")
+
+    src = graph.add_kernel("src", function=lambda n, c: n * n)
+    for i in range(3):
+        src.add_output(f"o{i}", 1)
+
+    def replica_fn(index: int):
+        def run(n: int, consumed: dict):
+            value = consumed["in"][0]
+            if index == 1 and rng.random() < 0.4:  # faulty replica
+                return -1
+            return value + 1
+        return run
+
+    for i in range(3):
+        replica = graph.add_kernel(f"replica{i}", function=replica_fn(i))
+        replica.add_input("in", 1)
+        replica.add_output("out", 1)
+        graph.connect(f"src.o{i}", f"replica{i}.in")
+
+    voter = transaction(
+        graph, "voter", inputs=3,
+        input_names=[f"from{i}" for i in range(3)],
+        action="vote",
+    )
+    for i in range(3):
+        graph.connect(f"replica{i}.out", f"voter.from{i}")
+
+    # The controller always requests a vote over all three inputs.
+    ctrl = graph.add_control_actor(
+        "ctrl",
+        decision=lambda n, inputs: ControlToken(
+            Mode.SELECT_MANY, ("from0", "from1", "from2")
+        ),
+    )
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    src.add_output("to_ctrl", 1)
+    graph.connect("src.to_ctrl", "ctrl.in")
+    graph.connect("ctrl.out", "voter.ctrl")
+
+    results = []
+    snk = graph.add_kernel(
+        "snk", function=lambda n, c: results.append(c["in"][0])
+    )
+    snk.add_input("in", 1)
+    graph.connect("voter.out", "snk.in")
+
+    sim = Simulator(graph, record_values=True)
+    rounds = 12
+    sim.run(limits={"src": rounds})
+
+    expected = [n * n + 1 for n in range(rounds)]
+    faults = sum(
+        1 for record in sim.trace.firings_of("replica1")
+        if record.produced and record.produced["out"] == [-1]
+    )
+    correct = sum(1 for got, want in zip(results, expected) if got == want)
+    print(f"rounds:            {rounds}")
+    print(f"faulty outputs:    {faults} (replica1)")
+    print(f"voted correctly:   {correct}/{rounds}")
+    assert correct == rounds, "majority vote must mask a single faulty replica"
+    print("majority voting masked every injected fault.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""FM radio with a dynamic equalizer preset (StreamIt-style workload).
+
+The static CSDF pipeline computes every equalizer band each block; the
+TPDF variant computes only the preset's active bands.  The paper cites
+FM Radio as a benchmark whose "redundant calculations ... are not
+needed with models allowing dynamic topology changes such as TPDF" —
+this example measures that saving.
+
+Run:  python examples/fm_radio.py
+"""
+
+import numpy as np
+
+from repro.apps.fmradio import compare_redundancy, fm_demodulate, fm_modulate
+from repro.util import ascii_table
+
+
+def main() -> None:
+    # Sanity: modulate and demodulate a tone.
+    tone = 0.2 * np.sin(np.linspace(0.0, 24.0 * np.pi, 512))
+    recovered = fm_demodulate(fm_modulate(tone))
+    corr = float(np.corrcoef(tone[16:], recovered[16:])[0, 1])
+    print(f"FM mod/demod round-trip correlation: {corr:.4f}")
+
+    rows = []
+    for active in [(0,), (0, 2), (0, 2, 4), tuple(range(6))]:
+        report = compare_redundancy(n_bands=6, active_bands=active, blocks=3)
+        rows.append(
+            (
+                str(list(active)),
+                report.static_firings,
+                report.dynamic_firings,
+                f"{100 * report.firings_saved:.0f}%",
+                report.static_buffer,
+                report.dynamic_buffer,
+                f"{100 * report.buffer_saved:.0f}%",
+            )
+        )
+    print()
+    print(ascii_table(
+        ["active bands", "static firings", "TPDF firings", "saved",
+         "static buffer", "TPDF buffer", "saved"],
+        rows,
+        title="FM radio: static CSDF vs dynamic TPDF equalizer (6 bands)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

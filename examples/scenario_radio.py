@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Runtime-reconfigurable OFDM demodulation — context dependence live.
+
+The paper calls the Fig. 7 demodulator "runtime-reconfigurable": the
+control node chooses QPSK or 16-QAM *per activation*.  This example
+streams a mixed schedule of activations through ONE graph in ONE run;
+the control actor reads each activation's header and re-steers the
+select-duplicate and the transaction on the fly.  Exact bit recovery
+for every activation shows the reconfiguration is seamless.
+
+Run:  python examples/scenario_radio.py
+"""
+
+from repro.apps.ofdm import run_ofdm_scenarios
+from repro.util import ascii_table
+
+
+def main() -> None:
+    schedule = ["qpsk", "qpsk", "qam16", "qpsk", "qam16", "qam16", "qpsk"]
+    run = run_ofdm_scenarios(schedule, beta=4, n=32, l=4)
+
+    rows = [
+        [index, scheme, bits, errors]
+        for index, (scheme, bits, errors) in enumerate(
+            zip(run.schemes, run.bits_per_activation, run.bit_errors)
+        )
+    ]
+    print(ascii_table(
+        ["activation", "scheme", "payload bits", "bit errors"],
+        rows,
+        title="runtime scheme switching through one TPDF graph",
+    ))
+    counts = run.trace.counts()
+    print(f"\ndemapper firings: QPSK={counts.get('QPSK', 0)}, "
+          f"QAM={counts.get('QAM', 0)} "
+          f"(= {schedule.count('qpsk')} QPSK / {schedule.count('qam16')} QAM "
+          f"activations — only the selected path ever runs)")
+    print(f"total bit errors: {run.total_errors}")
+    assert run.total_errors == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e .`` falls back to this
+file (``python setup.py develop`` also works).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

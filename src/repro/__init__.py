@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Transaction Parameterized Dataflow*
+(Do, Louise, Cohen; DATE 2016).
+
+Subpackages
+-----------
+:mod:`repro.symbolic`
+    Exact polynomial/rational algebra over integer parameters.
+:mod:`repro.csdf`
+    Cyclo-Static Dataflow: the base model and evaluation baseline.
+:mod:`repro.tpdf`
+    The TPDF model and its static analyses (the paper's contribution).
+:mod:`repro.scheduling`
+    Canonical periods, many-core list scheduling, ADF pruning.
+:mod:`repro.platform`
+    MPPA-256-style clustered machine models.
+:mod:`repro.sim`
+    Discrete-event execution with control tokens, clocks, deadlines.
+:mod:`repro.apps`
+    The evaluation case studies (edge detection, OFDM, FM radio).
+
+Quick start::
+
+    from repro.tpdf import fig2_graph, repetition_vector
+    q = repetition_vector(fig2_graph())      # {'A': 2, 'B': 2p, ...}
+"""
+
+from . import apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
+from .errors import (
+    AnalysisError,
+    BoundednessError,
+    DeadlockError,
+    GraphConstructionError,
+    RateSafetyError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SymbolicRateError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "symbolic",
+    "csdf",
+    "tpdf",
+    "scheduling",
+    "platform",
+    "sim",
+    "apps",
+    "util",
+    "ReproError",
+    "GraphConstructionError",
+    "AnalysisError",
+    "SymbolicRateError",
+    "DeadlockError",
+    "RateSafetyError",
+    "BoundednessError",
+    "SchedulingError",
+    "SimulationError",
+    "__version__",
+]

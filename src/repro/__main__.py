@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command> <graph.json>``.
+
+Commands operate on graphs serialized by :mod:`repro.io`:
+
+``analyze``
+    run the full static chain (consistency, rate safety, liveness,
+    boundedness) and print the verdicts and repetition vector;
+``lint``
+    print structural warnings (exit status 1 if any);
+``dot``
+    print a Graphviz rendering;
+``schedule``
+    build the canonical period (with ``--bind p=2`` parameter values)
+    and list-schedule it onto ``--cores N`` processing elements;
+``buffers``
+    print per-channel buffer bounds (symbolic when possible, concrete
+    under ``--bind``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str):
+    from .csdf.graph import CSDFGraph
+    from .io import csdf_from_dict, tpdf_from_dict
+
+    data = json.loads(Path(path).read_text())
+    model = data.get("model")
+    if model == "tpdf":
+        return tpdf_from_dict(data)
+    if model == "csdf":
+        return csdf_from_dict(data)
+    raise SystemExit(f"unknown model {model!r} in {path}")
+
+
+def _parse_bindings(pairs: list[str]) -> dict[str, int]:
+    bindings: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--bind expects name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        bindings[name.strip()] = int(value)
+    return bindings
+
+
+def _as_tpdf(graph):
+    """Wrap a bare CSDF graph so the TPDF analyses run uniformly."""
+    from .csdf.graph import CSDFGraph
+    from .tpdf.graph import TPDFGraph
+
+    if not isinstance(graph, CSDFGraph):
+        return graph
+    wrapped = TPDFGraph(graph.name)
+    for actor in graph.actors.values():
+        kernel = wrapped.add_kernel(actor.name, exec_time=actor.exec_times)
+    for index, channel in enumerate(graph.channels.values()):
+        src = wrapped.node(channel.src)
+        dst = wrapped.node(channel.dst)
+        src.add_output(f"o_{index}", channel.production)
+        dst.add_input(f"i_{index}", channel.consumption)
+        wrapped.connect(
+            (channel.src, f"o_{index}"), (channel.dst, f"i_{index}"),
+            name=channel.name, initial_tokens=channel.initial_tokens,
+        )
+    return wrapped
+
+
+def cmd_analyze(args) -> int:
+    from .tpdf import check_boundedness
+
+    graph = _as_tpdf(_load(args.graph))
+    report = check_boundedness(graph)
+    print(f"graph: {graph.name}")
+    print(f"verdict: {report}")
+    if report.consistency.consistent:
+        print("repetition vector:")
+        for name, count in report.repetition.items():
+            print(f"  q[{name}] = {count}")
+    print(f"rate safety: {'safe' if report.safety.safe else 'violated'}")
+    print(f"liveness: {'live' if report.liveness.live else report.liveness.reason}")
+    return 0 if report.bounded else 1
+
+
+def cmd_lint(args) -> int:
+    from .tpdf.lint import lint
+
+    graph = _as_tpdf(_load(args.graph))
+    warnings = lint(graph)
+    for warning in warnings:
+        print(warning)
+    if not warnings:
+        print("clean")
+    return 1 if warnings else 0
+
+
+def cmd_dot(args) -> int:
+    from .csdf.graph import CSDFGraph
+    from .util.dot import csdf_to_dot, tpdf_to_dot
+
+    graph = _load(args.graph)
+    if isinstance(graph, CSDFGraph):
+        print(csdf_to_dot(graph))
+    else:
+        print(tpdf_to_dot(graph))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    from .platform import single_cluster
+    from .scheduling import build_canonical_period, list_schedule
+
+    graph = _load(args.graph)
+    bindings = _parse_bindings(args.bind)
+    period = build_canonical_period(graph, bindings or None,
+                                    unfolding=args.unfolding)
+    mapping = list_schedule(period, single_cluster(args.cores))
+    print(f"occurrences: {period.dag.number_of_nodes()}")
+    print(f"critical path: {period.critical_path_length()}")
+    print(f"makespan on {args.cores} cores: {mapping.makespan}")
+    print(mapping.gantt())
+    return 0
+
+
+def cmd_buffers(args) -> int:
+    from .csdf.graph import CSDFGraph
+    from .csdf.buffers import minimal_buffer_schedule
+    from .csdf.symbuf import symbolic_channel_bounds, symbolic_total_bound
+
+    graph = _load(args.graph)
+    csdf = graph if isinstance(graph, CSDFGraph) else graph.as_csdf()
+    bindings = _parse_bindings(args.bind)
+    if bindings:
+        _, peaks = minimal_buffer_schedule(csdf, bindings)
+        for name, peak in peaks.items():
+            print(f"  {name}: {peak}")
+        print(f"total: {sum(peaks.values())}")
+    else:
+        bounds = symbolic_channel_bounds(csdf)
+        for name, bound in bounds.items():
+            print(f"  {name}: {bound}")
+        print(f"total: {symbolic_total_bound(csdf)}")
+    return 0
+
+
+def cmd_throughput(args) -> int:
+    from .csdf.graph import CSDFGraph
+    from .csdf.mcr import max_cycle_ratio
+    from .csdf.throughput import self_timed_execution
+
+    graph = _load(args.graph)
+    csdf = graph if isinstance(graph, CSDFGraph) else graph.as_csdf()
+    bindings = _parse_bindings(args.bind)
+    mcr = max_cycle_ratio(csdf, bindings or None)
+    result = self_timed_execution(
+        csdf, bindings or None, iterations=args.iterations
+    )
+    print(f"max cycle ratio (period bound): {mcr:.4f}")
+    print(f"self-timed steady period:       {result.iteration_period:.4f}")
+    print(f"throughput:                     {result.throughput:.4f} iterations/time")
+    print(f"makespan ({args.iterations} iterations):      {result.makespan:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TPDF reproduction toolchain (DATE 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="full static analysis chain")
+    p_analyze.add_argument("graph")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_lint = sub.add_parser("lint", help="structural diagnostics")
+    p_lint.add_argument("graph")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_dot = sub.add_parser("dot", help="Graphviz rendering")
+    p_dot.add_argument("graph")
+    p_dot.set_defaults(func=cmd_dot)
+
+    p_sched = sub.add_parser("schedule", help="canonical period + mapping")
+    p_sched.add_argument("graph")
+    p_sched.add_argument("--cores", type=int, default=4)
+    p_sched.add_argument("--unfolding", type=int, default=1)
+    p_sched.add_argument("--bind", action="append", default=[],
+                         metavar="NAME=VALUE")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_buf = sub.add_parser("buffers", help="buffer bounds")
+    p_buf.add_argument("graph")
+    p_buf.add_argument("--bind", action="append", default=[],
+                       metavar="NAME=VALUE")
+    p_buf.set_defaults(func=cmd_buffers)
+
+    p_thr = sub.add_parser("throughput", help="MCR + self-timed period")
+    p_thr.add_argument("graph")
+    p_thr.add_argument("--iterations", type=int, default=5)
+    p_thr.add_argument("--bind", action="append", default=[],
+                       metavar="NAME=VALUE")
+    p_thr.set_defaults(func=cmd_throughput)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

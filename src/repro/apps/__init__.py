@@ -1,0 +1,10 @@
+"""Case-study applications of the paper's evaluation (Sec. IV).
+
+* :mod:`repro.apps.edge` — deadline-driven edge detection (Fig. 6);
+* :mod:`repro.apps.ofdm` — cognitive-radio OFDM demodulator (Fig. 7/8);
+* :mod:`repro.apps.fmradio` — StreamIt-style FM radio (redundancy note).
+"""
+
+from . import edge, fmradio, ofdm
+
+__all__ = ["edge", "ofdm", "fmradio"]

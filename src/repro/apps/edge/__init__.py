@@ -1,0 +1,47 @@
+"""Edge-detection case study (Sec. IV-A / Fig. 6 of the paper)."""
+
+from .filters import (
+    FILTERS,
+    QUALITY_ORDER,
+    canny,
+    detect,
+    kirsch,
+    prewitt,
+    quality_rank,
+    quick_mask,
+    sobel,
+)
+from .images import edge_density, flat, step_edge, synthetic_scene
+from .timing_model import PAPER_TIMES_MS, model_time_ms, time_fn, wallclock_ratios
+from .pipeline import (
+    DEFAULT_METHODS,
+    EdgeExperiment,
+    build_edge_graph,
+    fig6_table,
+    run_edge_experiment,
+)
+
+__all__ = [
+    "FILTERS",
+    "QUALITY_ORDER",
+    "quick_mask",
+    "sobel",
+    "prewitt",
+    "kirsch",
+    "canny",
+    "detect",
+    "quality_rank",
+    "synthetic_scene",
+    "step_edge",
+    "flat",
+    "edge_density",
+    "PAPER_TIMES_MS",
+    "model_time_ms",
+    "time_fn",
+    "wallclock_ratios",
+    "DEFAULT_METHODS",
+    "build_edge_graph",
+    "run_edge_experiment",
+    "EdgeExperiment",
+    "fig6_table",
+]

@@ -1,0 +1,216 @@
+"""The edge-detection TPDF application (Fig. 6 of the paper).
+
+Graph::
+
+    IRead -> IDuplicate -> {QMask, Sobel, Prewitt, Canny} -> Trans -> IWrite
+                                                    clock(500ms) -^
+
+``IRead`` reads images and ``IDuplicate`` copies each one to all
+detector branches; every detector computes the same frame in parallel;
+the ``Trans`` transaction kernel receives a control token from a clock
+every ``period`` milliseconds and forwards the *best finished* result
+according to the paper's quality order Canny > Prewitt > Sobel >
+Quick Mask; unfinished branches' tokens are discarded when they
+arrive.  This "best result by the deadline" behaviour is exactly what
+plain CSDF cannot express (Sec. IV-A).
+
+Model time is milliseconds throughout (clock period 500 = the paper's
+500 ms deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ...sim import Simulator, Trace
+from ...tpdf import TPDFGraph, clock, transaction
+from .filters import FILTERS, detect, quality_rank
+from .timing_model import (
+    ESTIMATED_TIMES_MS,
+    PAPER_TIMES_MS,
+    model_time_ms,
+    time_fn,
+)
+
+#: The methods of the paper's Fig. 6 table, cheapest first.
+DEFAULT_METHODS = ("quickmask", "sobel", "prewitt", "canny")
+
+
+def build_edge_graph(
+    images: Sequence[np.ndarray],
+    period: float = 500.0,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    compute_edges: bool = False,
+    read_time: float = 0.0,
+) -> tuple[TPDFGraph, list]:
+    """Build the Fig. 6 application graph.
+
+    Parameters
+    ----------
+    images:
+        Frames for ``IRead`` (one token each).
+    period:
+        Clock period in model milliseconds (the paper's deadline: 500).
+    methods:
+        Detector subset to instantiate (must be known filters).
+    compute_edges:
+        Run the real numpy filters inside the simulation (slower); when
+        off, detectors emit ``(method, frame_index)`` tags, which is
+        enough for the deadline/selection behaviour.
+    read_time:
+        Model time of one ``IRead`` firing.
+
+    Returns ``(graph, results)`` where ``results`` collects what
+    ``IWrite`` receives: ``(method, payload)`` tuples in arrival order.
+    """
+    unknown = [m for m in methods if m not in FILTERS]
+    if unknown:
+        raise KeyError(f"unknown edge detectors: {unknown}")
+    graph = TPDFGraph("edge_detection")
+    frames = list(images)
+
+    def read_fn(n: int, _consumed: dict):
+        return frames[n % len(frames)]
+
+    iread = graph.add_kernel("IRead", exec_time=read_time, function=read_fn)
+    iread.add_output("out", 1)
+
+    dup = graph.add_kernel(
+        "IDuplicate", exec_time=0.0,
+        function=lambda _n, consumed: consumed["in"][0],  # copy to all branches
+    )
+    dup.add_input("in", 1)
+    for method in methods:
+        dup.add_output(f"to_{method}", 1)
+    graph.connect("IRead.out", "IDuplicate.in", name="e_read")
+
+    def detector_fn(method: str):
+        def run(n: int, consumed: dict):
+            image = consumed["in"][0]
+            if compute_edges and isinstance(image, np.ndarray):
+                return (method, detect(method, image))
+            return (method, n)
+        return run
+
+    for method in methods:
+        kernel = graph.add_kernel(method, function=detector_fn(method))
+        kernel.meta["time_fn"] = time_fn(method)
+        kernel.add_input("in", 1)
+        kernel.add_output("out", 1)
+        graph.connect(f"IDuplicate.to_{method}", f"{method}.in", name=f"e_dup_{method}")
+
+    trans = transaction(
+        graph,
+        "Trans",
+        inputs=len(methods),
+        input_names=[f"from_{m}" for m in methods],
+        priorities=[quality_rank(m) for m in methods],
+        action="priority_deadline",
+        exec_time=0.0,
+    )
+    for method in methods:
+        graph.connect(f"{method}.out", f"Trans.from_{method}", name=f"e_{method}_trans")
+
+    timer = clock(graph, "Clock", period=period)
+    graph.connect("Clock.tick", "Trans.ctrl", name="e_clock")
+
+    results: list = []
+
+    def write_fn(_n: int, consumed: dict):
+        results.append(consumed["in"][0])
+        return None
+
+    iwrite = graph.add_kernel("IWrite", exec_time=0.0, function=write_fn)
+    iwrite.add_input("in", 1)
+    graph.connect("Trans.out", "IWrite.in", name="e_write")
+    _ = trans, timer
+    return graph, results
+
+
+@dataclass
+class EdgeExperiment:
+    """Outcome of one deadline-driven edge-detection run."""
+
+    chosen: list[tuple[str, object]]
+    trace: Trace
+    period: float
+    methods: tuple[str, ...]
+    #: completion model-time of the first firing of each detector
+    first_completion: dict[str, float] = field(default_factory=dict)
+
+    def chosen_methods(self) -> list[str]:
+        return [method for method, _ in self.chosen]
+
+    def frame_latencies(self) -> list[float]:
+        """Per-frame end-to-end latency: IRead start to IWrite end.
+
+        Streaming view for multi-frame runs; with a clock period T and
+        instantaneous read, every frame's result leaves at the first
+        tick after its detectors finished, so latencies are multiples
+        of T here.
+        """
+        reads = self.trace.firings_of("IRead")
+        writes = self.trace.firings_of("IWrite")
+        return [
+            write.end - read.start
+            for read, write in zip(reads, writes)
+        ]
+
+    def latency_jitter(self) -> float:
+        """Max - min frame latency (0 for perfectly periodic output)."""
+        latencies = self.frame_latencies()
+        if len(latencies) < 2:
+            return 0.0
+        return max(latencies) - min(latencies)
+
+    def finished_by_deadline(self, deadline: float | None = None) -> list[str]:
+        """Methods whose first frame completed by the (first) deadline."""
+        limit = deadline if deadline is not None else self.period
+        return [
+            method
+            for method in self.methods
+            if self.first_completion.get(method, float("inf")) <= limit
+        ]
+
+
+def run_edge_experiment(
+    images: Sequence[np.ndarray],
+    period: float = 500.0,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    frames: int = 1,
+    compute_edges: bool = False,
+    horizon: float | None = None,
+) -> EdgeExperiment:
+    """Simulate the Fig. 6 application for ``frames`` input images."""
+    graph, results = build_edge_graph(
+        images, period=period, methods=methods, compute_edges=compute_edges
+    )
+    sim = Simulator(graph, record_values=True)
+    if horizon is None:
+        anchors = {**ESTIMATED_TIMES_MS, **PAPER_TIMES_MS}
+        worst = max(anchors[m] for m in methods)
+        horizon = (frames + 1) * max(period, worst) + period
+    trace = sim.run(until=horizon, limits={"IRead": frames})
+    first_completion = {
+        method: records[0].end
+        for method in methods
+        if (records := trace.firings_of(method))
+    }
+    return EdgeExperiment(
+        chosen=list(results),
+        trace=trace,
+        period=period,
+        methods=tuple(methods),
+        first_completion=first_completion,
+    )
+
+
+def fig6_table(size: int = 1024) -> list[tuple[str, float, float]]:
+    """The Fig. 6 timing table: (method, paper ms, model ms at size^2)."""
+    return [
+        (method, PAPER_TIMES_MS[method], model_time_ms(method, size, size))
+        for method in DEFAULT_METHODS
+    ]

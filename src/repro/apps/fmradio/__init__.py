@@ -1,0 +1,24 @@
+"""StreamIt-style FM radio workload (redundancy comparison, Sec. IV-B)."""
+
+from .dsp import (
+    bandpass_taps,
+    equalizer_bands,
+    fir,
+    fm_demodulate,
+    fm_modulate,
+    lowpass_taps,
+)
+from .pipeline import BLOCK, RedundancyReport, build_fm_graph, compare_redundancy
+
+__all__ = [
+    "fm_modulate",
+    "fm_demodulate",
+    "lowpass_taps",
+    "bandpass_taps",
+    "fir",
+    "equalizer_bands",
+    "BLOCK",
+    "build_fm_graph",
+    "compare_redundancy",
+    "RedundancyReport",
+]

@@ -1,0 +1,65 @@
+"""FM radio DSP blocks (the StreamIt-style extra workload).
+
+Sec. IV-B notes that "several StreamIt benchmarks (e.g., FM Radio)
+must perform redundant calculations that are not needed with models
+allowing dynamic topology changes such as TPDF".  We implement the
+classic StreamIt FM radio pipeline — FM demodulation followed by a
+multi-band equalizer — so the redundancy claim can be *measured*
+(see :mod:`repro.apps.fmradio.pipeline`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fm_modulate(audio: np.ndarray, sensitivity: float = 0.8) -> np.ndarray:
+    """Frequency-modulate an audio signal into a complex baseband."""
+    audio = np.asarray(audio, dtype=np.float64)
+    phase = 2.0 * np.pi * sensitivity * np.cumsum(audio)
+    return np.exp(1j * phase)
+
+
+def fm_demodulate(baseband: np.ndarray, sensitivity: float = 0.8) -> np.ndarray:
+    """Polar discriminator: recover audio from complex FM baseband."""
+    baseband = np.asarray(baseband, dtype=complex)
+    if baseband.size < 2:
+        return np.zeros(baseband.size)
+    product = baseband[1:] * np.conj(baseband[:-1])
+    demod = np.angle(product) / (2.0 * np.pi * sensitivity)
+    return np.concatenate([[demod[0]], demod])
+
+
+def lowpass_taps(cutoff: float, taps: int = 33) -> np.ndarray:
+    """Windowed-sinc low-pass FIR taps (normalized cutoff in (0, 0.5))."""
+    if not 0.0 < cutoff < 0.5:
+        raise ValueError(f"normalized cutoff must be in (0, 0.5), got {cutoff}")
+    if taps < 3 or taps % 2 == 0:
+        raise ValueError("taps must be an odd integer >= 3")
+    n = np.arange(taps) - (taps - 1) / 2.0
+    sinc = 2.0 * cutoff * np.sinc(2.0 * cutoff * n)
+    window = np.hamming(taps)
+    coeffs = sinc * window
+    return coeffs / coeffs.sum()
+
+
+def bandpass_taps(low: float, high: float, taps: int = 33) -> np.ndarray:
+    """Band-pass FIR as a difference of two low-pass filters — exactly
+    how the StreamIt equalizer builds its bands."""
+    if not 0.0 < low < high < 0.5:
+        raise ValueError(f"need 0 < low < high < 0.5, got ({low}, {high})")
+    return lowpass_taps(high, taps) - lowpass_taps(low, taps)
+
+
+def fir(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Causal FIR filtering (same-length output, zero initial state)."""
+    return np.convolve(np.asarray(signal, dtype=np.float64), taps)[: len(signal)]
+
+
+def equalizer_bands(n_bands: int, low: float = 0.01, high: float = 0.45,
+                    taps: int = 33) -> list[np.ndarray]:
+    """Log-spaced band-pass taps covering (low, high)."""
+    if n_bands < 1:
+        raise ValueError("need at least one band")
+    edges = np.geomspace(low, high, n_bands + 1)
+    return [bandpass_taps(lo, hi, taps) for lo, hi in zip(edges, edges[1:])]

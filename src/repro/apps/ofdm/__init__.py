@@ -1,0 +1,56 @@
+"""Cognitive-radio OFDM demodulator case study (Sec. IV-B, Fig. 7/8)."""
+
+from .qam import BITS_PER_SYMBOL, demap_symbols, map_bits, scheme_for_m
+from .tx import OFDMTransmitter, fft_symbols, remove_cyclic_prefix
+from .pipeline import (
+    BETA,
+    L,
+    M,
+    N,
+    OFDMRun,
+    ScenarioRun,
+    bindings_for,
+    build_ofdm_csdf,
+    build_ofdm_scenario_tpdf,
+    build_ofdm_tpdf,
+    run_ofdm_scenarios,
+    run_ofdm_tpdf,
+)
+from .buffers import (
+    Fig8Point,
+    fig8_point,
+    fig8_series,
+    measured_csdf_buffer,
+    measured_tpdf_buffer,
+    paper_csdf_buffer,
+    paper_tpdf_buffer,
+)
+
+__all__ = [
+    "BITS_PER_SYMBOL",
+    "map_bits",
+    "demap_symbols",
+    "scheme_for_m",
+    "OFDMTransmitter",
+    "remove_cyclic_prefix",
+    "fft_symbols",
+    "BETA",
+    "N",
+    "L",
+    "M",
+    "build_ofdm_tpdf",
+    "build_ofdm_csdf",
+    "build_ofdm_scenario_tpdf",
+    "bindings_for",
+    "run_ofdm_tpdf",
+    "run_ofdm_scenarios",
+    "OFDMRun",
+    "ScenarioRun",
+    "Fig8Point",
+    "fig8_point",
+    "fig8_series",
+    "measured_tpdf_buffer",
+    "measured_csdf_buffer",
+    "paper_tpdf_buffer",
+    "paper_csdf_buffer",
+]

@@ -1,0 +1,386 @@
+"""The OFDM demodulator graphs (Fig. 7 of the paper).
+
+TPDF variant (runtime-reconfigurable)::
+
+    SRC -+-> RCP -> FFT -> DUP -+-> QPSK -+-> TRAN -> SNK
+         |                      +-> QAM  -+     ^
+         +-> CON ---------------^(ctrl)---------+
+
+``SRC`` emits ``beta * (N + L)`` samples per activation plus one
+configuration token to the control actor ``CON``; ``CON`` steers both
+the select-duplicate ``DUP`` (which demapper receives the symbols) and
+the transaction ``TRAN`` (which demapper's bits reach the sink).  Only
+the selected path executes — the paper's dynamic-topology advantage.
+
+CSDF baseline (static topology): no control actor; ``DUP`` duplicates
+to *both* demappers, both run every iteration, and ``TRAN`` forwards
+both bit streams to the sink, which discards the redundant one.  This
+is the "redundant calculations" cost the evaluation quantifies
+(Fig. 8).
+
+Rates are symbolic in the paper's four parameters ``beta``, ``N``,
+``L``, ``M``; graphs are built once and bound per experiment point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...csdf import CSDFGraph
+from ...sim import Simulator
+from ...symbolic import Param, Poly
+from ...tpdf import ControlToken, Mode, TPDFGraph, select_duplicate, transaction
+from .qam import BITS_PER_SYMBOL, demap_symbols, scheme_for_m
+from .tx import OFDMTransmitter, fft_symbols, remove_cyclic_prefix
+
+#: Domains from Sec. IV-B: beta in [1, 100], N in {512, 1024}, L < N, M in {2, 4}.
+BETA = Param("beta", lo=1, hi=100)
+N = Param("N", lo=2, hi=1024)
+L = Param("L", lo=1, hi=64)
+M = Param("M", lo=2, hi=4)
+
+
+def build_ofdm_tpdf() -> TPDFGraph:
+    """The Fig. 7 TPDF graph with symbolic rates."""
+    beta, n, l, m = (Poly.var(p.name) for p in (BETA, N, L, M))
+    graph = TPDFGraph("ofdm_tpdf", parameters=[BETA, N, L, M])
+
+    src = graph.add_kernel("SRC")
+    src.add_output("out", beta * (n + l))
+    src.add_output("to_con", 1)
+
+    con = graph.add_control_actor("CON")
+    con.add_input("in", 1)
+    con.add_control_output("to_dup", 1)
+    con.add_control_output("to_tran", 1)
+
+    rcp = graph.add_kernel("RCP")
+    rcp.add_input("in", beta * (n + l))
+    rcp.add_output("out", beta * n)
+
+    fft = graph.add_kernel("FFT")
+    fft.add_input("in", beta * n)
+    fft.add_output("out", beta * n)
+
+    dup = select_duplicate(
+        graph, "DUP", outputs=2, input_rate=beta * n, output_rate=beta * n,
+        output_names=["qpsk", "qam"],
+    )
+
+    qpsk = graph.add_kernel("QPSK")
+    qpsk.add_input("in", beta * n)
+    qpsk.add_output("out", 2 * beta * n)
+
+    qam = graph.add_kernel("QAM")
+    qam.add_input("in", beta * n)
+    qam.add_output("out", 4 * beta * n)
+
+    tran = transaction(
+        graph, "TRAN", inputs=2, input_names=["qpsk", "qam"],
+        priorities=[0, 1], action="select", output_rate=m * beta * n,
+    )
+    # Per-input rates: each demapper delivers its own bit count; the
+    # SELECT_ONE mode decides which one is consumed (the Rk table).
+    tran.port("qpsk").rates = _rate_seq(2 * beta * n)
+    tran.port("qam").rates = _rate_seq(4 * beta * n)
+
+    snk = graph.add_kernel("SNK")
+    snk.add_input("in", m * beta * n)
+
+    graph.connect("SRC.out", "RCP.in", name="e_src")
+    graph.connect("SRC.to_con", "CON.in", name="e_src_con")
+    graph.connect("CON.to_dup", "DUP.ctrl", name="e_con_dup")
+    graph.connect("CON.to_tran", "TRAN.ctrl", name="e_con_tran")
+    graph.connect("RCP.out", "FFT.in", name="e_rcp")
+    graph.connect("FFT.out", "DUP.in", name="e_fft")
+    graph.connect("DUP.qpsk", "QPSK.in", name="e_dup_qpsk")
+    graph.connect("DUP.qam", "QAM.in", name="e_dup_qam")
+    graph.connect("QPSK.out", "TRAN.qpsk", name="e_qpsk_tran")
+    graph.connect("QAM.out", "TRAN.qam", name="e_qam_tran")
+    graph.connect("TRAN.out", "SNK.in", name="e_tran_snk")
+    _ = dup, rcp, fft, qpsk, qam, tran, snk, src, con
+    return graph
+
+
+def _rate_seq(value):
+    from ...csdf.rates import RateSequence
+
+    return RateSequence.of(value)
+
+
+def build_ofdm_csdf() -> CSDFGraph:
+    """The static CSDF baseline: both demappers always execute and the
+    transaction forwards both bit streams (Fig. 8's comparison)."""
+    beta, n, l = (Poly.var(p.name) for p in (BETA, N, L))
+    graph = CSDFGraph("ofdm_csdf")
+    for name in ("SRC", "RCP", "FFT", "DUP", "QPSK", "QAM", "TRAN", "SNK"):
+        graph.add_actor(name)
+    graph.add_channel("e_src", "SRC", "RCP", beta * (n + l), beta * (n + l))
+    graph.add_channel("e_rcp", "RCP", "FFT", beta * n, beta * n)
+    graph.add_channel("e_fft", "FFT", "DUP", beta * n, beta * n)
+    graph.add_channel("e_dup_qpsk", "DUP", "QPSK", beta * n, beta * n)
+    graph.add_channel("e_dup_qam", "DUP", "QAM", beta * n, beta * n)
+    graph.add_channel("e_qpsk_tran", "QPSK", "TRAN", 2 * beta * n, 2 * beta * n)
+    graph.add_channel("e_qam_tran", "QAM", "TRAN", 4 * beta * n, 4 * beta * n)
+    graph.add_channel("e_tran_snk_qpsk", "TRAN", "SNK", 2 * beta * n, 2 * beta * n)
+    graph.add_channel("e_tran_snk_qam", "TRAN", "SNK", 4 * beta * n, 4 * beta * n)
+    return graph
+
+
+def bindings_for(beta: int, n: int, l: int, m: int) -> dict[str, int]:
+    """Parameter valuation for one experiment point."""
+    return {"beta": beta, "N": n, "L": l, "M": m}
+
+
+@dataclass
+class OFDMRun:
+    """Functional end-to-end result of the TPDF demodulator."""
+
+    sent_bits: np.ndarray
+    received_bits: np.ndarray
+    scheme: str
+    trace: object
+
+    @property
+    def bit_errors(self) -> int:
+        length = min(self.sent_bits.size, self.received_bits.size)
+        return int(np.sum(self.sent_bits[:length] != self.received_bits[:length]))
+
+    @property
+    def ber(self) -> float:
+        length = min(self.sent_bits.size, self.received_bits.size)
+        return self.bit_errors / length if length else 0.0
+
+
+def build_ofdm_scenario_tpdf() -> TPDFGraph:
+    """Variant of the Fig. 7 graph supporting *runtime* scheme switching.
+
+    The paper calls the demodulator "runtime-reconfigurable": the
+    control node may pick QPSK or QAM per activation.  With bit-level
+    tokens, TRAN's output rate would have to change with the mode;
+    here TRAN packs each activation's bits into a single frame token
+    (rate 1) so consecutive activations can use different schemes in
+    one run.  Everything upstream of TRAN is identical to
+    :func:`build_ofdm_tpdf`.
+    """
+    beta, n, l = (Poly.var(p.name) for p in (BETA, N, L))
+    graph = TPDFGraph("ofdm_scenarios", parameters=[BETA, N, L])
+
+    src = graph.add_kernel("SRC")
+    src.add_output("out", beta * (n + l))
+    src.add_output("to_con", 1)
+
+    con = graph.add_control_actor("CON")
+    con.add_input("in", 1)
+    con.add_control_output("to_dup", 1)
+    con.add_control_output("to_tran", 1)
+
+    rcp = graph.add_kernel("RCP")
+    rcp.add_input("in", beta * (n + l))
+    rcp.add_output("out", beta * n)
+
+    fft = graph.add_kernel("FFT")
+    fft.add_input("in", beta * n)
+    fft.add_output("out", beta * n)
+
+    select_duplicate(
+        graph, "DUP", outputs=2, input_rate=beta * n, output_rate=beta * n,
+        output_names=["qpsk", "qam"],
+    )
+
+    qpsk = graph.add_kernel("QPSK")
+    qpsk.add_input("in", beta * n)
+    qpsk.add_output("out", 2 * beta * n)
+
+    qam = graph.add_kernel("QAM")
+    qam.add_input("in", beta * n)
+    qam.add_output("out", 4 * beta * n)
+
+    tran = transaction(
+        graph, "TRAN", inputs=2, input_names=["qpsk", "qam"],
+        priorities=[0, 1], action="select", output_rate=1,
+    )
+    tran.port("qpsk").rates = _rate_seq(2 * beta * n)
+    tran.port("qam").rates = _rate_seq(4 * beta * n)
+    # DUP and TRAN share the same decision: the rejected demapper never
+    # runs, so late-discard debt must not swallow future activations.
+    tran.meta["discard_late"] = False
+
+    snk = graph.add_kernel("SNK")
+    snk.add_input("in", 1)
+
+    graph.connect("SRC.out", "RCP.in", name="e_src")
+    graph.connect("SRC.to_con", "CON.in", name="e_src_con")
+    graph.connect("CON.to_dup", "DUP.ctrl", name="e_con_dup")
+    graph.connect("CON.to_tran", "TRAN.ctrl", name="e_con_tran")
+    graph.connect("RCP.out", "FFT.in", name="e_rcp")
+    graph.connect("FFT.out", "DUP.in", name="e_fft")
+    graph.connect("DUP.qpsk", "QPSK.in", name="e_dup_qpsk")
+    graph.connect("DUP.qam", "QAM.in", name="e_dup_qam")
+    graph.connect("QPSK.out", "TRAN.qpsk", name="e_qpsk_tran")
+    graph.connect("QAM.out", "TRAN.qam", name="e_qam_tran")
+    graph.connect("TRAN.out", "SNK.in", name="e_tran_snk")
+    _ = qpsk, qam
+    return graph
+
+
+@dataclass
+class ScenarioRun:
+    """Per-activation results of a runtime-reconfigurable run."""
+
+    schemes: list[str]
+    bit_errors: list[int]
+    bits_per_activation: list[int]
+    trace: object
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.bit_errors)
+
+
+def run_ofdm_scenarios(
+    schemes: list[str],
+    beta: int = 2,
+    n: int = 16,
+    l: int = 4,
+    seed: int = 0,
+) -> ScenarioRun:
+    """Demodulate consecutive activations with *different* schemes.
+
+    This is the paper's context-dependence in action: the control node
+    reads SRC's per-activation header and reconfigures DUP and TRAN at
+    runtime — one graph, alternating QPSK/16-QAM traffic.
+    """
+    if not schemes:
+        raise ValueError("need at least one scheme")
+    for scheme in schemes:
+        if scheme not in BITS_PER_SYMBOL:
+            raise ValueError(f"unknown scheme {scheme!r}")
+    graph = build_ofdm_scenario_tpdf()
+    transmitters = {
+        scheme: OFDMTransmitter(n=n, l=l, scheme=scheme, beta=beta,
+                                seed=seed + index)
+        for index, scheme in enumerate(dict.fromkeys(schemes))
+    }
+    sent_per_activation: list[np.ndarray] = []
+    received_frames: list[np.ndarray] = []
+
+    def src_fn(k: int, _consumed):
+        scheme = schemes[k % len(schemes)]
+        tx = transmitters[scheme]
+        samples = tx.activation()
+        sent_per_activation.append(tx.sent_bits[-1])
+        return {"out": list(samples), "to_con": [scheme]}
+
+    def con_decision(_k: int, inputs) -> ControlToken:
+        port = "qam" if (inputs and inputs[0] == "qam16") else "qpsk"
+        return ControlToken(Mode.SELECT_ONE, (port,))
+
+    def tran_fn(_k: int, consumed):
+        bits = [v for vs in consumed.values() for v in vs]
+        return [np.array(bits, dtype=int)]  # one frame token per activation
+
+    def snk_fn(_k: int, consumed):
+        received_frames.append(consumed["in"][0])
+        return None
+
+    graph.node("SRC").function = src_fn
+    graph.node("CON").decision = con_decision
+    graph.node("RCP").function = lambda _k, c: list(
+        remove_cyclic_prefix(np.array(c["in"]), n, l))
+    graph.node("FFT").function = lambda _k, c: list(
+        fft_symbols(np.array(c["in"]), n))
+    graph.node("DUP").function = lambda _k, c: list(c["in"])
+    graph.node("QPSK").function = lambda _k, c: [
+        int(b) for b in demap_symbols(np.array(c["in"]), "qpsk")]
+    graph.node("QAM").function = lambda _k, c: [
+        int(b) for b in demap_symbols(np.array(c["in"]), "qam16")]
+    graph.node("TRAN").function = tran_fn
+    graph.node("SNK").function = snk_fn
+
+    sim = Simulator(graph, bindings={"beta": beta, "N": n, "L": l})
+    trace = sim.run(limits={"SRC": len(schemes)})
+
+    errors = []
+    sizes = []
+    for sent, got in zip(sent_per_activation, received_frames):
+        sizes.append(int(sent.size))
+        length = min(sent.size, got.size)
+        errors.append(int(np.sum(sent[:length] != got[:length]))
+                      + abs(int(sent.size) - int(got.size)))
+    return ScenarioRun(
+        schemes=list(schemes),
+        bit_errors=errors,
+        bits_per_activation=sizes,
+        trace=trace,
+    )
+
+
+def run_ofdm_tpdf(
+    beta: int,
+    n: int,
+    l: int,
+    m: int,
+    activations: int = 1,
+    noise_std: float = 0.0,
+    seed: int = 0,
+) -> OFDMRun:
+    """Execute the TPDF demodulator on real OFDM waveforms.
+
+    Attaches the DSP functions to the symbolic graph, binds the
+    parameters, and simulates ``activations`` firings of SRC.  In a
+    noiseless channel the received bits must equal the sent bits.
+    """
+    scheme = scheme_for_m(m)
+    graph = build_ofdm_tpdf()
+    tx = OFDMTransmitter(n=n, l=l, scheme=scheme, beta=beta, seed=seed)
+    received: list[int] = []
+
+    def src_fn(_k: int, _consumed: dict):
+        return {"out": list(tx.activation(noise_std)), "to_con": [scheme]}
+
+    def con_decision(_k: int, inputs: list) -> ControlToken:
+        # SRC forwards the active scheme; DUP's outputs and TRAN's
+        # inputs share the port names "qpsk"/"qam", so one token steers
+        # both (the bracketed control region of Sec. IV-B).
+        active = inputs[0] if inputs else scheme
+        port = "qam" if active == "qam16" else "qpsk"
+        return ControlToken(Mode.SELECT_ONE, (port,))
+
+    def rcp_fn(_k: int, consumed: dict):
+        return list(remove_cyclic_prefix(np.array(consumed["in"]), n, l))
+
+    def fft_fn(_k: int, consumed: dict):
+        return list(fft_symbols(np.array(consumed["in"]), n))
+
+    def demap_fn(sch: str):
+        def run(_k: int, consumed: dict):
+            return [int(b) for b in demap_symbols(np.array(consumed["in"]), sch)]
+        return run
+
+    def dup_fn(_k: int, consumed: dict):
+        return list(consumed["in"])
+
+    def snk_fn(_k: int, consumed: dict):
+        received.extend(consumed["in"])
+        return None
+
+    graph.node("SRC").function = src_fn
+    graph.node("CON").decision = con_decision
+    graph.node("RCP").function = rcp_fn
+    graph.node("FFT").function = fft_fn
+    graph.node("DUP").function = dup_fn
+    graph.node("QPSK").function = demap_fn("qpsk")
+    graph.node("QAM").function = demap_fn("qam16")
+    graph.node("SNK").function = snk_fn
+
+    sim = Simulator(graph, bindings=bindings_for(beta, n, l, m), record_values=False)
+    trace = sim.run(limits={"SRC": activations})
+    return OFDMRun(
+        sent_bits=tx.all_sent_bits(),
+        received_bits=np.array(received, dtype=int),
+        scheme=scheme,
+        trace=trace,
+    )

@@ -1,0 +1,73 @@
+"""Constellation mapping / demapping for the OFDM case study.
+
+The paper's demodulator has "a M-ary QAM demodulation, with a
+configurable QPSK configuration (M = 2 or M = 4)" where ``M`` is the
+number of bits per constellation symbol: M = 2 is QPSK (4 points),
+M = 4 is 16-QAM.  Both use Gray coding so a hard decision flips at
+most one bit per axis error; demapping is exact in a noiseless
+channel, which the functional tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: bits per symbol for each scheme name.
+BITS_PER_SYMBOL = {"qpsk": 2, "qam16": 4}
+
+_SQRT2 = np.sqrt(2.0)
+_SQRT10 = np.sqrt(10.0)
+
+#: Gray-coded PAM levels for 16-QAM: bit pair (b0 b1) -> amplitude.
+_PAM4 = {(0, 0): -3.0, (0, 1): -1.0, (1, 1): 1.0, (1, 0): 3.0}
+_PAM4_INV = {v: k for k, v in _PAM4.items()}
+_PAM4_LEVELS = np.array(sorted(_PAM4_INV))
+
+
+def scheme_for_m(m: int) -> str:
+    """Scheme name for the paper's parameter M (2 -> QPSK, 4 -> 16-QAM)."""
+    if m == 2:
+        return "qpsk"
+    if m == 4:
+        return "qam16"
+    raise ValueError(f"M must be 2 or 4 (paper Sec. IV-B), got {m}")
+
+
+def map_bits(bits: np.ndarray, scheme: str) -> np.ndarray:
+    """Map a bit array (0/1) to unit-average-power complex symbols.
+
+    ``len(bits)`` must be a multiple of the scheme's bits/symbol.
+    """
+    bits = np.asarray(bits, dtype=int).ravel()
+    m = BITS_PER_SYMBOL[scheme]
+    if bits.size % m:
+        raise ValueError(f"{bits.size} bits is not a multiple of {m}")
+    groups = bits.reshape(-1, m)
+    if scheme == "qpsk":
+        # Gray: bit 0 -> I sign, bit 1 -> Q sign (0 -> -1, 1 -> +1).
+        i = 2.0 * groups[:, 0] - 1.0
+        q = 2.0 * groups[:, 1] - 1.0
+        return (i + 1j * q) / _SQRT2
+    # 16-QAM: bits (b0 b1) -> I level, (b2 b3) -> Q level.
+    i = np.array([_PAM4[(b0, b1)] for b0, b1 in groups[:, :2]])
+    q = np.array([_PAM4[(b0, b1)] for b0, b1 in groups[:, 2:]])
+    return (i + 1j * q) / _SQRT10
+
+
+def demap_symbols(symbols: np.ndarray, scheme: str) -> np.ndarray:
+    """Hard-decision demapping back to bits."""
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    if scheme == "qpsk":
+        bits = np.empty((symbols.size, 2), dtype=int)
+        bits[:, 0] = (symbols.real >= 0).astype(int)
+        bits[:, 1] = (symbols.imag >= 0).astype(int)
+        return bits.ravel()
+    scaled = symbols * _SQRT10
+    bits = np.empty((symbols.size, 4), dtype=int)
+    for index, axis in ((0, scaled.real), (2, scaled.imag)):
+        nearest = _PAM4_LEVELS[
+            np.argmin(np.abs(axis[:, None] - _PAM4_LEVELS[None, :]), axis=1)
+        ]
+        pairs = np.array([_PAM4_INV[level] for level in nearest])
+        bits[:, index:index + 2] = pairs
+    return bits.ravel()

@@ -1,0 +1,92 @@
+"""OFDM transmitter — the synthetic signal source for the case study.
+
+The paper's ``SRC`` actor "generates random values to simulate a
+sampler"; to make the receiver chain *testable* we generate a real
+OFDM waveform instead: random bits, constellation mapping, per-symbol
+IFFT over ``N`` carriers, and a cyclic prefix of ``L`` samples (used
+against inter-symbol interference, Sec. IV-B).  A noiseless channel
+means the demodulator must recover the bits exactly; an optional AWGN
+channel exercises the robustness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .qam import BITS_PER_SYMBOL, map_bits
+
+
+class OFDMTransmitter:
+    """Generates OFDM activations of ``beta`` symbols each.
+
+    One *activation* (one firing of SRC) covers ``beta`` OFDM symbols:
+    ``beta * M * N`` payload bits, transmitted as ``beta * (N + L)``
+    complex time-domain samples.
+    """
+
+    def __init__(self, n: int, l: int, scheme: str, beta: int, seed: int = 0):
+        if n < 2:
+            raise ValueError("OFDM symbol length N must be at least 2")
+        if l < 0 or l >= n:
+            raise ValueError("cyclic prefix L must satisfy 0 <= L < N")
+        if beta < 1:
+            raise ValueError("vectorization degree beta must be >= 1")
+        if scheme not in BITS_PER_SYMBOL:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        self.n = n
+        self.l = l
+        self.scheme = scheme
+        self.beta = beta
+        self._rng = np.random.default_rng(seed)
+        #: every payload bit ever emitted, for end-to-end verification
+        self.sent_bits: list[np.ndarray] = []
+
+    @property
+    def bits_per_activation(self) -> int:
+        return self.beta * BITS_PER_SYMBOL[self.scheme] * self.n
+
+    @property
+    def samples_per_activation(self) -> int:
+        return self.beta * (self.n + self.l)
+
+    def activation(self, noise_std: float = 0.0) -> np.ndarray:
+        """One activation: ``beta * (N + L)`` time-domain samples."""
+        bits = self._rng.integers(0, 2, size=self.bits_per_activation)
+        self.sent_bits.append(bits)
+        symbols = map_bits(bits, self.scheme).reshape(self.beta, self.n)
+        # IFFT per OFDM symbol; "ortho" keeps unit power so FFT at the
+        # receiver returns the constellation unscaled.
+        time_domain = np.fft.ifft(symbols, axis=1, norm="ortho")
+        if self.l:
+            with_cp = np.concatenate([time_domain[:, -self.l:], time_domain], axis=1)
+        else:
+            with_cp = time_domain
+        stream = with_cp.ravel()
+        if noise_std > 0.0:
+            noise = self._rng.normal(0.0, noise_std / np.sqrt(2.0), (stream.size, 2))
+            stream = stream + noise[:, 0] + 1j * noise[:, 1]
+        return stream
+
+    def all_sent_bits(self) -> np.ndarray:
+        if not self.sent_bits:
+            return np.empty(0, dtype=int)
+        return np.concatenate(self.sent_bits)
+
+
+def remove_cyclic_prefix(samples: np.ndarray, n: int, l: int) -> np.ndarray:
+    """Strip the CP from a stream of whole ``(N + L)``-sample symbols."""
+    samples = np.asarray(samples)
+    if samples.size % (n + l):
+        raise ValueError(
+            f"{samples.size} samples is not a whole number of (N+L)={n + l} blocks"
+        )
+    blocks = samples.reshape(-1, n + l)
+    return blocks[:, l:].ravel()
+
+
+def fft_symbols(samples: np.ndarray, n: int) -> np.ndarray:
+    """Per-symbol FFT back to the frequency domain (the ``FFT`` actor)."""
+    samples = np.asarray(samples)
+    if samples.size % n:
+        raise ValueError(f"{samples.size} samples is not a whole number of N={n} blocks")
+    return np.fft.fft(samples.reshape(-1, n), axis=1, norm="ortho").ravel()

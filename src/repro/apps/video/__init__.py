@@ -1,0 +1,59 @@
+"""VC-1-style decoder and AVC-style motion search (EXT1, Sec. V)."""
+
+from .blocks import (
+    BLOCK,
+    MOTION_SEARCHES,
+    SEARCH_COST,
+    SEARCH_QUALITY,
+    block_count,
+    dct_block,
+    dequantize,
+    idct_block,
+    join_blocks,
+    motion_search_full,
+    motion_search_threestep,
+    motion_search_zero,
+    quantize,
+    sad,
+    split_blocks,
+    synthetic_video,
+)
+from .decoder import (
+    DecodeResult,
+    P,
+    build_decoder_graph,
+    encode_sequence,
+    run_decoder,
+)
+from .motion import (
+    MotionExperiment,
+    build_motion_graph,
+    run_motion_experiment,
+)
+
+__all__ = [
+    "BLOCK",
+    "split_blocks",
+    "join_blocks",
+    "block_count",
+    "dct_block",
+    "idct_block",
+    "quantize",
+    "dequantize",
+    "sad",
+    "motion_search_zero",
+    "motion_search_threestep",
+    "motion_search_full",
+    "MOTION_SEARCHES",
+    "SEARCH_COST",
+    "SEARCH_QUALITY",
+    "synthetic_video",
+    "P",
+    "build_decoder_graph",
+    "encode_sequence",
+    "run_decoder",
+    "DecodeResult",
+    "MotionExperiment",
+    "build_motion_graph",
+    "run_motion_experiment",
+]

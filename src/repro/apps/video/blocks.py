@@ -1,0 +1,177 @@
+"""Toy block-based video codec primitives (the VC-1/AVC substrate).
+
+Sec. V claims the SPDF/BPDF case studies — the VC-1 video decoder — can
+be replicated in TPDF, and that an AVC encoder's motion-vector search
+benefits from a Transaction-kernel quality threshold.  To make those
+claims *executable* we implement a small but real block codec:
+
+* 8x8 block DCT / inverse DCT (scipy, type-II orthonormal),
+* uniform quantization,
+* motion estimation over macroblocks with three search strategies of
+  increasing cost/quality (zero-MV, three-step search, full search),
+* SAD (sum of absolute differences) as the matching metric.
+
+Frames are 2-D float arrays with dimensions that are multiples of the
+block size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sfft
+
+BLOCK = 8  # pixels per block edge
+
+
+def _check_frame(frame: np.ndarray) -> np.ndarray:
+    frame = np.asarray(frame, dtype=np.float64)
+    if frame.ndim != 2 or frame.shape[0] % BLOCK or frame.shape[1] % BLOCK:
+        raise ValueError(
+            f"frame shape {frame.shape} must be 2-D with multiples of {BLOCK}"
+        )
+    return frame
+
+
+def block_count(frame: np.ndarray) -> int:
+    """Macroblocks per frame — the parametric rate `p` of the decoder."""
+    frame = _check_frame(frame)
+    return (frame.shape[0] // BLOCK) * (frame.shape[1] // BLOCK)
+
+
+def split_blocks(frame: np.ndarray) -> list[np.ndarray]:
+    """Row-major list of 8x8 blocks."""
+    frame = _check_frame(frame)
+    rows, cols = frame.shape[0] // BLOCK, frame.shape[1] // BLOCK
+    return [
+        frame[r * BLOCK:(r + 1) * BLOCK, c * BLOCK:(c + 1) * BLOCK].copy()
+        for r in range(rows)
+        for c in range(cols)
+    ]
+
+
+def join_blocks(blocks: list[np.ndarray], shape: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`split_blocks`."""
+    rows, cols = shape[0] // BLOCK, shape[1] // BLOCK
+    if len(blocks) != rows * cols:
+        raise ValueError(f"{len(blocks)} blocks cannot tile shape {shape}")
+    frame = np.empty(shape, dtype=np.float64)
+    for index, block in enumerate(blocks):
+        r, c = divmod(index, cols)
+        frame[r * BLOCK:(r + 1) * BLOCK, c * BLOCK:(c + 1) * BLOCK] = block
+    return frame
+
+
+def dct_block(block: np.ndarray) -> np.ndarray:
+    """Orthonormal 2-D DCT of one block."""
+    return sfft.dctn(block, norm="ortho")
+
+
+def idct_block(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct_block`."""
+    return sfft.idctn(coeffs, norm="ortho")
+
+
+def quantize(coeffs: np.ndarray, step: float = 1.0) -> np.ndarray:
+    """Uniform quantization to integer levels."""
+    if step <= 0:
+        raise ValueError("quantization step must be positive")
+    return np.round(coeffs / step)
+
+
+def dequantize(levels: np.ndarray, step: float = 1.0) -> np.ndarray:
+    return np.asarray(levels, dtype=np.float64) * step
+
+
+def sad(a: np.ndarray, b: np.ndarray) -> float:
+    """Sum of absolute differences — the ME matching metric."""
+    return float(np.abs(np.asarray(a, float) - np.asarray(b, float)).sum())
+
+
+def _block_at(frame: np.ndarray, top: int, left: int) -> np.ndarray | None:
+    if top < 0 or left < 0:
+        return None
+    if top + BLOCK > frame.shape[0] or left + BLOCK > frame.shape[1]:
+        return None
+    return frame[top:top + BLOCK, left:left + BLOCK]
+
+
+def motion_search_zero(reference, current, top, left, radius=0):
+    """Zero-MV 'search': the cheapest, lowest-quality strategy."""
+    candidate = _block_at(reference, top, left)
+    assert candidate is not None
+    return (0, 0), sad(candidate, current)
+
+
+def motion_search_full(reference, current, top, left, radius: int = 4):
+    """Exhaustive search in a (2r+1)^2 window — the best, costliest."""
+    best_mv, best_cost = (0, 0), float("inf")
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            candidate = _block_at(reference, top + dy, left + dx)
+            if candidate is None:
+                continue
+            cost = sad(candidate, current)
+            if cost < best_cost:
+                best_mv, best_cost = (dy, dx), cost
+    return best_mv, best_cost
+
+
+def motion_search_threestep(reference, current, top, left, radius: int = 4):
+    """Classic three-step search: logarithmic probe refinement."""
+    centre = (0, 0)
+    step = max(1, radius // 2)
+    best_cost = sad(_block_at(reference, top, left), current)
+    while step >= 1:
+        improved = True
+        while improved:
+            improved = False
+            for dy in (-step, 0, step):
+                for dx in (-step, 0, step):
+                    mv = (centre[0] + dy, centre[1] + dx)
+                    if max(abs(mv[0]), abs(mv[1])) > radius:
+                        continue
+                    candidate = _block_at(reference, top + mv[0], left + mv[1])
+                    if candidate is None:
+                        continue
+                    cost = sad(candidate, current)
+                    if cost < best_cost:
+                        centre, best_cost = mv, cost
+                        improved = True
+        step //= 2
+    return centre, best_cost
+
+
+MOTION_SEARCHES = {
+    "zero": motion_search_zero,
+    "threestep": motion_search_threestep,
+    "full": motion_search_full,
+}
+
+#: Relative model cost per macroblock of each strategy (probe counts:
+#: 1, ~25, (2*4+1)^2 = 81) — used by the deadline experiment.
+SEARCH_COST = {"zero": 1.0, "threestep": 25.0, "full": 81.0}
+
+#: Quality ordering for the Transaction's priorities (higher = better).
+SEARCH_QUALITY = {"zero": 0, "threestep": 1, "full": 2}
+
+
+def synthetic_video(
+    frames: int = 4,
+    height: int = 32,
+    width: int = 32,
+    motion: tuple[int, int] = (1, 2),
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """A deterministic test sequence: a textured patch translating by
+    ``motion`` pixels per frame over a static background."""
+    rng = np.random.default_rng(seed)
+    background = rng.uniform(32.0, 64.0, (height, width))
+    texture = rng.uniform(128.0, 255.0, (height // 2, width // 2))
+    out = []
+    for t in range(frames):
+        frame = background.copy()
+        top = (4 + t * motion[0]) % (height // 2)
+        left = (4 + t * motion[1]) % (width // 2)
+        frame[top:top + height // 2, left:left + width // 2] = texture
+        out.append(frame)
+    return out

@@ -1,0 +1,137 @@
+"""AVC-style quality-threshold motion search (Sec. V, last sentence).
+
+"We also improved the quality of the AVC Encoder ... by using a quality
+threshold for the motion vector detection, implemented with a
+Transaction kernel, to choose dynamically the highest quality video
+available within real-time constraints."
+
+The experiment: three motion-estimation kernels (zero-MV, three-step,
+full search) race on each macroblock batch; a clock fires every
+``deadline`` model-ms and the Transaction forwards the best *finished*
+search's motion vectors.  Tight deadlines yield cheap/low-quality
+vectors, loose deadlines the full-search ones — measured as average SAD
+of the selected vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...sim import Simulator
+from ...tpdf import TPDFGraph, clock, transaction
+from .blocks import (
+    BLOCK,
+    MOTION_SEARCHES,
+    SEARCH_COST,
+    SEARCH_QUALITY,
+    split_blocks,
+)
+
+#: model milliseconds per macroblock probe.
+MS_PER_PROBE = 0.05
+
+
+def _search_all_blocks(strategy: str, reference: np.ndarray,
+                       current: np.ndarray, radius: int = 4):
+    """Run one strategy over every macroblock; returns (vectors, total SAD)."""
+    search = MOTION_SEARCHES[strategy]
+    cols = current.shape[1] // BLOCK
+    vectors = []
+    total = 0.0
+    for index, block in enumerate(split_blocks(current)):
+        r, c = divmod(index, cols)
+        mv, cost = search(reference, block, r * BLOCK, c * BLOCK, radius)
+        vectors.append(mv)
+        total += cost
+    return vectors, total
+
+
+@dataclass
+class MotionExperiment:
+    deadline: float
+    chosen_strategy: list[str]
+    chosen_sad: list[float]
+    #: per-strategy average SAD had it been always selected
+    strategy_sad: dict[str, float]
+
+    @property
+    def mean_sad(self) -> float:
+        return sum(self.chosen_sad) / len(self.chosen_sad) if self.chosen_sad else 0.0
+
+
+def build_motion_graph(frame_pairs, deadline: float) -> tuple[TPDFGraph, list]:
+    """SRC -> {zero, threestep, full} -> Transaction <- clock."""
+    graph = TPDFGraph("avc_motion")
+    pairs = list(frame_pairs)
+
+    src = graph.add_kernel(
+        "SRC", exec_time=0.0,
+        function=lambda n, _c: pairs[n % len(pairs)],
+    )
+    strategies = ("zero", "threestep", "full")
+    for strategy in strategies:
+        src.add_output(f"to_{strategy}", 1)
+
+    def make_me(strategy: str):
+        def run(_n: int, consumed):
+            reference, current = consumed["in"][0]
+            vectors, total = _search_all_blocks(strategy, reference, current)
+            return (strategy, vectors, total)
+        return run
+
+    for strategy in strategies:
+        kernel = graph.add_kernel(strategy, function=make_me(strategy))
+        blocks = (pairs[0][1].shape[0] // BLOCK) * (pairs[0][1].shape[1] // BLOCK)
+        kernel.meta["time_fn"] = (
+            lambda _n, _c, s=strategy, b=blocks: SEARCH_COST[s] * b * MS_PER_PROBE
+        )
+        kernel.add_input("in", 1)
+        kernel.add_output("out", 1)
+        graph.connect(f"SRC.to_{strategy}", f"{strategy}.in")
+
+    tran = transaction(
+        graph, "TRAN", inputs=3,
+        input_names=[f"from_{s}" for s in strategies],
+        priorities=[SEARCH_QUALITY[s] for s in strategies],
+        action="priority_deadline", exec_time=0.0,
+    )
+    for strategy in strategies:
+        graph.connect(f"{strategy}.out", f"TRAN.from_{strategy}")
+    timer = clock(graph, "CLK", period=deadline)
+    graph.connect("CLK.tick", "TRAN.ctrl")
+
+    chosen: list = []
+    snk = graph.add_kernel("SNK", exec_time=0.0,
+                           function=lambda _n, c: chosen.append(c["in"][0]))
+    snk.add_input("in", 1)
+    graph.connect("TRAN.out", "SNK.in")
+    _ = tran, timer, src
+    return graph, chosen
+
+
+def run_motion_experiment(frames, deadline: float) -> MotionExperiment:
+    """Race the three searches on consecutive frame pairs under the
+    given deadline (model ms)."""
+    pairs = [(prev, cur) for prev, cur in zip(frames, frames[1:])]
+    if not pairs:
+        raise ValueError("need at least two frames")
+    graph, chosen = build_motion_graph(pairs, deadline)
+    sim = Simulator(graph, record_values=True)
+    worst = SEARCH_COST["full"] * len(split_blocks(pairs[0][1])) * MS_PER_PROBE
+    horizon = (len(pairs) + 1) * max(deadline, worst) + deadline
+    sim.run(until=horizon, limits={"SRC": len(pairs)})
+
+    strategy_sad = {
+        strategy: float(np.mean([
+            _search_all_blocks(strategy, ref, cur)[1] for ref, cur in pairs
+        ]))
+        for strategy in ("zero", "threestep", "full")
+    }
+    return MotionExperiment(
+        deadline=deadline,
+        chosen_strategy=[entry[0] for entry in chosen],
+        chosen_sad=[entry[2] for entry in chosen],
+        strategy_sad=strategy_sad,
+    )

@@ -1,0 +1,133 @@
+"""CSDF consistency analysis (Theorem 1 of the paper).
+
+Computes the topology matrix ``Gamma``, the base solution ``r`` of
+``Gamma . r = 0`` and the repetition vector ``q = P . r`` where ``P``
+is the diagonal matrix of cycle lengths ``tau_j``.  All quantities are
+symbolic (:class:`~repro.symbolic.poly.Poly`), so the same code handles
+plain CSDF (Fig. 1: ``q = [3, 2, 2]``) and parameterized graphs
+(Fig. 2: ``q = [2, 2p, p, p, 2p, 2p]``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..errors import AnalysisError
+from ..symbolic import InconsistentRatesError, Poly, solve_balance
+from .graph import CSDFGraph
+
+
+def topology_matrix(graph: CSDFGraph) -> tuple[list[str], list[str], list[list[Poly]]]:
+    """The topology matrix ``Gamma`` (Equation 3).
+
+    Returns ``(channel_names, actor_names, rows)`` where
+    ``rows[u][j]`` is ``X_j(tau_j)`` if actor ``j`` produces on channel
+    ``u``, ``-Y_j(tau_j)`` if it consumes from it, and 0 otherwise.
+    Self-loop channels contribute the net total production minus
+    consumption.
+    """
+    actor_names = graph.actor_names()
+    index = {name: j for j, name in enumerate(actor_names)}
+    channel_names: list[str] = []
+    rows: list[list[Poly]] = []
+    for channel in graph.channels.values():
+        row = [Poly() for _ in actor_names]
+        tau_src = graph.tau(channel.src)
+        tau_dst = graph.tau(channel.dst)
+        row[index[channel.src]] = row[index[channel.src]] + channel.production.cumulative(tau_src)
+        row[index[channel.dst]] = row[index[channel.dst]] - channel.consumption.cumulative(tau_dst)
+        channel_names.append(channel.name)
+        rows.append(row)
+    return channel_names, actor_names, rows
+
+
+def base_solution(graph: CSDFGraph) -> dict[str, Poly]:
+    """Minimal positive integer solution ``r`` of the balance equations.
+
+    Raises :class:`~repro.symbolic.InconsistentRatesError` when only the
+    trivial solution exists (graph not consistent).
+    """
+    if not graph.actors:
+        return {}
+    edges = []
+    for channel in graph.channels.values():
+        if channel.is_selfloop():
+            # A self-loop constrains nothing across actors but must be
+            # internally balanced over one cycle, otherwise tokens
+            # accumulate or drain without bound.
+            tau = graph.tau(channel.src)
+            produced = channel.production.cumulative(tau)
+            consumed = channel.consumption.cumulative(tau)
+            if produced != consumed:
+                raise InconsistentRatesError(
+                    f"self-loop {channel.name!r} on {channel.src!r} is "
+                    f"unbalanced: produces {produced}, consumes {consumed} per cycle"
+                )
+            continue
+        tau_src = graph.tau(channel.src)
+        tau_dst = graph.tau(channel.dst)
+        edges.append(
+            (
+                channel.src,
+                channel.dst,
+                channel.production.cumulative(tau_src),
+                channel.consumption.cumulative(tau_dst),
+            )
+        )
+    return solve_balance(graph.actor_names(), edges)
+
+
+def repetition_vector(graph: CSDFGraph) -> dict[str, Poly]:
+    """The repetition vector ``q = P . r`` (Theorem 1).
+
+    ``q_j = tau_j * r_j`` counts actor firings per graph iteration.
+    """
+    r = base_solution(graph)
+    return {name: Poly.const(graph.tau(name)) * r[name] for name in r}
+
+
+def is_consistent(graph: CSDFGraph) -> bool:
+    """True when a non-trivial repetition vector exists."""
+    try:
+        base_solution(graph)
+    except InconsistentRatesError:
+        return False
+    return True
+
+
+def concrete_repetition_vector(graph: CSDFGraph, bindings: Mapping | None = None) -> dict[str, int]:
+    """Repetition vector evaluated to integers under ``bindings``.
+
+    Verifies the result is strictly positive and integral — a
+    repetition count like ``p/2`` means the parameter valuation is
+    incompatible with one atomic graph iteration.
+    """
+    q = repetition_vector(graph)
+    out: dict[str, int] = {}
+    for name, poly in q.items():
+        value = poly.evaluate(bindings or {})
+        if value.denominator != 1:
+            raise AnalysisError(
+                f"repetition count of {name!r} is {value} under {bindings}: "
+                f"not an integer (choose parameter values divisible by the "
+                f"normalization factor)"
+            )
+        if value <= 0:
+            raise AnalysisError(f"repetition count of {name!r} is non-positive: {value}")
+        out[name] = int(value)
+    return out
+
+
+def iteration_token_totals(graph: CSDFGraph, bindings: Mapping | None = None) -> dict[str, Fraction]:
+    """Tokens crossing each channel during one full iteration.
+
+    Sanity view used by tests: for a consistent graph, production and
+    consumption totals match on every channel.
+    """
+    q = concrete_repetition_vector(graph, bindings)
+    totals: dict[str, Fraction] = {}
+    for channel in graph.channels.values():
+        produced = channel.production.bind(bindings or {}).cumulative(q[channel.src])
+        totals[channel.name] = produced.evaluate({})
+    return totals

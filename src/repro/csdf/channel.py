@@ -1,0 +1,49 @@
+"""CSDF communication channels (FIFO queues of tokens).
+
+A channel carries tokens from its producer to its consumer; its state
+is characterized by the number of tokens it holds, starting from
+``initial_tokens`` (the ``phi*`` of the paper's Definition 2 restricted
+to CSDF).  The production rate sequence is indexed by producer firings,
+the consumption sequence by consumer firings.
+"""
+
+from __future__ import annotations
+
+from .rates import RateLike, RateSequence
+
+
+class Channel:
+    """A directed FIFO channel between two actors."""
+
+    __slots__ = ("name", "src", "dst", "production", "consumption", "initial_tokens")
+
+    def __init__(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        production: RateLike,
+        consumption: RateLike,
+        initial_tokens: int = 0,
+    ):
+        if initial_tokens < 0:
+            raise ValueError(f"channel {name!r}: negative initial tokens")
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.production = RateSequence.of(production)
+        self.consumption = RateSequence.of(consumption)
+        self.initial_tokens = int(initial_tokens)
+
+    def is_selfloop(self) -> bool:
+        return self.src == self.dst
+
+    def variables(self) -> set[str]:
+        return self.production.variables() | self.consumption.variables()
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.name!r}, {self.src!r} -> {self.dst!r}, "
+            f"prod={self.production}, cons={self.consumption}, "
+            f"init={self.initial_tokens})"
+        )

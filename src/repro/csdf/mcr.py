@@ -1,0 +1,97 @@
+"""Maximum cycle ratio: the throughput bound of self-timed execution.
+
+Classic result (Reiter 1968; Sriram & Bhattacharyya): the steady-state
+iteration period of a self-timed HSDF execution with unlimited
+processors equals the *maximum cycle ratio*
+
+    MCR = max over cycles C of ( sum of execution times on C )
+                               / ( sum of initial tokens on C )
+
+CSDF graphs are analyzed through their exact HSDF expansion
+(:mod:`repro.csdf.sdf`), whose serialization rings contribute the
+per-actor "one firing at a time" cycles.  The MCR is computed by
+parametric binary search: the period candidate ``lambda`` is feasible
+iff the edge weights ``exec(src) - lambda * tokens(e)`` admit no
+positive cycle (checked with Bellman-Ford on the negated weights).
+
+Tests cross-validate: ``self_timed_execution`` with enough cores and
+iterations converges to the MCR period.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import AnalysisError
+from .graph import CSDFGraph
+from .sdf import expand_to_hsdf
+
+
+def _has_positive_cycle(nodes, edges, lam: float) -> bool:
+    """Positive-weight cycle detection for weights exec(src) - lam*tokens.
+
+    Bellman-Ford longest-path relaxation: a further relaxation after
+    |V| - 1 rounds means a positive cycle exists.
+    """
+    dist = {node: 0.0 for node in nodes}
+    for _ in range(len(nodes) - 1):
+        changed = False
+        for src, dst, weight in edges:
+            w = weight[0] - lam * weight[1]
+            if dist[src] + w > dist[dst] + 1e-12:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    for src, dst, weight in edges:
+        w = weight[0] - lam * weight[1]
+        if dist[src] + w > dist[dst] + 1e-12:
+            return True
+    return False
+
+
+def max_cycle_ratio(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """The MCR of the graph's HSDF expansion (0.0 for acyclic graphs
+    whose expansion has no token-bearing cycle, i.e. unbounded
+    single-iteration throughput; with serialization rings there is
+    always at least the per-actor cycle, so the result is the
+    bottleneck-actor bound or worse)."""
+    hsdf = expand_to_hsdf(graph, bindings)
+    nodes = list(hsdf.actors)
+    edges = []
+    for channel in hsdf.channels.values():
+        exec_time = hsdf.actor(channel.src).exec_time(0)
+        edges.append((channel.src, channel.dst, (exec_time, float(channel.initial_tokens))))
+    # Self-firing constraint for actors without rings (q == 1): the next
+    # iteration's firing waits for this one — a self-loop with 1 token.
+    ringed = {c.src for c in hsdf.channels.values() if c.name.startswith("ring_")}
+    for name in nodes:
+        if name not in ringed:
+            edges.append((name, name, (hsdf.actor(name).exec_time(0), 1.0)))
+
+    if not edges:
+        return 0.0
+    lo = 0.0
+    hi = sum(hsdf.actor(n).exec_time(0) for n in nodes) + 1.0
+    if _has_positive_cycle(nodes, edges, hi):
+        raise AnalysisError(
+            "cycle with zero tokens and positive execution time: the "
+            "graph deadlocks, MCR undefined"
+        )
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _has_positive_cycle(nodes, edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def throughput_bound(graph: CSDFGraph, bindings: Mapping | None = None) -> float:
+    """Iterations per unit time in steady state (1 / MCR)."""
+    period = max_cycle_ratio(graph, bindings)
+    return float("inf") if period <= 0 else 1.0 / period

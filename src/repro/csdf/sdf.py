@@ -1,0 +1,143 @@
+"""SDF helpers and the exact CSDF -> HSDF expansion.
+
+Synchronous Dataflow (Lee & Messerschmitt 1987) is the single-phase
+special case of CSDF; the paper builds on CSDF precisely because it
+generalizes SDF while staying decidable.  This module provides:
+
+* :func:`is_sdf` — does a graph use only single-phase rates?
+* :func:`expand_to_hsdf` — the classic exact transformation of a
+  (concrete) CSDF graph into *homogeneous* SDF: one actor per firing
+  of the repetition vector, token flows routed by interval overlap in
+  the steady-state FIFO stream, iteration-crossing flows encoded as
+  initial tokens.  Every counting/ordering analysis (consistency,
+  liveness, self-timed schedules) is preserved, which makes the
+  expansion a powerful independent oracle for the rest of the library.
+
+Construction (Sriram & Bhattacharyya's standard formulation): for a
+channel ``a -> b`` with cumulative production ``X``, cumulative
+consumption ``Y``, ``d`` initial tokens and per-iteration total ``T``:
+producer firing ``k`` (1-based, iteration 0) emits token indices
+``[X(k-1), X(k))``; consumer firing ``m`` of iteration ``delta``
+absorbs indices ``[delta*T + Y(m-1) - d, delta*T + Y(m) - d)``.  Each
+non-empty intersection of size ``c`` becomes an HSDF edge
+``a_k -> b_m`` with rate ``c``/``c`` and ``delta*c`` initial tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import GraphConstructionError
+from .analysis import concrete_repetition_vector
+from .graph import CSDFGraph
+
+
+def is_sdf(graph: CSDFGraph) -> bool:
+    """True when every rate sequence has a single phase."""
+    return all(
+        len(channel.production) == 1 and len(channel.consumption) == 1
+        for channel in graph.channels.values()
+    ) and all(graph.tau(name) == 1 for name in graph.actors)
+
+
+def firing_name(actor: str, firing: int) -> str:
+    """Name of the HSDF actor for the k-th firing (1-based)."""
+    return f"{actor}#{firing}"
+
+
+def expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None = None) -> CSDFGraph:
+    """Expand a concrete CSDF graph into homogeneous SDF.
+
+    Every actor ``a`` becomes ``q_a`` single-firing actors chained by a
+    serialization ring (one initial token entering ``a#1``), so each
+    HSDF actor fires exactly once per graph iteration; channels are
+    split per (producer firing, consumer firing, iteration distance)
+    with exact token counts.
+    """
+    for name in graph.actors:
+        if "#" in name:
+            raise GraphConstructionError(
+                f"actor {name!r} contains the reserved separator '#'"
+            )
+    q = concrete_repetition_vector(graph, bindings)
+    expanded = CSDFGraph(f"{graph.name}/hsdf")
+
+    for name, count in q.items():
+        actor = graph.actor(name)
+        for k in range(1, count + 1):
+            expanded.add_actor(firing_name(name, k), exec_time=actor.exec_time(k - 1))
+        if count > 1:
+            # Serialize the firings of one actor (no auto-concurrency):
+            # a ring a#1 -> a#2 -> ... -> a#q -> a#1 with the token
+            # initially ready for a#1.
+            for k in range(1, count + 1):
+                nxt = k % count + 1
+                expanded.add_channel(
+                    f"ring_{name}_{k}",
+                    firing_name(name, k),
+                    firing_name(name, nxt),
+                    production=1,
+                    consumption=1,
+                    initial_tokens=1 if nxt == 1 else 0,
+                )
+
+    for channel in graph.channels.values():
+        production = channel.production.bind(bindings or {})
+        consumption = channel.consumption.bind(bindings or {})
+        d = channel.initial_tokens
+        q_src, q_dst = q[channel.src], q[channel.dst]
+        produced_cum = [int(production.cumulative(k).const_value())
+                        for k in range(q_src + 1)]
+        consumed_cum = [int(consumption.cumulative(m).const_value())
+                        for m in range(q_dst + 1)]
+        total = produced_cum[-1]
+        if total != consumed_cum[-1]:
+            raise GraphConstructionError(
+                f"channel {channel.name!r} moves {produced_cum[-1]} vs "
+                f"{consumed_cum[-1]} tokens per iteration: not consistent"
+            )
+        if total == 0:
+            continue
+        max_delta = (d + total) // total + 1
+        for k in range(1, q_src + 1):
+            p_lo, p_hi = produced_cum[k - 1], produced_cum[k]
+            if p_lo == p_hi:
+                continue
+            for delta in range(0, max_delta + 1):
+                base = delta * total - d
+                for m in range(1, q_dst + 1):
+                    c_lo, c_hi = base + consumed_cum[m - 1], base + consumed_cum[m]
+                    count = min(p_hi, c_hi) - max(p_lo, c_lo)
+                    if count <= 0:
+                        continue
+                    expanded.add_channel(
+                        f"{channel.name}_{k}_{m}_d{delta}",
+                        firing_name(channel.src, k),
+                        firing_name(channel.dst, m),
+                        production=count,
+                        consumption=count,
+                        initial_tokens=delta * count,
+                    )
+    return expanded
+
+
+def hsdf_is_faithful(graph: CSDFGraph, bindings: Mapping | None = None) -> bool:
+    """Oracle check used by tests: the expansion is homogeneous (all
+    repetition counts 1), and it is live exactly when the original is.
+    """
+    from ..errors import DeadlockError
+    from .schedule import find_sequential_schedule
+
+    expanded = expand_to_hsdf(graph, bindings)
+    q = concrete_repetition_vector(expanded)
+    if set(q.values()) != {1}:
+        return False
+
+    def lives(g: CSDFGraph, b) -> bool:
+        try:
+            find_sequential_schedule(g, b, policy="round_robin")
+        except DeadlockError:
+            return False
+        return True
+
+    return lives(graph, bindings) == lives(expanded, None)

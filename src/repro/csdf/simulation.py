@@ -1,0 +1,136 @@
+"""Token-count simulation of CSDF graphs.
+
+This is the *untimed* operational semantics: channel fill levels and
+firing counters, no data values and no clock.  It underpins schedule
+construction (:mod:`repro.csdf.schedule`), buffer sizing
+(:mod:`repro.csdf.buffers`) and the liveness analysis of TPDF
+(:mod:`repro.tpdf.liveness`).  Timed, data-carrying execution lives in
+:mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import SimulationError
+from .graph import CSDFGraph
+
+
+class TokenState:
+    """Mutable token-count state of a (bound) CSDF graph.
+
+    Parameters are evaluated once at construction, so stepping is pure
+    integer arithmetic.
+
+    Attributes
+    ----------
+    tokens:
+        Current fill level per channel name.
+    fired:
+        Firing counter per actor name (phase = ``fired % tau``).
+    peak:
+        Highest fill level observed per channel (includes the initial
+        tokens), i.e. the buffer capacity this execution requires.
+    """
+
+    __slots__ = ("graph", "tokens", "fired", "peak", "_prod", "_cons", "_in", "_out")
+
+    def __init__(self, graph: CSDFGraph, bindings: Mapping | None = None):
+        self.graph = graph
+        self.tokens: dict[str, int] = {}
+        self.peak: dict[str, int] = {}
+        self._prod: dict[str, tuple[int, ...]] = {}
+        self._cons: dict[str, tuple[int, ...]] = {}
+        self._in: dict[str, list[str]] = {name: [] for name in graph.actors}
+        self._out: dict[str, list[str]] = {name: [] for name in graph.actors}
+        for channel in graph.channels.values():
+            self.tokens[channel.name] = channel.initial_tokens
+            self.peak[channel.name] = channel.initial_tokens
+            self._prod[channel.name] = channel.production.as_ints(bindings)
+            self._cons[channel.name] = channel.consumption.as_ints(bindings)
+            self._out[channel.src].append(channel.name)
+            self._in[channel.dst].append(channel.name)
+        self.fired: dict[str, int] = {name: 0 for name in graph.actors}
+
+    # -- firing rules -----------------------------------------------------
+    def demand(self, actor: str, channel: str) -> int:
+        """Tokens the next firing of ``actor`` consumes from ``channel``."""
+        phases = self._cons[channel]
+        return phases[self.fired[actor] % len(phases)]
+
+    def supply(self, actor: str, channel: str) -> int:
+        """Tokens the next firing of ``actor`` produces on ``channel``."""
+        phases = self._prod[channel]
+        return phases[self.fired[actor] % len(phases)]
+
+    def can_fire(self, actor: str) -> bool:
+        """CSDF firing rule: every input channel holds enough tokens."""
+        return all(
+            self.tokens[channel] >= self.demand(actor, channel)
+            for channel in self._in[actor]
+        )
+
+    def blocked_on(self, actor: str) -> list[str]:
+        """Input channels currently preventing the actor from firing."""
+        return [
+            channel
+            for channel in self._in[actor]
+            if self.tokens[channel] < self.demand(actor, channel)
+        ]
+
+    def fire(self, actor: str) -> None:
+        """Fire one invocation (consume inputs, then produce outputs)."""
+        if actor not in self.fired:
+            raise KeyError(f"unknown actor {actor!r}")
+        for channel in self._in[actor]:
+            need = self.demand(actor, channel)
+            if self.tokens[channel] < need:
+                raise SimulationError(
+                    f"firing {actor!r} underflows channel {channel!r}: "
+                    f"needs {need}, holds {self.tokens[channel]}"
+                )
+            self.tokens[channel] -= need
+        # Self-loops: the consume above already ran for in-channels; a
+        # channel that is both in and out of the actor sees consume
+        # before produce, matching an atomic firing.
+        for channel in self._out[actor]:
+            self.tokens[channel] += self.supply(actor, channel)
+            if self.tokens[channel] > self.peak[channel]:
+                self.peak[channel] = self.tokens[channel]
+        self.fired[actor] += 1
+
+    def run(self, sequence: Iterable[str]) -> None:
+        """Fire a sequence of actors, failing fast on underflow."""
+        for actor in sequence:
+            self.fire(actor)
+
+    # -- views ----------------------------------------------------------
+    def fireable(self, actors: Iterable[str] | None = None) -> list[str]:
+        """Actors (subset or all) whose firing rule currently holds."""
+        pool = actors if actors is not None else list(self.fired)
+        return [actor for actor in pool if self.can_fire(actor)]
+
+    def total_tokens(self) -> int:
+        return sum(self.tokens.values())
+
+    def matches_initial_state(self) -> bool:
+        """True when every channel is back to its initial fill level."""
+        return all(
+            self.tokens[channel.name] == channel.initial_tokens
+            for channel in self.graph.channels.values()
+        )
+
+    def copy(self) -> "TokenState":
+        clone = object.__new__(TokenState)
+        clone.graph = self.graph
+        clone.tokens = dict(self.tokens)
+        clone.peak = dict(self.peak)
+        clone.fired = dict(self.fired)
+        clone._prod = self._prod
+        clone._cons = self._cons
+        clone._in = self._in
+        clone._out = self._out
+        return clone
+
+    def __repr__(self) -> str:
+        return f"TokenState(tokens={self.tokens}, fired={self.fired})"

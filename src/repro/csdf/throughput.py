@@ -1,0 +1,307 @@
+"""Self-timed execution: latency and throughput of (C)SDF graphs.
+
+The paper evaluates buffers; a downstream adopter also needs the two
+classic performance views the MPPA-256 motivation implies:
+
+* **iteration latency** — makespan of one iteration from a cold start;
+* **self-timed throughput** — sustained iterations/time when actors
+  fire as soon as their tokens (and a free core) allow, with iterations
+  overlapping (software pipelining across iteration boundaries).
+
+Both are computed by a timed variant of the token simulation: an event
+queue of firing completions over the bound graph, with an optional core
+budget.  Firings are split-phase (consume at start, produce at
+completion) and auto-concurrency is disabled — one in-flight firing per
+actor, the standard self-timed semantics.  No data values are moved, so
+this scales to large repetition vectors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import DeadlockError
+from .analysis import concrete_repetition_vector
+from .graph import CSDFGraph
+
+
+@dataclass
+class TimedResult:
+    """Outcome of a timed self-timed execution."""
+
+    makespan: float
+    iterations: int
+    firings: int
+    #: completion time of the k-th iteration (1-based), k = 1..iterations
+    iteration_ends: list[float]
+    #: peak fill level per channel during the run
+    peaks: dict[str, int]
+
+    @property
+    def iteration_period(self) -> float:
+        """Steady-state period estimated from the last two iterations
+        (equals the makespan for a single iteration)."""
+        if len(self.iteration_ends) >= 2:
+            return self.iteration_ends[-1] - self.iteration_ends[-2]
+        return self.iteration_ends[-1] if self.iteration_ends else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Iterations per unit time in steady state."""
+        period = self.iteration_period
+        return 1.0 / period if period > 0 else float("inf")
+
+
+class _TimedState:
+    """Token counts + rate tables for split-phase firing.
+
+    With ``capacities``, writes block: an actor may only start when
+    every output channel has room for this firing's production
+    (space is reserved at start, so concurrent firings cannot
+    over-commit a buffer).
+    """
+
+    def __init__(self, graph: CSDFGraph, bindings: Mapping | None,
+                 capacities: Mapping[str, int] | None = None):
+        self.tokens: dict[str, int] = {}
+        self.reserved: dict[str, int] = {}
+        self.peaks: dict[str, int] = {}
+        self.capacities = dict(capacities) if capacities else {}
+        self.cons: dict[str, tuple[int, ...]] = {}
+        self.prod: dict[str, tuple[int, ...]] = {}
+        self.inputs: dict[str, list[str]] = {name: [] for name in graph.actors}
+        self.outputs: dict[str, list[str]] = {name: [] for name in graph.actors}
+        for channel in graph.channels.values():
+            self.tokens[channel.name] = channel.initial_tokens
+            self.reserved[channel.name] = 0
+            self.peaks[channel.name] = channel.initial_tokens
+            self.cons[channel.name] = channel.consumption.as_ints(bindings)
+            self.prod[channel.name] = channel.production.as_ints(bindings)
+            self.inputs[channel.dst].append(channel.name)
+            self.outputs[channel.src].append(channel.name)
+
+    def can_start(self, actor: str, firing: int) -> bool:
+        for channel in self.inputs[actor]:
+            phases = self.cons[channel]
+            if self.tokens[channel] < phases[firing % len(phases)]:
+                return False
+        for channel in self.outputs[actor]:
+            cap = self.capacities.get(channel)
+            if cap is None:
+                continue
+            phases = self.prod[channel]
+            produced = phases[firing % len(phases)]
+            occupancy = self.tokens[channel] + self.reserved[channel]
+            if channel in self.inputs[actor]:
+                # Self-loop: this firing's own consumption frees space
+                # before it produces.
+                cons_phases = self.cons[channel]
+                occupancy -= cons_phases[firing % len(cons_phases)]
+            if occupancy + produced > cap:
+                return False
+        return True
+
+    def consume(self, actor: str, firing: int) -> None:
+        for channel in self.inputs[actor]:
+            phases = self.cons[channel]
+            self.tokens[channel] -= phases[firing % len(phases)]
+        for channel in self.outputs[actor]:
+            if channel in self.capacities:
+                phases = self.prod[channel]
+                self.reserved[channel] += phases[firing % len(phases)]
+
+    def produce(self, actor: str, firing: int) -> None:
+        for channel in self.outputs[actor]:
+            phases = self.prod[channel]
+            produced = phases[firing % len(phases)]
+            self.tokens[channel] += produced
+            if channel in self.capacities:
+                self.reserved[channel] -= produced
+            if self.tokens[channel] > self.peaks[channel]:
+                self.peaks[channel] = self.tokens[channel]
+
+
+def self_timed_execution(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    iterations: int = 1,
+    cores: int | None = None,
+    capacities: Mapping[str, int] | None = None,
+) -> TimedResult:
+    """Fire actors as soon as tokens and cores allow, for ``iterations``
+    full iterations of the repetition vector.
+
+    ``capacities`` bounds channel buffers with blocking writes — the
+    input to the buffer/throughput trade-off study (EXT3): tighter
+    buffers serialize producers and consumers, stretching the
+    steady-state period.
+
+    Raises :class:`~repro.errors.DeadlockError` if the execution stalls
+    before completing (e.g. a tokenless cycle or undersized buffers).
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    q = concrete_repetition_vector(graph, bindings)
+    targets = {name: count * iterations for name, count in q.items()}
+    state = _TimedState(graph, bindings, capacities)
+    exec_times = {name: graph.actor(name).exec_times for name in targets}
+    started = {name: 0 for name in targets}
+    completed = {name: 0 for name in targets}
+    busy: set[str] = set()
+
+    heap: list[tuple[float, int, str, int]] = []
+    seq = 0
+    now = 0.0
+    running = 0
+    iteration_ends: list[float] = []
+    firings = 0
+
+    def try_start() -> None:
+        nonlocal seq, running
+        progress = True
+        while progress:
+            progress = False
+            for name in targets:
+                if name in busy or started[name] >= targets[name]:
+                    continue
+                if cores is not None and running >= cores:
+                    return
+                n = started[name]
+                if not state.can_start(name, n):
+                    continue
+                state.consume(name, n)
+                times = exec_times[name]
+                duration = times[n % len(times)]
+                heapq.heappush(heap, (now + duration, seq, name, n))
+                seq += 1
+                started[name] += 1
+                busy.add(name)
+                running += 1
+                progress = True
+
+    try_start()
+    while heap:
+        now, _, name, n = heapq.heappop(heap)
+        state.produce(name, n)
+        completed[name] += 1
+        busy.discard(name)
+        running -= 1
+        firings += 1
+        iteration = min(completed[a] // q[a] for a in q)
+        while len(iteration_ends) < iteration:
+            iteration_ends.append(now)
+        try_start()
+
+    if any(completed[name] < targets[name] for name in targets):
+        blocked = [name for name in targets if completed[name] < targets[name]]
+        raise DeadlockError(
+            f"self-timed execution stalled after {firings} firings",
+            blocked=blocked,
+        )
+    return TimedResult(
+        makespan=now,
+        iterations=iterations,
+        firings=firings,
+        iteration_ends=iteration_ends,
+        peaks=dict(state.peaks),
+    )
+
+
+def iteration_latency(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    cores: int | None = None,
+) -> float:
+    """Cold-start makespan of a single iteration."""
+    return self_timed_execution(graph, bindings, iterations=1, cores=cores).makespan
+
+
+def throughput_vs_cores(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    core_budgets: tuple[int, ...] = (1, 2, 4, 8, 16),
+    iterations: int = 4,
+) -> dict[int, TimedResult]:
+    """Self-timed throughput across core budgets (EXT2 bench input)."""
+    return {
+        cores: self_timed_execution(graph, bindings, iterations=iterations, cores=cores)
+        for cores in core_budgets
+    }
+
+
+def min_buffers_for_full_throughput(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    iterations: int = 6,
+    tolerance: float = 1e-6,
+) -> dict[str, int]:
+    """Smallest per-channel capacities preserving unconstrained
+    throughput (a classic buffer-sizing DSE point).
+
+    Strategy: measure the unconstrained steady-state period, start from
+    the unconstrained execution's peaks (which by construction achieve
+    it), then shrink each channel in turn by binary search to the
+    smallest capacity that keeps the period within ``tolerance``.
+    Greedy per-channel shrinking is not globally optimal (the joint
+    problem is NP-hard) but matches the standard practice the paper's
+    tool ecosystem uses, and the result is validated by re-execution.
+    """
+    unconstrained = self_timed_execution(graph, bindings, iterations=iterations)
+    target = unconstrained.iteration_period
+    capacities = dict(unconstrained.peaks)
+
+    def period_with(caps: Mapping[str, int]) -> float:
+        from ..errors import DeadlockError
+
+        try:
+            result = self_timed_execution(
+                graph, bindings, iterations=iterations, capacities=caps
+            )
+        except DeadlockError:
+            return float("inf")
+        return result.iteration_period
+
+    for name in sorted(capacities):
+        lo, hi = 0, capacities[name]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            probe = dict(capacities)
+            probe[name] = mid
+            if period_with(probe) <= target + tolerance:
+                hi = mid
+            else:
+                lo = mid + 1
+        capacities[name] = hi
+    return capacities
+
+
+def buffer_throughput_tradeoff(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    scales: tuple[float, ...] = (1.0, 1.5, 2.0, 4.0),
+    iterations: int = 4,
+) -> list[tuple[int, TimedResult]]:
+    """The classic buffer-size / throughput trade-off (EXT3).
+
+    Starting from the minimal single-processor capacities (buffer peaks
+    of the buffer-minimizing schedule), scale every channel's capacity
+    by each factor and measure the steady-state period under blocking
+    writes.  Returns ``(total_buffer, TimedResult)`` pairs sorted by
+    buffer budget: larger budgets never slow the pipeline down, and
+    throughput saturates once the bottleneck actor dominates.
+    """
+    from .buffers import minimal_buffer_schedule
+
+    _, minimal = minimal_buffer_schedule(graph, bindings)
+    out: list[tuple[int, TimedResult]] = []
+    for scale in scales:
+        capacities = {
+            name: max(1, int(peak * scale)) for name, peak in minimal.items()
+        }
+        result = self_timed_execution(
+            graph, bindings, iterations=iterations, capacities=capacities
+        )
+        out.append((sum(capacities.values()), result))
+    return out

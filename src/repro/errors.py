@@ -1,0 +1,54 @@
+"""Shared exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphConstructionError(ReproError):
+    """The graph under construction violates a structural rule
+    (duplicate names, dangling endpoints, control channel into a data
+    port, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis could not be completed."""
+
+
+class SymbolicRateError(AnalysisError):
+    """A cumulative rate could not be expressed symbolically.
+
+    Raised e.g. when ``X(n)`` is requested for a symbolic ``n`` on a
+    non-uniform cyclic sequence whose phase within the cycle cannot be
+    determined for all parameter values."""
+
+
+class DeadlockError(AnalysisError):
+    """No valid schedule exists: some actors can never fire the number
+    of times the repetition vector requires."""
+
+    def __init__(self, message: str, blocked: list[str] | None = None,
+                 partial_schedule: list[str] | None = None):
+        super().__init__(message)
+        #: Actors that still had firings left when progress stopped.
+        self.blocked = blocked or []
+        #: Firing sequence achieved before the deadlock.
+        self.partial_schedule = partial_schedule or []
+
+
+class RateSafetyError(AnalysisError):
+    """A TPDF graph violates the rate-safety criterion (Def. 5)."""
+
+
+class BoundednessError(AnalysisError):
+    """A TPDF graph cannot be scheduled in bounded memory (Thm. 2)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a valid mapping."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event execution reached an invalid state."""

@@ -1,0 +1,269 @@
+"""Graph (de)serialization: dictionaries / JSON.
+
+Lets adopters persist and exchange TPDF/CSDF graphs.  The format is a
+plain-JSON document; symbolic rates serialize as strings rendered by
+:class:`~repro.symbolic.poly.Poly` and are parsed back with a small
+arithmetic-expression parser (sums of products of parameters and
+integer constants — exactly the fragment rates use).
+
+Functions and decision callables are *not* serialized (they are code);
+deserialized graphs carry the structure and rates, ready for analysis
+or for re-attaching behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+from typing import Mapping
+
+from .csdf.graph import CSDFGraph
+from .csdf.rates import RateSequence
+from .errors import GraphConstructionError
+from .symbolic import Param, Poly
+from .tpdf.builtins import ClockActor
+from .tpdf.graph import TPDFGraph
+from .tpdf.kernel import ControlActor, Kernel
+from .tpdf.ports import PortKind
+
+_TOKEN = re.compile(r"\s*(?:(?P<num>\d+/\d+|\d+)|(?P<name>[A-Za-z_]\w*)"
+                    r"|(?P<op>\*\*|[+\-*()]))")
+
+
+def parse_poly(text: str) -> Poly:
+    """Parse the polynomial fragment rendered by ``str(Poly)``.
+
+    Grammar: ``expr := term (('+'|'-') term)*``;
+    ``term := factor ('*' factor)*``;
+    ``factor := number | name ['**' number] | '(' expr ')' | '-' factor``.
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match or match.end() == pos:
+            raise ValueError(f"cannot tokenize rate expression {text!r} at {pos}")
+        tokens.append(match.group().strip())
+        pos = match.end()
+    tokens.append("$")
+    index = [0]
+
+    def peek() -> str:
+        return tokens[index[0]]
+
+    def advance() -> str:
+        token = tokens[index[0]]
+        index[0] += 1
+        return token
+
+    def parse_expr() -> Poly:
+        value = parse_term()
+        while peek() in ("+", "-"):
+            if advance() == "+":
+                value = value + parse_term()
+            else:
+                value = value - parse_term()
+        return value
+
+    def parse_term() -> Poly:
+        value = parse_factor()
+        while peek() == "*":
+            advance()
+            value = value * parse_factor()
+        return value
+
+    def parse_factor() -> Poly:
+        token = advance()
+        if token == "-":
+            return -parse_factor()
+        if token == "(":
+            value = parse_expr()
+            if advance() != ")":
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+            return value
+        if re.fullmatch(r"\d+/\d+|\d+", token):
+            return Poly.const(Fraction(token))
+        if re.fullmatch(r"[A-Za-z_]\w*", token):
+            base = Poly.var(token)
+            if peek() == "**":
+                advance()
+                exponent = advance()
+                if not exponent.isdigit():
+                    raise ValueError(f"bad exponent in {text!r}")
+                return base ** int(exponent)
+            return base
+        raise ValueError(f"unexpected token {token!r} in {text!r}")
+
+    value = parse_expr()
+    if peek() != "$":
+        raise ValueError(f"trailing input in rate expression {text!r}")
+    return value
+
+
+def _rates_to_json(rates: RateSequence) -> list[str]:
+    return [str(entry) for entry in rates.entries]
+
+
+def _rates_from_json(data) -> RateSequence:
+    return RateSequence([parse_poly(str(entry)) for entry in data])
+
+
+# -- TPDF ----------------------------------------------------------------
+
+def tpdf_to_dict(graph: TPDFGraph) -> dict:
+    """Serialize a TPDF graph to a JSON-compatible dictionary."""
+    nodes = []
+    for name in graph.node_names():
+        node = graph.node(name)
+        entry: dict = {
+            "name": name,
+            "kind": "control" if graph.is_control_actor(name) else "kernel",
+            "exec_times": list(node.exec_times),
+            "meta": {k: v for k, v in node.meta.items()
+                     if isinstance(v, (str, int, float, bool))},
+            "ports": [
+                {
+                    "name": port.name,
+                    "kind": port.kind.value,
+                    "rates": _rates_to_json(port.rates),
+                    "priority": port.priority,
+                }
+                for port in node.ports.values()
+            ],
+        }
+        if isinstance(node, ClockActor):
+            entry["clock_period"] = node.period
+        nodes.append(entry)
+    return {
+        "model": "tpdf",
+        "name": graph.name,
+        "parameters": [
+            {"name": p.name, "lo": p.lo, "hi": p.hi}
+            for p in graph.parameters.values()
+        ],
+        "nodes": nodes,
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src, "src_port": c.src_port,
+                "dst": c.dst, "dst_port": c.dst_port,
+                "initial_tokens": c.initial_tokens,
+            }
+            for c in graph.channels.values()
+        ],
+    }
+
+
+def tpdf_from_dict(data: Mapping) -> TPDFGraph:
+    """Rebuild a TPDF graph from :func:`tpdf_to_dict` output."""
+    if data.get("model") != "tpdf":
+        raise GraphConstructionError(f"not a TPDF document: {data.get('model')!r}")
+    params = [
+        Param(p["name"], lo=p.get("lo", 1), hi=p.get("hi"))
+        for p in data.get("parameters", [])
+    ]
+    graph = TPDFGraph(data.get("name", "tpdf"), parameters=params)
+    for entry in data["nodes"]:
+        exec_times = tuple(entry.get("exec_times", (1.0,)))
+        if entry["kind"] == "control":
+            if "clock_period" in entry:
+                node: ControlActor = ClockActor(entry["name"], entry["clock_period"])
+                graph.register(node)
+            else:
+                node = graph.add_control_actor(entry["name"], exec_time=exec_times)
+        else:
+            node = graph.add_kernel(entry["name"], exec_time=exec_times)
+        node.meta.update(entry.get("meta", {}))
+        for port in entry["ports"]:
+            kind = PortKind(port["kind"])
+            rates = _rates_from_json(port["rates"])
+            if isinstance(node, Kernel):
+                if kind is PortKind.DATA_IN:
+                    node.add_input(port["name"], rates, priority=port.get("priority", 0))
+                elif kind is PortKind.DATA_OUT:
+                    node.add_output(port["name"], rates, priority=port.get("priority", 0))
+                elif kind is PortKind.CONTROL_IN:
+                    node.add_control_port(port["name"], rates)
+                else:
+                    raise GraphConstructionError(
+                        f"kernel {entry['name']!r} cannot own a control output"
+                    )
+            else:
+                if kind is PortKind.DATA_IN:
+                    node.add_input(port["name"], rates, priority=port.get("priority", 0))
+                elif kind is PortKind.CONTROL_IN:
+                    node.add_control_input(port["name"], rates)
+                elif kind is PortKind.CONTROL_OUT:
+                    node.add_control_output(port["name"], rates)
+                else:
+                    raise GraphConstructionError(
+                        f"control actor {entry['name']!r} cannot own a data output"
+                    )
+    for channel in data["channels"]:
+        graph.connect(
+            (channel["src"], channel["src_port"]),
+            (channel["dst"], channel["dst_port"]),
+            name=channel["name"],
+            initial_tokens=channel.get("initial_tokens", 0),
+        )
+    return graph
+
+
+def tpdf_to_json(graph: TPDFGraph, indent: int = 2) -> str:
+    return json.dumps(tpdf_to_dict(graph), indent=indent)
+
+
+def tpdf_from_json(text: str) -> TPDFGraph:
+    return tpdf_from_dict(json.loads(text))
+
+
+# -- CSDF ----------------------------------------------------------------
+
+def csdf_to_dict(graph: CSDFGraph) -> dict:
+    """Serialize a CSDF graph to a JSON-compatible dictionary."""
+    return {
+        "model": "csdf",
+        "name": graph.name,
+        "actors": [
+            {"name": actor.name, "exec_times": list(actor.exec_times)}
+            for actor in graph.actors.values()
+        ],
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src,
+                "dst": c.dst,
+                "production": _rates_to_json(c.production),
+                "consumption": _rates_to_json(c.consumption),
+                "initial_tokens": c.initial_tokens,
+            }
+            for c in graph.channels.values()
+        ],
+    }
+
+
+def csdf_from_dict(data: Mapping) -> CSDFGraph:
+    if data.get("model") != "csdf":
+        raise GraphConstructionError(f"not a CSDF document: {data.get('model')!r}")
+    graph = CSDFGraph(data.get("name", "csdf"))
+    for actor in data["actors"]:
+        graph.add_actor(actor["name"], exec_time=tuple(actor.get("exec_times", (1.0,))))
+    for channel in data["channels"]:
+        graph.add_channel(
+            channel["name"],
+            channel["src"],
+            channel["dst"],
+            production=_rates_from_json(channel["production"]),
+            consumption=_rates_from_json(channel["consumption"]),
+            initial_tokens=channel.get("initial_tokens", 0),
+        )
+    return graph
+
+
+def csdf_to_json(graph: CSDFGraph, indent: int = 2) -> str:
+    return json.dumps(csdf_to_dict(graph), indent=indent)
+
+
+def csdf_from_json(text: str) -> CSDFGraph:
+    return csdf_from_dict(json.loads(text))

@@ -1,0 +1,5 @@
+"""Many-core platform models (MPPA-256-like clustered machines)."""
+
+from .machine import Platform, ProcessingElement, mppa256, single_cluster
+
+__all__ = ["Platform", "ProcessingElement", "mppa256", "single_cluster"]

@@ -1,0 +1,98 @@
+"""Abstract many-core platform model.
+
+The paper targets the Kalray MPPA-256 (16 compute clusters of 16
+processing elements, NoC-connected) programmed through the Sigma-C
+canonical-period scheduler.  We model the scheduling-relevant
+structure: a set of processing elements grouped into clusters, with a
+cheap intra-cluster and a more expensive inter-cluster message
+latency.  Absolute numbers are model time units, not silicon
+nanoseconds — the reproduction claims *shape*, not cycle accuracy
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One core of the platform."""
+
+    index: int
+    cluster: int
+
+    def __str__(self) -> str:
+        return f"PE{self.index}(c{self.cluster})"
+
+
+class Platform:
+    """A clustered many-core machine.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    clusters, cores_per_cluster:
+        Grid shape; total PEs = product.
+    intra_latency, inter_latency:
+        Message-passing latency between two PEs of the same / of
+        different clusters, in model time units.  Same-PE communication
+        is free (shared local memory).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clusters: int,
+        cores_per_cluster: int,
+        intra_latency: float = 1.0,
+        inter_latency: float = 8.0,
+    ):
+        if clusters < 1 or cores_per_cluster < 1:
+            raise ValueError("platform needs at least one cluster and one core")
+        if intra_latency < 0 or inter_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        self.name = name
+        self.clusters = clusters
+        self.cores_per_cluster = cores_per_cluster
+        self.intra_latency = float(intra_latency)
+        self.inter_latency = float(inter_latency)
+        self.pes: tuple[ProcessingElement, ...] = tuple(
+            ProcessingElement(index=c * cores_per_cluster + k, cluster=c)
+            for c in range(clusters)
+            for k in range(cores_per_cluster)
+        )
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.pes)
+
+    def pe(self, index: int) -> ProcessingElement:
+        return self.pes[index]
+
+    def message_latency(self, src: ProcessingElement, dst: ProcessingElement) -> float:
+        """Latency for a token produced on ``src`` to be visible on ``dst``."""
+        if src.index == dst.index:
+            return 0.0
+        if src.cluster == dst.cluster:
+            return self.intra_latency
+        return self.inter_latency
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform({self.name!r}, {self.clusters}x{self.cores_per_cluster} PEs, "
+            f"intra={self.intra_latency}, inter={self.inter_latency})"
+        )
+
+
+def mppa256(intra_latency: float = 1.0, inter_latency: float = 8.0) -> Platform:
+    """The MPPA-256 shape used throughout the paper's evaluation."""
+    return Platform("MPPA-256", clusters=16, cores_per_cluster=16,
+                    intra_latency=intra_latency, inter_latency=inter_latency)
+
+
+def single_cluster(cores: int = 16, intra_latency: float = 1.0) -> Platform:
+    """A single compute cluster (the unit the canonical period maps to)."""
+    return Platform(f"cluster{cores}", clusters=1, cores_per_cluster=cores,
+                    intra_latency=intra_latency, inter_latency=intra_latency)

@@ -1,0 +1,23 @@
+"""Scheduling: canonical periods, many-core list scheduling, ADF
+pruning and late schedules (Sec. III-C/III-D of the paper)."""
+
+from .canonical import CanonicalPeriod, Occurrence, build_canonical_period
+from .listsched import MappingResult, ScheduledFiring, list_schedule, schedule_graph
+from .adf import PruneResult, prune_canonical_period, pruned_period, rejected_channels
+from .late import late_schedule, reversed_graph
+
+__all__ = [
+    "CanonicalPeriod",
+    "Occurrence",
+    "build_canonical_period",
+    "MappingResult",
+    "ScheduledFiring",
+    "list_schedule",
+    "schedule_graph",
+    "PruneResult",
+    "rejected_channels",
+    "prune_canonical_period",
+    "pruned_period",
+    "late_schedule",
+    "reversed_graph",
+]

@@ -1,0 +1,123 @@
+"""Actor Dependence Function (ADF) pruning (Sec. III-D, second rule).
+
+When a kernel fires in a mode that rejects some of its input ports,
+the tokens on those ports are never used; the firings that exist
+*solely* to produce them are unnecessary.  The scheduler "uses the
+Actor Dependence Function which defines the dependency between actors'
+executions to stop unnecessary firings".
+
+We implement this as a backward slice over the canonical period: keep
+every occurrence that some *needed* occurrence (transitively) depends
+on, where the mode decisions cut the rejected data edges.  Occurrences
+outside the slice are cancelled.  The ablation bench (ABL2) measures
+executed-firing counts and makespan with and without pruning — this is
+the mechanism behind the OFDM result (the rejected demapper branch is
+simply never executed under TPDF, whereas CSDF must run it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from ..tpdf.graph import TPDFGraph
+from ..tpdf.modes import ControlToken
+from .canonical import CanonicalPeriod, Occurrence
+
+
+@dataclass
+class PruneResult:
+    period: CanonicalPeriod
+    kept: set[Occurrence]
+    cancelled: set[Occurrence]
+
+    @property
+    def executed_firings(self) -> int:
+        return len(self.kept)
+
+    @property
+    def cancelled_firings(self) -> int:
+        return len(self.cancelled)
+
+
+def rejected_channels(graph: TPDFGraph, decisions: Mapping[str, ControlToken]) -> set[str]:
+    """Channels carrying only rejected tokens under the given decisions.
+
+    ``decisions`` maps controlled kernel names to the control token
+    governing the iteration (rate safety guarantees one decision per
+    local iteration, so a single token per kernel is the right
+    granularity).
+    """
+    rejected: set[str] = set()
+    for kernel_name, token in decisions.items():
+        kernel = graph.node(kernel_name)
+        # A selection only constrains the port direction it names (a
+        # select-duplicate token names outputs, a transaction token
+        # names inputs) — same rule as the runtime engine.
+        input_names = {p.name for p in kernel.data_inputs}
+        output_names = {p.name for p in kernel.data_outputs}
+        selection = set(token.selection)
+        if selection & input_names:
+            for channel in graph.in_channels(kernel_name):
+                if not channel.is_control and not token.selects(channel.dst_port):
+                    rejected.add(channel.name)
+        if selection & output_names:
+            for channel in graph.out_channels(kernel_name):
+                if not token.selects(channel.src_port):
+                    rejected.add(channel.name)
+    return rejected
+
+
+def prune_canonical_period(
+    period: CanonicalPeriod,
+    graph: TPDFGraph,
+    decisions: Mapping[str, ControlToken],
+    sinks: Iterable[str] | None = None,
+) -> PruneResult:
+    """Backward-slice the canonical period under mode decisions.
+
+    ``sinks`` are the actors whose results the application observes
+    (default: actors with no outgoing data channels).  An occurrence is
+    *kept* iff a sink occurrence transitively depends on it through
+    edges that are not rejected; control occurrences are always kept
+    (they drive the reconfiguration itself).
+    """
+    dag = period.dag
+    cut = rejected_channels(graph, decisions)
+    sliced = nx.DiGraph()
+    sliced.add_nodes_from(dag.nodes(data=True))
+    for src, dst, data in dag.edges(data=True):
+        if data.get("channel") in cut:
+            continue
+        sliced.add_edge(src, dst, **data)
+
+    if sinks is None:
+        sinks = [
+            name
+            for name in graph.node_names()
+            if not any(not c.is_control for c in graph.out_channels(name))
+        ]
+    needed: set[Occurrence] = set()
+    for sink in sinks:
+        for occurrence in period.occurrences_of(sink):
+            needed.add(occurrence)
+            needed |= nx.ancestors(sliced, occurrence)
+    for occurrence in period.occurrences():
+        if period.is_control(occurrence):
+            needed.add(occurrence)
+            needed |= nx.ancestors(sliced, occurrence)
+    cancelled = set(dag.nodes) - needed
+    return PruneResult(period=period, kept=needed, cancelled=cancelled)
+
+
+def pruned_period(result: PruneResult) -> CanonicalPeriod:
+    """A canonical period containing only the kept occurrences (for
+    scheduling what actually executes)."""
+    sub = result.period.dag.subgraph(result.kept).copy()
+    return CanonicalPeriod(
+        dag=sub,
+        repetition=dict(result.period.repetition),
+        control_actors=result.period.control_actors,
+    )

@@ -1,0 +1,189 @@
+"""Canonical period construction (Sec. III-D).
+
+The Sigma-C toolchain schedules one *canonical period*: the partial
+order of all actor occurrences within a single graph iteration.  Nodes
+are ``(actor, k)`` for ``k in 1..q_actor``; edges are
+
+* *serial* edges ``(a, k) -> (a, k+1)`` — firings of one actor are
+  sequential (no auto-concurrency), and
+* *data/control* edges ``(a, i) -> (b, j)`` whenever the j-th firing of
+  consumer ``b`` needs tokens that only exist once the i-th firing of
+  producer ``a`` completed: ``i`` is the smallest count with
+  ``phi*(e) + X_a(i) >= Y_b(j)`` (no edge when initial tokens already
+  cover the demand).
+
+Fig. 5 of the paper is exactly this DAG for the Fig. 2 graph at
+``p = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import networkx as nx
+
+from ..csdf.analysis import concrete_repetition_vector
+from ..csdf.graph import CSDFGraph
+from ..errors import SchedulingError
+from ..tpdf.graph import TPDFGraph
+
+#: A canonical-period node: (actor name, occurrence index, 1-based).
+Occurrence = tuple[str, int]
+
+
+@dataclass
+class CanonicalPeriod:
+    """The occurrence DAG of one iteration."""
+
+    dag: nx.DiGraph
+    repetition: dict[str, int]
+    #: Names of control actors (scheduled with highest priority).
+    control_actors: frozenset[str]
+
+    # -- views -----------------------------------------------------------
+    def occurrences(self) -> list[Occurrence]:
+        return list(self.dag.nodes)
+
+    def occurrences_of(self, actor: str) -> list[Occurrence]:
+        return [(a, k) for (a, k) in self.dag.nodes if a == actor]
+
+    def exec_time(self, occurrence: Occurrence) -> float:
+        return self.dag.nodes[occurrence]["exec_time"]
+
+    def is_control(self, occurrence: Occurrence) -> bool:
+        return occurrence[0] in self.control_actors
+
+    def predecessors(self, occurrence: Occurrence) -> list[Occurrence]:
+        return list(self.dag.predecessors(occurrence))
+
+    def critical_path_length(self) -> float:
+        """Longest execution-time path — a lower bound on the makespan
+        with zero communication cost."""
+        longest: dict[Occurrence, float] = {}
+        for node in nx.topological_sort(self.dag):
+            pred = max(
+                (longest[p] for p in self.dag.predecessors(node)), default=0.0
+            )
+            longest[node] = pred + self.dag.nodes[node]["exec_time"]
+        return max(longest.values(), default=0.0)
+
+    def downward_rank(self) -> dict[Occurrence, float]:
+        """Longest path from each occurrence to any sink (HLFET ranks)."""
+        rank: dict[Occurrence, float] = {}
+        for node in reversed(list(nx.topological_sort(self.dag))):
+            succ = max((rank[s] for s in self.dag.successors(node)), default=0.0)
+            rank[node] = succ + self.dag.nodes[node]["exec_time"]
+        return rank
+
+    def describe(self) -> str:
+        """Fig. 5-style rendering: occurrences and their dependencies."""
+        lines = [f"canonical period: {self.dag.number_of_nodes()} occurrences"]
+        for node in nx.topological_sort(self.dag):
+            deps = ", ".join(f"{a}{k}" for a, k in self.dag.predecessors(node))
+            actor, index = node
+            marker = "*" if self.is_control(node) else ""
+            lines.append(f"  {actor}{index}{marker} <- [{deps}]")
+        return "\n".join(lines)
+
+
+def _dependency_source(
+    produced_cumulative,  # callable i -> int
+    demand: int,
+    q_src: int,
+) -> int | None:
+    """Smallest i in 1..q_src with cumulative(i) >= demand (None if the
+    demand is satisfied with i = 0, i.e. by initial tokens alone)."""
+    if demand <= 0 or produced_cumulative(0) >= demand:
+        return None
+    lo, hi = 1, q_src
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if produced_cumulative(mid) >= demand:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def build_canonical_period(
+    graph: TPDFGraph | CSDFGraph,
+    bindings: Mapping | None = None,
+    unfolding: int = 1,
+) -> CanonicalPeriod:
+    """Build the occurrence DAG of one (or several) iterations.
+
+    Accepts either a TPDF graph (control actors marked as such) or a
+    plain CSDF graph.  Parametric graphs must come with ``bindings``.
+
+    ``unfolding > 1`` builds the DAG of that many *consecutive*
+    iterations — the classic unfolding transformation: scheduling J
+    iterations jointly exposes cross-iteration parallelism (software
+    pipelining) that a one-iteration schedule cannot, improving
+    throughput on parallel machines.  The dependency formula is
+    unchanged: cumulative rates extend across iteration boundaries and
+    initial tokens are counted once.
+    """
+    if unfolding < 1:
+        raise SchedulingError("unfolding factor must be >= 1")
+    if isinstance(graph, TPDFGraph):
+        csdf = graph.as_csdf()
+        control = frozenset(graph.controls)
+    else:
+        csdf = graph
+        control = frozenset()
+    q = {
+        name: count * unfolding
+        for name, count in concrete_repetition_vector(csdf, bindings).items()
+    }
+    dag = nx.DiGraph()
+    for actor_name, count in q.items():
+        actor = csdf.actor(actor_name)
+        for k in range(1, count + 1):
+            dag.add_node(
+                (actor_name, k),
+                exec_time=actor.exec_time(k - 1),
+                control=actor_name in control,
+            )
+        for k in range(1, count):
+            dag.add_edge((actor_name, k), (actor_name, k + 1), kind="serial")
+
+    for channel in csdf.channels.values():
+        if channel.is_selfloop():
+            continue  # serial edges already order the actor's firings
+        production = channel.production.bind(bindings or {})
+        consumption = channel.consumption.bind(bindings or {})
+        q_src, q_dst = q[channel.src], q[channel.dst]
+
+        def produced(i: int) -> int:
+            return channel.initial_tokens + int(production.cumulative(i).const_value())
+
+        for j in range(1, q_dst + 1):
+            demand = int(consumption.cumulative(j).const_value())
+            source = _dependency_source(produced, demand, q_src)
+            if source is None:
+                continue
+            if produced(q_src) < demand:
+                raise SchedulingError(
+                    f"channel {channel.name!r}: consumer {channel.dst!r} firing "
+                    f"{j} needs {demand} tokens but one iteration produces only "
+                    f"{produced(q_src)} — graph is not consistent"
+                )
+            dag.add_edge(
+                (channel.src, source),
+                (channel.dst, j),
+                kind="control" if channel.name in _control_channel_names(graph) else "data",
+                channel=channel.name,
+            )
+    if not nx.is_directed_acyclic_graph(dag):
+        raise SchedulingError(
+            "canonical period is cyclic: the graph deadlocks (initial tokens "
+            "insufficient to break a dependency cycle)"
+        )
+    return CanonicalPeriod(dag=dag, repetition=q, control_actors=control)
+
+
+def _control_channel_names(graph: TPDFGraph | CSDFGraph) -> frozenset[str]:
+    if isinstance(graph, TPDFGraph):
+        return frozenset(c.name for c in graph.control_channels())
+    return frozenset()

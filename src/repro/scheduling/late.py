@@ -1,0 +1,68 @@
+"""Late schedules (Sec. III-C, final refinement; reference [8]).
+
+A *late* schedule fires every actor as late as the data dependencies
+allow within one iteration.  The paper uses late schedules to order
+actors inside tight cycles — Fig. 4(b) is live only under interleaved
+orders like ``(B C C B)`` that grouped scheduling misses.
+
+Construction uses the classic time-reversal duality: reverse every
+channel (swap and reverse the production/consumption sequences, keep
+the initial tokens — iterations are state-neutral so the end-of-
+iteration marking equals the initial one), compute an ASAP (eager)
+schedule of the reversed graph, and reverse the firing order.  The
+result is admissible on the original graph and fires each actor as
+late as possible relative to the eager order.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..csdf.graph import CSDFGraph
+from ..csdf.schedule import SequentialSchedule, find_sequential_schedule, validate_schedule
+
+
+def reversed_graph(graph: CSDFGraph) -> CSDFGraph:
+    """The time-reversed CSDF graph."""
+    rev = CSDFGraph(f"{graph.name}/reversed")
+    for actor in graph.actors.values():
+        rev.add_actor(actor.name, exec_time=tuple(reversed(actor.exec_times)))
+    for channel in graph.channels.values():
+        rev.add_channel(
+            channel.name,
+            channel.dst,
+            channel.src,
+            production=list(reversed(channel.consumption.entries)),
+            consumption=list(reversed(channel.production.entries)),
+            initial_tokens=channel.initial_tokens,
+        )
+    return rev
+
+
+def late_schedule(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    repetitions: Mapping[str, int] | None = None,
+) -> SequentialSchedule:
+    """An as-late-as-possible sequential schedule for one iteration.
+
+    Raises :class:`~repro.errors.DeadlockError` when no schedule exists
+    (the reversed graph deadlocks iff the original does, for
+    state-neutral iterations).  The returned schedule is validated on
+    the *original* graph before being returned.
+    """
+    rev = reversed_graph(graph)
+    eager = find_sequential_schedule(
+        rev,
+        bindings=bindings,
+        policy="round_robin",
+        repetitions=dict(repetitions) if repetitions is not None else None,
+    )
+    late = SequentialSchedule(tuple(reversed(eager.firings)))
+    validate_schedule(
+        graph,
+        late,
+        bindings,
+        require_iteration=repetitions is None,
+    )
+    return late

@@ -1,0 +1,196 @@
+"""List scheduling of a canonical period onto a many-core platform.
+
+Implements the paper's scheduling heuristic (Sec. III-D):
+
+* occurrences become ready when all their canonical-period
+  predecessors have completed (plus message latency when the producer
+  ran on a different PE);
+* among ready occurrences, **control actors have the highest
+  priority** — "if there are several kernels and a control actor
+  available concurrently, the control actor is ensured to have a
+  processing unit available before the others";
+* remaining ties are broken by HLFET rank (longest path to a sink),
+  the classic list-scheduling priority;
+* kernels that received a control token are scheduled immediately
+  after it (they inherit a readiness boost through the control edge);
+* optionally, control actors are *pinned* to a dedicated PE, like
+  ``C1`` in Fig. 5 ("mapped onto a separate processing element").
+
+The control-priority rule is a design choice the paper calls out; the
+``control_priority`` flag exists so the ablation bench (ABL1) can
+measure it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import SchedulingError
+from ..platform import Platform, ProcessingElement
+from .canonical import CanonicalPeriod, Occurrence
+
+
+@dataclass
+class ScheduledFiring:
+    occurrence: Occurrence
+    pe: ProcessingElement
+    start: float
+    finish: float
+
+    def __str__(self) -> str:
+        actor, index = self.occurrence
+        return f"{actor}{index}@{self.pe}: [{self.start}, {self.finish})"
+
+
+@dataclass
+class MappingResult:
+    """A complete static mapping of one canonical period."""
+
+    firings: dict[Occurrence, ScheduledFiring]
+    makespan: float
+    platform: Platform
+    #: occurrences in dispatch order (deterministic)
+    order: list[Occurrence] = field(default_factory=list)
+
+    def pe_of(self, occurrence: Occurrence) -> ProcessingElement:
+        return self.firings[occurrence].pe
+
+    def utilization(self) -> float:
+        """Busy time over (makespan * cores)."""
+        busy = sum(f.finish - f.start for f in self.firings.values())
+        denom = self.makespan * self.platform.n_cores
+        return busy / denom if denom else 0.0
+
+    def gantt(self, width: int = 64) -> str:
+        """ASCII Gantt chart (one line per PE actually used)."""
+        if not self.firings:
+            return "(empty schedule)"
+        scale = width / self.makespan if self.makespan else 1.0
+        by_pe: dict[int, list[ScheduledFiring]] = {}
+        for firing in self.firings.values():
+            by_pe.setdefault(firing.pe.index, []).append(firing)
+        lines = []
+        for pe_index in sorted(by_pe):
+            row = [" "] * (width + 1)
+            for firing in sorted(by_pe[pe_index], key=lambda f: f.start):
+                lo = int(firing.start * scale)
+                hi = max(lo + 1, int(firing.finish * scale))
+                actor, k = firing.occurrence
+                label = f"{actor}{k}"
+                for pos in range(lo, min(hi, width)):
+                    offset = pos - lo
+                    row[pos] = label[offset] if offset < len(label) else "="
+            lines.append(f"PE{pe_index:>3} |{''.join(row).rstrip()}")
+        return "\n".join(lines)
+
+
+def list_schedule(
+    period: CanonicalPeriod,
+    platform: Platform,
+    control_priority: bool = True,
+    dedicated_control_pe: bool = True,
+) -> MappingResult:
+    """HLFET list scheduling with the paper's control-actor rules.
+
+    Parameters
+    ----------
+    period, platform:
+        The occurrence DAG and the machine.
+    control_priority:
+        Apply the highest-priority rule for control actors (ABL1 knob).
+    dedicated_control_pe:
+        Reserve the last PE for control occurrences (Fig. 5: "C1 is
+        mapped onto a separate processing element").  Ignored on
+        single-core platforms.
+    """
+    dag = period.dag
+    rank = period.downward_rank()
+    indegree = {node: dag.in_degree(node) for node in dag.nodes}
+    #: time each PE becomes free
+    pe_free = {pe: 0.0 for pe in platform.pes}
+    #: per-dependency data-ready times of a node (max over predecessors)
+    ready_time: dict[Occurrence, float] = {
+        node: 0.0 for node in dag.nodes if indegree[node] == 0
+    }
+    finished: dict[Occurrence, ScheduledFiring] = {}
+    order: list[Occurrence] = []
+
+    control_pe = platform.pes[-1] if (
+        dedicated_control_pe and platform.n_cores > 1
+    ) else None
+    worker_pes = [
+        pe for pe in platform.pes if control_pe is None or pe != control_pe
+    ]
+    if not worker_pes:
+        raise SchedulingError("platform has no worker PEs left for kernels")
+
+    def priority_key(node: Occurrence):
+        is_control = period.is_control(node)
+        control_rank = 0 if (control_priority and is_control) else 1
+        return (control_rank, -rank[node], node)
+
+    ready: list[tuple, ] = []
+    seq = 0
+    for node in ready_time:
+        heapq.heappush(ready, (priority_key(node), seq, node))
+        seq += 1
+
+    while ready:
+        _, _, node = heapq.heappop(ready)
+        is_control = period.is_control(node)
+        candidates = [control_pe] if (is_control and control_pe is not None) else worker_pes
+
+        # Earliest-finish PE selection honouring message latencies from
+        # the predecessors' PEs.
+        best_pe = None
+        best_start = None
+        for pe in candidates:
+            arrival = 0.0
+            for pred in dag.predecessors(node):
+                firing = finished[pred]
+                latency = platform.message_latency(firing.pe, pe)
+                arrival = max(arrival, firing.finish + latency)
+            start = max(arrival, pe_free[pe])
+            if best_start is None or start < best_start:
+                best_pe, best_start = pe, start
+        assert best_pe is not None and best_start is not None
+        duration = period.exec_time(node)
+        firing = ScheduledFiring(node, best_pe, best_start, best_start + duration)
+        finished[node] = firing
+        order.append(node)
+        pe_free[best_pe] = firing.finish
+
+        for succ in dag.successors(node):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(ready, (priority_key(succ), seq, succ))
+                seq += 1
+
+    if len(finished) != dag.number_of_nodes():
+        missing = set(dag.nodes) - set(finished)
+        raise SchedulingError(f"unschedulable occurrences (cycle?): {missing}")
+    makespan = max((f.finish for f in finished.values()), default=0.0)
+    return MappingResult(
+        firings=finished, makespan=makespan, platform=platform, order=order
+    )
+
+
+def schedule_graph(
+    graph,
+    platform: Platform,
+    bindings: Mapping | None = None,
+    control_priority: bool = True,
+    dedicated_control_pe: bool = True,
+) -> MappingResult:
+    """Convenience: canonical period + list schedule in one call."""
+    from .canonical import build_canonical_period
+
+    period = build_canonical_period(graph, bindings)
+    return list_schedule(
+        period,
+        platform,
+        control_priority=control_priority,
+        dedicated_control_pe=dedicated_control_pe,
+    )

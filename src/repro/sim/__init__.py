@@ -1,0 +1,12 @@
+"""Discrete-event simulation: the runtime semantics of TPDF.
+
+:class:`Simulator` executes a :class:`~repro.tpdf.graph.TPDFGraph`
+with real data values, model time, control tokens, clocks, and
+deadline-driven transactions; :class:`Trace` collects firings, buffer
+peaks and discarded tokens.
+"""
+
+from .engine import Simulator
+from .trace import DiscardRecord, FiringRecord, Trace
+
+__all__ = ["Simulator", "Trace", "FiringRecord", "DiscardRecord"]

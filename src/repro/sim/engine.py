@@ -1,0 +1,578 @@
+"""Discrete-event execution of TPDF graphs (the model's runtime
+semantics).
+
+This engine animates what the static analyses promise: kernels fire
+under the TPDF firing rules (Sec. II-B), control tokens select modes
+and data paths, clock actors tick on model time, transaction kernels
+commit to "the best available input at the deadline", and rejected
+tokens are flushed so buffers stay bounded.
+
+Semantics implemented (with the paper reference):
+
+* a kernel with a control port first waits for one control token; the
+  token's mode decides which data ports the firing uses (Def. 2);
+* ``HIGHEST_PRIORITY`` firings start as soon as the control token and
+  *some* candidate input are available, choosing the available input
+  with the largest port priority ``alpha`` — combined with clock
+  tokens this is "highest priority at a given deadline" (Sec. II-B);
+  if no input is available the kernel sleeps and wakes on the first
+  arrival (Sec. III-D, sleeping queue);
+* tokens on rejected ports are *removed*: the would-be-consumed amount
+  is flushed immediately if present, otherwise remembered as a discard
+  debt and flushed on arrival (Example 1: "remove remaining tokens");
+* control actors are scheduled with the highest priority and do not
+  compete for worker cores (Sec. III-D: a control actor "is ensured to
+  have a processing unit available before the others");
+* clock actors tick autonomously every ``period`` (watchdog timers).
+
+Data values are real Python objects; attach a ``function`` to a kernel
+to compute outputs from inputs (the OFDM and edge-detection case
+studies run their actual numpy DSP through this hook).  Execution
+times come from the kernel's ``exec_time`` or, when data-dependent,
+from ``kernel.meta["time_fn"]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Mapping
+
+from ..errors import SimulationError
+from ..tpdf.builtins import ClockActor
+from ..tpdf.graph import TPDFChannel, TPDFGraph
+from ..tpdf.kernel import ControlActor, Kernel
+from ..tpdf.modes import ControlToken, Mode, highest_priority, wait_all
+from .trace import DiscardRecord, FiringRecord, Trace
+
+
+class _ChannelState:
+    __slots__ = ("channel", "queue", "discard_debt")
+
+    def __init__(self, channel: TPDFChannel):
+        self.channel = channel
+        self.queue: deque = deque(None for _ in range(channel.initial_tokens))
+        self.discard_debt = 0
+
+
+class Simulator:
+    """Event-driven executor for one TPDF graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute (parametric graphs need ``bindings``).
+    bindings:
+        Parameter valuation for rate evaluation.
+    cores:
+        Worker-core budget for kernels (``None`` = unlimited).  Control
+        actors never compete for these cores.
+    record_values:
+        Keep consumed/produced values in the trace (memory-heavy; used
+        by functional tests).
+    control_priority:
+        Start ready control actors before ready kernels (the paper's
+        rule; disabled by the scheduler ablation).
+    """
+
+    def __init__(
+        self,
+        graph: TPDFGraph,
+        bindings: Mapping | None = None,
+        cores: int | None = None,
+        record_values: bool = False,
+        control_priority: bool = True,
+    ):
+        self.graph = graph
+        self.bindings = dict(bindings or {})
+        self.cores = cores
+        self.record_values = record_values
+        self.control_priority = control_priority
+        self.trace = Trace()
+        self.now = 0.0
+
+        self._channels: dict[str, _ChannelState] = {}
+        self._in: dict[str, dict[str, _ChannelState]] = {}
+        self._out: dict[str, dict[str, _ChannelState]] = {}
+        self._rates: dict[tuple[str, str], tuple[int, ...]] = {}
+        for name in graph.node_names():
+            self._in[name] = {}
+            self._out[name] = {}
+        for channel in graph.channels.values():
+            state = _ChannelState(channel)
+            self._channels[channel.name] = state
+            self.trace.peaks[channel.name] = channel.initial_tokens
+            self._in[channel.dst][channel.dst_port] = state
+            self._out[channel.src][channel.src_port] = state
+            self._rates[(channel.src, channel.src_port)] = (
+                graph.node(channel.src).port(channel.src_port).rates.as_ints(self.bindings)
+            )
+            self._rates[(channel.dst, channel.dst_port)] = (
+                graph.node(channel.dst).port(channel.dst_port).rates.as_ints(self.bindings)
+            )
+
+        self._fired: dict[str, int] = {name: 0 for name in graph.node_names()}
+        self._mode_rate_cache: dict[tuple, tuple[int, ...]] = {}
+        self._busy: set[str] = set()
+        self._limits: dict[str, int] = {}
+        self._events: list = []
+        self._seq = 0
+        if control_priority:
+            self._order = list(graph.controls) + list(graph.kernels)
+        else:
+            self._order = list(graph.kernels) + list(graph.controls)
+
+    # -- small helpers ------------------------------------------------------
+    def _rate(self, node: str, port: str, firing: int) -> int:
+        phases = self._rates[(node, port)]
+        return phases[firing % len(phases)]
+
+    def _kernel_rate(self, kernel: Kernel, port: str, firing: int,
+                     mode: Mode | None) -> int:
+        """Port rate honouring the per-mode overrides (the ``Rk(m, ., n)``
+        table of Def. 2): a kernel firing in mode ``m`` may move a
+        different token count than its default port rate."""
+        if mode is not None:
+            override = kernel._mode_rates.get(mode)
+            if override is not None and port in override:
+                key = (kernel.name, port, mode)
+                cached = self._mode_rate_cache.get(key)
+                if cached is None:
+                    cached = override[port].as_ints(self.bindings)
+                    self._mode_rate_cache[key] = cached
+                return cached[firing % len(cached)]
+        return self._rate(kernel.name, port, firing)
+
+    def _push_event(self, time: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def tokens_in(self, channel: str) -> int:
+        return len(self._channels[channel].queue)
+
+    def channel_values(self, channel: str) -> list:
+        return list(self._channels[channel].queue)
+
+    # -- deposit with discard-debt settlement --------------------------------
+    def _deposit(self, state: _ChannelState, values: list) -> None:
+        for value in values:
+            if state.discard_debt > 0:
+                state.discard_debt -= 1
+                continue
+            state.queue.append(value)
+        occupancy = len(state.queue)
+        if occupancy > self.trace.peaks[state.channel.name]:
+            self.trace.peaks[state.channel.name] = occupancy
+
+    def _flush(self, state: _ChannelState, count: int, node: str, port: str,
+               late_debt: bool = True) -> None:
+        """Discard ``count`` tokens: immediately when present and — when
+        ``late_debt`` — as a debt settled on arrival otherwise.
+
+        The debt covers the paper's "remove remaining tokens" for
+        rejected inputs whose producers still run (e.g. the slow Canny
+        branch finishing after the deadline).  When an upstream
+        select-duplicate made the same decision, the rejected producer
+        never fires (Fig. 3 coordination / ADF) and nothing will
+        arrive; kernels declare that with ``meta['discard_late'] =
+        False`` so the debt cannot swallow a *future* activation's
+        tokens."""
+        if count <= 0:
+            return
+        available = min(count, len(state.queue))
+        for _ in range(available):
+            state.queue.popleft()
+        flushed = available
+        if late_debt:
+            state.discard_debt += count - available
+            flushed = count
+        if flushed:
+            self.trace.discards.append(
+                DiscardRecord(
+                    channel=state.channel.name,
+                    port=port,
+                    node=node,
+                    count=flushed,
+                    time=self.now,
+                )
+            )
+
+    # -- firing rules --------------------------------------------------------
+    def _control_state(self, kernel: Kernel) -> _ChannelState | None:
+        port = kernel.control_port()
+        if port is None:
+            return None
+        return self._in[kernel.name].get(port.name)
+
+    def _peek_control(self, kernel: Kernel) -> ControlToken | None:
+        state = self._control_state(kernel)
+        if state is None or not state.queue:
+            return None
+        token = state.queue[0]
+        if not isinstance(token, ControlToken):
+            token = wait_all()
+        return token
+
+    def _kernel_plan(self, kernel: Kernel):
+        """Return ``(mode_token, ports_to_consume)`` if the kernel can
+        fire now, else ``None``."""
+        name = kernel.name
+        n = self._fired[name]
+        control_state = self._control_state(kernel)
+        token: ControlToken | None = None
+        needs_control = False
+        if control_state is not None:
+            needs_control = self._rate(name, kernel.control_port().name, n) == 1
+            if needs_control:
+                if not control_state.queue:
+                    return None
+                token = self._peek_control(kernel)
+        mode = token.mode if token is not None else Mode.WAIT_ALL
+
+        data_ports = {
+            port: state for port, state in self._in[name].items()
+            if state is not control_state
+        }
+
+        if mode in (Mode.WAIT_ALL,):
+            for port, state in data_ports.items():
+                if len(state.queue) < self._kernel_rate(kernel, port, n, mode):
+                    return None
+            consume = list(data_ports)
+        elif mode in (Mode.SELECT_ONE, Mode.SELECT_MANY):
+            # A selection only constrains the side it names: a
+            # select-duplicate token names *output* ports, so its
+            # inputs behave as WAIT_ALL; a transaction token names
+            # *input* ports.
+            if token.selection and not set(token.selection) & set(data_ports):
+                selected = list(data_ports)
+            else:
+                selected = [p for p in data_ports if token.selects(p)]
+            for port in selected:
+                if len(data_ports[port].queue) < self._kernel_rate(kernel, port, n, mode):
+                    return None
+            consume = selected
+        else:  # HIGHEST_PRIORITY
+            candidates = [
+                port for port, state in data_ports.items()
+                if self._kernel_rate(kernel, port, n, mode) > 0
+                and len(state.queue) >= self._kernel_rate(kernel, port, n, mode)
+            ]
+            if not candidates:
+                return None  # sleep until an input arrives
+            best = max(
+                candidates,
+                key=lambda p: (kernel.port(p).priority, p),
+            )
+            consume = [best]
+        return token if needs_control else None, consume
+
+    def _control_ready(self, actor: ControlActor) -> bool:
+        if isinstance(actor, ClockActor):
+            return False  # time-triggered, never data-ready
+        name = actor.name
+        n = self._fired[name]
+        for port, state in self._in[name].items():
+            if len(state.queue) < self._rate(name, port, n):
+                return False
+        return True
+
+    # -- starting firings ------------------------------------------------------
+    def _limit_reached(self, name: str) -> bool:
+        limit = self._limits.get(name)
+        return limit is not None and self._fired[name] >= limit
+
+    def _start_ready(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for name in self._order:
+                if name in self._busy or self._limit_reached(name):
+                    continue
+                node = self.graph.node(name)
+                if isinstance(node, ControlActor):
+                    if self._control_ready(node):
+                        self._begin_control(node)
+                        progress = True
+                else:
+                    if self.cores is not None:
+                        workers = sum(
+                            1 for busy in self._busy
+                            if not self.graph.is_control_actor(busy)
+                        )
+                        if workers >= self.cores:
+                            continue
+                    assert isinstance(node, Kernel)
+                    plan = self._kernel_plan(node)
+                    if plan is not None:
+                        self._begin_kernel(node, *plan)
+                        progress = True
+
+    def _begin_control(self, actor: ControlActor) -> None:
+        name = actor.name
+        n = self._fired[name]
+        consumed: dict[str, list] = {}
+        for port, state in self._in[name].items():
+            rate = self._rate(name, port, n)
+            consumed[port] = [state.queue.popleft() for _ in range(rate)]
+        duration = actor.exec_time(n)
+        self._busy.add(name)
+        self._push_event(
+            self.now + duration, "control_done",
+            (actor, n, self.now, consumed),
+        )
+
+    def _begin_kernel(self, kernel: Kernel, token: ControlToken | None, consume: list[str]) -> None:
+        name = kernel.name
+        n = self._fired[name]
+        mode = token.mode if token is not None else None
+        consumed: dict[str, list] = {}
+        if token is not None:
+            control_state = self._control_state(kernel)
+            assert control_state is not None
+            control_state.queue.popleft()
+        for port in consume:
+            state = self._in[name][port]
+            rate = self._kernel_rate(kernel, port, n, mode)
+            consumed[port] = [state.queue.popleft() for _ in range(rate)]
+        # Rejected ports: flush this firing's worth of tokens.
+        control_port = kernel.control_port()
+        late_debt = bool(kernel.meta.get("discard_late", True))
+        for port, state in self._in[name].items():
+            if control_port is not None and port == control_port.name:
+                continue
+            if port in consume:
+                continue
+            self._flush(state, self._kernel_rate(kernel, port, n, mode),
+                        name, port, late_debt=late_debt)
+
+        time_fn = kernel.meta.get("time_fn")
+        duration = (
+            float(time_fn(n, consumed)) if callable(time_fn) else kernel.exec_time(n)
+        )
+        self._busy.add(name)
+        self._push_event(
+            self.now + duration, "kernel_done",
+            (kernel, n, self.now, token, consumed),
+        )
+
+    # -- completing firings ------------------------------------------------------
+    def _complete_control(self, actor: ControlActor, n: int, start: float, consumed) -> None:
+        name = actor.name
+        flat_inputs = [value for values in consumed.values() for value in values]
+        token = actor.decide(n, flat_inputs)
+        produced: dict[str, list] = {}
+        for port, state in self._out[name].items():
+            rate = self._rate(name, port, n)
+            values = [token] * rate
+            produced[port] = values
+            self._deposit(state, values)
+        self._busy.discard(name)
+        self._fired[name] = n + 1
+        self.trace.firings.append(
+            FiringRecord(
+                node=name, index=n, start=start, end=self.now, mode=token,
+                consumed=consumed if self.record_values else None,
+                produced=produced if self.record_values else None,
+            )
+        )
+
+    def _complete_kernel(self, kernel: Kernel, n: int, start: float,
+                         token: ControlToken | None, consumed) -> None:
+        name = kernel.name
+        outputs = self._apply_function(kernel, n, token, consumed)
+        for port, values in outputs.items():
+            self._deposit(self._out[name][port], values)
+        self._busy.discard(name)
+        self._fired[name] = n + 1
+        self.trace.firings.append(
+            FiringRecord(
+                node=name, index=n, start=start, end=self.now, mode=token,
+                consumed=consumed if self.record_values else None,
+                produced=outputs if self.record_values else None,
+            )
+        )
+
+    def _apply_function(self, kernel: Kernel, n: int,
+                        token: ControlToken | None, consumed) -> dict[str, list]:
+        """Run the kernel's function and shape its outputs per port."""
+        name = kernel.name
+        mode = token.mode if token is not None else None
+        out_rates = {
+            port: self._kernel_rate(kernel, port, n, mode)
+            for port in self._out[name]
+        }
+        if (
+            token is None
+            or not token.selection
+            or not set(token.selection) & set(out_rates)
+        ):
+            # No selection, or a selection naming input ports only:
+            # every output is enabled.
+            enabled = dict(out_rates)
+        else:
+            enabled = {
+                port: rate for port, rate in out_rates.items()
+                if token.selects(port)
+            }
+        function = kernel.function or _builtin_function(kernel)
+        if function is None:
+            result: Any = None
+        else:
+            result = function(n, consumed)
+
+        outputs: dict[str, list] = {}
+        if isinstance(result, dict):
+            for port, rate in out_rates.items():
+                if port not in enabled:
+                    outputs[port] = []
+                    continue
+                values = result.get(port)
+                if values is None:
+                    values = [None] * rate
+                if len(values) != rate:
+                    raise SimulationError(
+                        f"kernel {name!r} produced {len(values)} values on "
+                        f"{port!r} but the rate of firing {n} is {rate}"
+                    )
+                outputs[port] = list(values)
+        elif isinstance(result, list):
+            if len(enabled) != 1:
+                raise SimulationError(
+                    f"kernel {name!r} returned a list but has "
+                    f"{len(enabled)} enabled output ports; return a dict"
+                )
+            (port, rate), = enabled.items()
+            if len(result) != rate:
+                raise SimulationError(
+                    f"kernel {name!r} produced {len(result)} values on {port!r} "
+                    f"but the rate of firing {n} is {rate}"
+                )
+            outputs = {p: [] for p in out_rates}
+            outputs[port] = list(result)
+        else:
+            # Scalar (or None): replicate on every enabled port.
+            outputs = {
+                port: ([result] * rate if port in enabled else [])
+                for port, rate in out_rates.items()
+            }
+        # Disabled ports produce nothing (their consumers' tokens were
+        # chosen away by the select-duplicate decision).
+        return outputs
+
+    # -- clocks --------------------------------------------------------------
+    def _schedule_clock(self, actor: ClockActor, until: float) -> None:
+        tick = self.now + actor.period
+        if tick <= until:
+            self._push_event(tick, "tick", actor)
+
+    def _complete_tick(self, actor: ClockActor, until: float) -> None:
+        name = actor.name
+        n = self._fired[name]
+        if not self._limit_reached(name):
+            if actor.decision is not None:
+                token = actor.decision(n, [])
+            else:
+                token = highest_priority(deadline=self.now)
+            produced: dict[str, list] = {}
+            for port, state in self._out[name].items():
+                rate = self._rate(name, port, n)
+                values = [token] * rate
+                produced[port] = values
+                self._deposit(state, values)
+            self._fired[name] = n + 1
+            self.trace.firings.append(
+                FiringRecord(
+                    node=name, index=n, start=self.now, end=self.now, mode=token,
+                    produced=produced if self.record_values else None,
+                )
+            )
+        self._schedule_clock(actor, until)
+
+    # -- main loop ------------------------------------------------------------
+    def run(
+        self,
+        until: float | None = None,
+        limits: Mapping[str, int] | None = None,
+        max_firings: int = 1_000_000,
+    ) -> Trace:
+        """Execute until quiescence, the time horizon, or the limits.
+
+        ``limits`` caps firings per node (source kernels and clocks
+        would otherwise run forever); ``until`` bounds model time —
+        required when the graph contains clock actors and no limits.
+        """
+        self._limits = dict(limits or {})
+        has_clock = any(
+            isinstance(self.graph.node(n), ClockActor) for n in self.graph.controls
+        )
+        if has_clock and until is None:
+            raise SimulationError(
+                "graphs with clock actors need a time horizon: run(until=...)"
+            )
+        horizon = until if until is not None else float("inf")
+        for name in self.graph.controls:
+            node = self.graph.node(name)
+            if isinstance(node, ClockActor):
+                self._schedule_clock(node, horizon)
+
+        self._start_ready()
+        fired_total = 0
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            if time > horizon:
+                self.now = horizon
+                break
+            self.now = time
+            if kind == "kernel_done":
+                self._complete_kernel(payload[0], payload[1], payload[2], payload[3], payload[4])
+            elif kind == "control_done":
+                self._complete_control(payload[0], payload[1], payload[2], payload[3])
+            elif kind == "tick":
+                self._complete_tick(payload, horizon)
+            fired_total += 1
+            if fired_total > max_firings:
+                raise SimulationError(
+                    f"exceeded {max_firings} firings; add limits= or until= "
+                    f"to bound the run"
+                )
+            self._start_ready()
+        return self.trace
+
+
+def _builtin_function(kernel: Kernel):
+    """Default data behaviour for the builtin kernels of Sec. II-B."""
+    builtin = kernel.meta.get("builtin")
+    if builtin == "select_duplicate":
+        def duplicate(_n: int, consumed: dict) -> Any:
+            values = [v for vs in consumed.values() for v in vs]
+            return values[0] if values else None
+        return duplicate
+    if builtin == "transaction":
+        action = kernel.meta.get("action", "select")
+        if action == "vote":
+            def vote(_n: int, consumed: dict) -> Any:
+                values = [v for vs in consumed.values() for v in vs]
+                if not values:
+                    return None
+                tallies: dict = {}
+                for value in values:
+                    key = _vote_key(value)
+                    tallies[key] = (tallies.get(key, (0, value))[0] + 1, value)
+                _, winner = max(tallies.values(), key=lambda item: item[0])
+                return winner
+            return vote
+
+        def forward(_n: int, consumed: dict) -> Any:
+            values = [v for vs in consumed.values() for v in vs]
+            return values[0] if len(values) == 1 else values or None
+        return forward
+    return None
+
+
+def _vote_key(value):
+    """Hashable view of a vote value (numpy arrays compare by bytes)."""
+    tobytes = getattr(value, "tobytes", None)
+    if callable(tobytes):
+        return tobytes()
+    return value

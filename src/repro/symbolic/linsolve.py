@@ -1,0 +1,253 @@
+"""Symbolic balance-equation solver (Theorem 1 / Sec. III-A).
+
+A consistent dataflow graph satisfies ``Gamma . r = 0`` where the
+topology matrix ``Gamma`` holds, per channel, the tokens produced /
+consumed during one *cycle* of the producer / consumer (``X_j(tau_j)``
+and ``Y_j(tau_j)``).  For parameterized graphs these totals are
+polynomials in the graph parameters and the solution vector ``r`` is a
+vector of rational functions, normalized here to the minimal strictly
+positive integer-polynomial solution (Example 2 of the paper:
+``r = [2, 2p, p, p, 2p, p]`` for Fig. 2).
+
+The solver works by spanning-tree propagation over each weakly
+connected component, then verifies every non-tree edge symbolically —
+exactly the procedure sketched in Sec. III-A ("arbitrarily set one of
+the solutions to 1 and recursively find other solutions ... finally, we
+normalize the solutions to integers").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+from .poly import Poly, poly_gcd_many, poly_lcm_many
+from .rational import Rat
+
+
+class InconsistentRatesError(Exception):
+    """The balance equations only admit the trivial (zero) solution."""
+
+
+#: An edge contributes the constraint  produced * r[src] == consumed * r[dst].
+BalanceEdge = tuple[Hashable, Hashable, Poly, Poly]
+
+
+def solve_balance(
+    nodes: Sequence[Hashable],
+    edges: Iterable[BalanceEdge],
+) -> dict[Hashable, Poly]:
+    """Solve the balance equations and normalize to integer polynomials.
+
+    Parameters
+    ----------
+    nodes:
+        All graph nodes (actors).  Isolated nodes get solution 1.
+    edges:
+        Triples-of-four ``(src, dst, produced_per_cycle,
+        consumed_per_cycle)``; rates are coerced to :class:`Poly`.
+
+    Returns
+    -------
+    dict
+        Node -> minimal positive integer-polynomial solution component.
+
+    Raises
+    ------
+    InconsistentRatesError
+        When a cycle of constraints is contradictory (Sec. III-A:
+        the system must have a non-null solution for all parameter
+        values) or when a non-zero production feeds a zero consumption.
+    """
+    edge_list: list[BalanceEdge] = [
+        (src, dst, Poly.coerce(produced), Poly.coerce(consumed))
+        for src, dst, produced, consumed in edges
+    ]
+    _validate_rate_signs(edge_list)
+
+    adjacency: dict[Hashable, list[tuple[Hashable, Poly, Poly]]] = {n: [] for n in nodes}
+    for src, dst, produced, consumed in edge_list:
+        if src not in adjacency or dst not in adjacency:
+            missing = src if src not in adjacency else dst
+            raise KeyError(f"edge endpoint {missing!r} is not in the node set")
+        # Store both directions so the spanning tree can traverse freely:
+        # crossing src->dst multiplies by produced/consumed, and the
+        # reverse direction by the inverse ratio.
+        adjacency[src].append((dst, produced, consumed))
+        adjacency[dst].append((src, consumed, produced))
+
+    solution: dict[Hashable, Rat] = {}
+    for component in _components(list(nodes), adjacency):
+        _solve_component(component, adjacency, solution)
+
+    _verify_all_edges(edge_list, solution)
+    return _normalize_components(list(nodes), adjacency, solution)
+
+
+def consistency_conditions(
+    nodes: Sequence[Hashable],
+    edges: Iterable[BalanceEdge],
+) -> list[Poly]:
+    """Residual constraints that must vanish for consistency.
+
+    Runs the spanning-tree propagation and, instead of raising on a
+    violated non-tree edge, collects the numerator of the residual
+    ``produced * r_src - consumed * r_dst`` as a polynomial constraint.
+    An empty list means the system is consistent for *all* parameter
+    values; otherwise the graph is consistent exactly for the parameter
+    valuations annihilating every returned polynomial (e.g. a returned
+    ``p - 3`` means "consistent iff p = 3").
+
+    Raises :class:`InconsistentRatesError` only for structural
+    impossibilities (production into zero consumption).
+    """
+    edge_list: list[BalanceEdge] = [
+        (src, dst, Poly.coerce(produced), Poly.coerce(consumed))
+        for src, dst, produced, consumed in edges
+    ]
+    _validate_rate_signs(edge_list)
+    adjacency: dict[Hashable, list[tuple[Hashable, Poly, Poly]]] = {n: [] for n in nodes}
+    for src, dst, produced, consumed in edge_list:
+        adjacency[src].append((dst, produced, consumed))
+        adjacency[dst].append((src, consumed, produced))
+    solution: dict[Hashable, Rat] = {}
+    for component in _components(list(nodes), adjacency):
+        _solve_component(component, adjacency, solution)
+    conditions: list[Poly] = []
+    seen: set[Poly] = set()
+    for src, dst, produced, consumed in edge_list:
+        lhs = solution[src] * Rat(produced)
+        rhs = solution[dst] * Rat(consumed)
+        residual = (lhs - rhs).num
+        if residual.is_zero():
+            continue
+        # Normalize the constraint: strip content and sign.
+        content = residual.content()
+        if content not in (0, 1):
+            residual = residual.scale(1 / content)
+        if residual.leading()[1] < 0:
+            residual = -residual
+        if residual not in seen:
+            seen.add(residual)
+            conditions.append(residual)
+    return conditions
+
+
+def _validate_rate_signs(edge_list: list[BalanceEdge]) -> None:
+    for src, dst, produced, consumed in edge_list:
+        for rate, role, node in ((produced, "production", src), (consumed, "consumption", dst)):
+            if not rate.has_nonnegative_coefficients():
+                raise InconsistentRatesError(
+                    f"{role} rate {rate} of {node!r} may be negative for some "
+                    f"parameter values"
+                )
+
+
+def _components(
+    nodes: list[Hashable],
+    adjacency: dict[Hashable, list[tuple[Hashable, Poly, Poly]]],
+) -> list[list[Hashable]]:
+    seen: set[Hashable] = set()
+    components: list[list[Hashable]] = []
+    for start in nodes:
+        if start in seen:
+            continue
+        component: list[Hashable] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbour, _, _ in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def _solve_component(
+    component: list[Hashable],
+    adjacency: dict[Hashable, list[tuple[Hashable, Poly, Poly]]],
+    solution: dict[Hashable, Rat],
+) -> None:
+    root = component[0]
+    solution[root] = Rat(1)
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        r_node = solution[node]
+        for neighbour, out_rate, in_rate in adjacency[node]:
+            # Constraint across this edge: out_rate * r[node] == in_rate * r[neighbour]
+            if neighbour in solution:
+                continue
+            if in_rate.is_zero():
+                if out_rate.is_zero():
+                    continue  # vacuous edge; neighbour reached some other way
+                raise InconsistentRatesError(
+                    f"channel {node!r} -> {neighbour!r} produces {out_rate} "
+                    f"per cycle but consumes nothing: only the trivial "
+                    f"solution exists"
+                )
+            solution[neighbour] = r_node * Rat(out_rate, in_rate)
+            queue.append(neighbour)
+    for node in component:
+        if node not in solution:
+            # Reachable only through vacuous (0,0) edges: unconstrained.
+            solution[node] = Rat(1)
+
+
+def _verify_all_edges(edge_list: list[BalanceEdge], solution: dict[Hashable, Rat]) -> None:
+    for src, dst, produced, consumed in edge_list:
+        lhs = solution[src] * Rat(produced)
+        rhs = solution[dst] * Rat(consumed)
+        if lhs != rhs:
+            raise InconsistentRatesError(
+                f"balance violated on channel {src!r} -> {dst!r}: "
+                f"{produced} * {solution[src]} != {consumed} * {solution[dst]}"
+            )
+
+
+def _normalize_components(
+    nodes: list[Hashable],
+    adjacency: dict[Hashable, list[tuple[Hashable, Poly, Poly]]],
+    solution: dict[Hashable, Rat],
+) -> dict[Hashable, Poly]:
+    normalized: dict[Hashable, Poly] = {}
+    for component in _components(nodes, adjacency):
+        rats = [solution[node] for node in component]
+        # Clear polynomial denominators.
+        denominator_lcm = poly_lcm_many([r.den for r in rats])
+        polys: list[Poly] = []
+        for rat in rats:
+            factor = denominator_lcm.try_div(rat.den)
+            if factor is None:  # pragma: no cover - lcm is a common multiple
+                raise ArithmeticError(f"lcm {denominator_lcm} not divisible by {rat.den}")
+            polys.append(rat.num * factor)
+        # Clear rational coefficients.
+        coeff_lcm = 1
+        for poly in polys:
+            d = poly.coefficient_lcm_denominator()
+            g = _int_gcd(coeff_lcm, d)
+            coeff_lcm = coeff_lcm * d // g
+        polys = [poly.scale(coeff_lcm) for poly in polys]
+        # Divide by the common factor to get the minimal solution.
+        common = poly_gcd_many(polys)
+        if not common.is_zero():
+            reduced = [poly.try_div(common) for poly in polys]
+            if all(p is not None for p in reduced):
+                polys = reduced  # type: ignore[assignment]
+        for node, poly in zip(component, polys):
+            if poly.is_zero() or not poly.has_nonnegative_coefficients():
+                raise InconsistentRatesError(
+                    f"normalized solution for {node!r} is {poly}, which is "
+                    f"not strictly positive for all parameter values"
+                )
+            normalized[node] = poly
+    return normalized
+
+
+def _int_gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

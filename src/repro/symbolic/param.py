@@ -1,0 +1,143 @@
+"""Integer parameters for parameterized dataflow rates.
+
+TPDF rates may be *symbolic*: products and sums of named integer
+parameters (the set ``P`` in Definition 2 of the paper).  A
+:class:`Param` is a named, strictly positive integer unknown with an
+optional closed interval domain, e.g. the vectorization degree ``beta``
+of the OFDM case study ranges over ``[1, 100]``.
+
+Parameters compare and hash by name only, so two ``Param("p")`` created
+independently denote the same unknown.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+
+class Param:
+    """A named strictly-positive integer parameter.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in symbolic expressions (e.g. ``"p"``).
+    lo, hi:
+        Inclusive bounds of the parameter domain.  ``lo`` defaults to 1
+        (rates must stay non-negative and repetition vectors strictly
+        positive); ``hi`` may be ``None`` for an unbounded parameter.
+    """
+
+    __slots__ = ("name", "lo", "hi")
+
+    def __init__(self, name: str, lo: int = 1, hi: int | None = None):
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid parameter name: {name!r}")
+        if name[0].isdigit():
+            raise ValueError(f"parameter name may not start with a digit: {name!r}")
+        if lo < 1:
+            raise ValueError(f"parameter {name!r}: lower bound must be >= 1, got {lo}")
+        if hi is not None and hi < lo:
+            raise ValueError(f"parameter {name!r}: empty domain [{lo}, {hi}]")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Param):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Param", self.name))
+
+    def __repr__(self) -> str:
+        if self.hi is not None:
+            return f"Param({self.name!r}, lo={self.lo}, hi={self.hi})"
+        if self.lo != 1:
+            return f"Param({self.name!r}, lo={self.lo})"
+        return f"Param({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # -- domain --------------------------------------------------------
+    def contains(self, value: int) -> bool:
+        """Return True if ``value`` lies in this parameter's domain."""
+        if value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+    def sample_values(self, count: int = 3) -> list[int]:
+        """Return a few representative domain values (for liveness probing).
+
+        Includes the lower bound, a small successor, and the upper bound
+        when finite.  Used by analyses that validate a symbolic property
+        on witnesses (e.g. liveness of graphs whose local solutions stay
+        parametric).
+        """
+        values = [self.lo, self.lo + 1, self.lo + 2]
+        if self.hi is not None:
+            values = [v for v in values if v <= self.hi]
+            if self.hi not in values:
+                values.append(self.hi)
+        return values[:max(count, 1)]
+
+    # -- arithmetic sugar (delegates to Poly) ---------------------------
+    def _poly(self):
+        from .poly import Poly
+
+        return Poly.var(self.name)
+
+    def __add__(self, other):
+        return self._poly() + other
+
+    def __radd__(self, other):
+        return other + self._poly()
+
+    def __sub__(self, other):
+        return self._poly() - other
+
+    def __rsub__(self, other):
+        return other - self._poly()
+
+    def __mul__(self, other):
+        return self._poly() * other
+
+    def __rmul__(self, other):
+        return other * self._poly()
+
+    def __pow__(self, exponent: int):
+        return self._poly() ** exponent
+
+    def __neg__(self):
+        return -self._poly()
+
+
+def params(names: str, lo: int = 1, hi: int | None = None) -> tuple[Param, ...]:
+    """Create several parameters at once: ``p, q = params("p q")``."""
+    created = tuple(Param(name, lo=lo, hi=hi) for name in names.split())
+    if not created:
+        raise ValueError("params() requires at least one name")
+    return created
+
+
+Bindings = dict  # mapping from parameter name (or Param) to int
+
+
+def normalize_bindings(bindings) -> dict[str, Fraction]:
+    """Normalize a bindings mapping to ``{name: Fraction}``.
+
+    Accepts ``Param`` or ``str`` keys and any rational value.  Values
+    must be integers for repetition vectors to make sense, but fractional
+    values are tolerated here because intermediate algebra (e.g. local
+    solutions before normalization) can be fractional.
+    """
+    out: dict[str, Fraction] = {}
+    for key, value in bindings.items():
+        name = key.name if isinstance(key, Param) else str(key)
+        out[name] = Fraction(value)
+    return out

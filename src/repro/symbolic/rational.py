@@ -1,0 +1,144 @@
+"""Rational functions of integer parameters.
+
+Solving the balance equations ``Gamma . r = 0`` (Theorem 1 / Sec. III-A)
+by spanning-tree propagation produces intermediate solutions that are
+*ratios* of polynomials — e.g. ``r_C = p/2`` in Example 2 of the paper —
+before the final normalization to an integer polynomial vector.
+:class:`Rat` implements exactly that fragment: a quotient of two
+:class:`~repro.symbolic.poly.Poly` kept in a canonical reduced form.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from .poly import Poly, PolyLike, poly_gcd
+
+
+class Rat:
+    """A quotient of two polynomials, reduced and sign-normalized."""
+
+    __slots__ = ("num", "den", "_hash")
+
+    def __init__(self, num: PolyLike, den: PolyLike = 1):
+        num = Poly.coerce(num)
+        den = Poly.coerce(den)
+        if den.is_zero():
+            raise ZeroDivisionError("rational function with zero denominator")
+        if num.is_zero():
+            den = Poly.const(1)
+        else:
+            # Reduce by the (limited) gcd, then normalize the sign and the
+            # leading coefficient of the denominator to keep a canonical form.
+            g = poly_gcd(num, den)
+            if not g.is_const() or g.const_value() != 1:
+                reduced_num = num.try_div(g)
+                reduced_den = den.try_div(g)
+                if reduced_num is not None and reduced_den is not None:
+                    num, den = reduced_num, reduced_den
+            exact = num.try_div(den)
+            if exact is not None:
+                num, den = exact, Poly.const(1)
+            _, lead = den.leading()
+            if lead < 0:
+                num, den = -num, -den
+            scale = den.content()
+            if scale != 1 and scale != 0:
+                num = num.scale(1 / scale)
+                den = den.scale(1 / scale)
+        self.num = num
+        self.den = den
+        self._hash = hash(("Rat", num, den))
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def coerce(value) -> "Rat":
+        if isinstance(value, Rat):
+            return value
+        return Rat(Poly.coerce(value))
+
+    # -- predicates -----------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.num.is_zero()
+
+    def is_polynomial(self) -> bool:
+        return self.den.is_const()
+
+    def as_poly(self) -> Poly:
+        """Convert to a polynomial; raises when the denominator is not
+        constant (the caller should have normalized first)."""
+        if not self.den.is_const():
+            exact = self.num.try_div(self.den)
+            if exact is not None:
+                return exact
+            raise ValueError(f"{self} is not a polynomial")
+        return self.num.scale(1 / self.den.const_value())
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other) -> "Rat":
+        other = Rat.coerce(other)
+        return Rat(self.num * other.den + other.num * self.den, self.den * other.den)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Rat":
+        return Rat(-self.num, self.den)
+
+    def __sub__(self, other) -> "Rat":
+        return self + (-Rat.coerce(other))
+
+    def __rsub__(self, other) -> "Rat":
+        return Rat.coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Rat":
+        other = Rat.coerce(other)
+        return Rat(self.num * other.num, self.den * other.den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Rat":
+        other = Rat.coerce(other)
+        if other.is_zero():
+            raise ZeroDivisionError("division by zero rational function")
+        return Rat(self.num * other.den, self.den * other.num)
+
+    def __rtruediv__(self, other) -> "Rat":
+        return Rat.coerce(other) / self
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, bindings: Mapping) -> Fraction:
+        den = self.den.evaluate(bindings)
+        if den == 0:
+            raise ZeroDivisionError(f"{self} denominator vanishes under {bindings}")
+        return self.num.evaluate(bindings) / den
+
+    def subs(self, bindings: Mapping) -> "Rat":
+        return Rat(self.num.subs(bindings), self.den.subs(bindings))
+
+    # -- identity --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (Rat, Poly, int, Fraction)):
+            other = Rat.coerce(other)
+            return (self.num * other.den - other.num * self.den).is_zero()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __repr__(self) -> str:
+        return f"Rat({self})"
+
+    def __str__(self) -> str:
+        if self.den.is_const() and self.den.const_value() == 1:
+            return str(self.num)
+        num = str(self.num)
+        den = str(self.den)
+        if " " in num:
+            num = f"({num})"
+        if " " in den:
+            den = f"({den})"
+        return f"{num}/{den}"

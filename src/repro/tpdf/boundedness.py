@@ -1,0 +1,103 @@
+"""Boundedness (Theorem 2): consistent + rate safe + live => bounded.
+
+The theorem's content: under the three premises every (local and
+global) iteration returns the graph to its initial channel state, so
+any periodic schedule runs in bounded memory.  This module combines the
+three analyses into one verdict and, for concrete parameter
+valuations, derives actual per-channel buffer bounds by executing one
+iteration (reusing the CSDF machinery on the full-graph abstraction —
+a safe over-approximation of every mode-restricted topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..csdf.buffers import minimal_buffer_schedule, schedule_buffer_sizes
+from ..csdf.schedule import find_sequential_schedule
+from ..errors import BoundednessError
+from ..symbolic import Poly
+from .consistency import ConsistencyReport, check_consistency
+from .graph import TPDFGraph
+from .liveness import LivenessReport, check_liveness
+from .safety import SafetyReport, check_rate_safety
+
+
+@dataclass
+class BoundednessReport:
+    """Aggregate verdict of the three static analyses (Thm. 2)."""
+
+    bounded: bool
+    consistency: ConsistencyReport
+    safety: SafetyReport
+    liveness: LivenessReport
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def repetition(self) -> dict[str, Poly]:
+        return self.consistency.repetition
+
+    def __str__(self) -> str:
+        head = (
+            "bounded (consistent, rate safe, live)"
+            if self.bounded
+            else "NOT provably bounded: " + "; ".join(self.reasons)
+        )
+        return head
+
+
+def check_boundedness(graph: TPDFGraph) -> BoundednessReport:
+    """Run the full static analysis chain of Sec. III."""
+    consistency = check_consistency(graph)
+    reasons: list[str] = []
+    if not consistency.consistent:
+        reasons.append(f"rate inconsistent: {consistency.reason}")
+    safety = check_rate_safety(graph)
+    if not safety.safe:
+        details = [str(check) for check in safety.violations()] + safety.undecided
+        reasons.append("rate safety violated: " + "; ".join(details))
+    liveness = check_liveness(graph) if consistency.consistent else LivenessReport(
+        live=False, reason="skipped (inconsistent)"
+    )
+    if consistency.consistent and not liveness.live:
+        reasons.append(f"not live: {liveness.reason}")
+    return BoundednessReport(
+        bounded=not reasons,
+        consistency=consistency,
+        safety=safety,
+        liveness=liveness,
+        reasons=reasons,
+    )
+
+
+def assert_bounded(graph: TPDFGraph) -> BoundednessReport:
+    """Raise :class:`~repro.errors.BoundednessError` unless Theorem 2's
+    premises hold."""
+    report = check_boundedness(graph)
+    if not report.bounded:
+        raise BoundednessError(
+            f"graph {graph.name!r} is not provably bounded: "
+            + "; ".join(report.reasons)
+        )
+    return report
+
+
+def buffer_bounds(
+    graph: TPDFGraph,
+    bindings: Mapping | None = None,
+    minimize: bool = True,
+) -> dict[str, int]:
+    """Concrete per-channel buffer bounds for one iteration.
+
+    ``minimize=True`` uses the greedy buffer-minimizing scheduler;
+    otherwise the peaks of a grouped PASS are reported.  Either way the
+    returned capacities are *sufficient* for periodic execution because
+    the iteration is state-neutral (Thm. 2).
+    """
+    csdf = graph.as_csdf()
+    if minimize:
+        _, peaks = minimal_buffer_schedule(csdf, bindings)
+        return peaks
+    schedule = find_sequential_schedule(csdf, bindings)
+    return schedule_buffer_sizes(csdf, schedule, bindings)

@@ -1,0 +1,159 @@
+"""The built-in TPDF actors of Sec. II-B: Select-duplicate, Transaction
+and Clock.
+
+* **Select-duplicate** — one input, ``n`` outputs; each input token is
+  copied to whichever combination of outputs the control token enables.
+* **Transaction** — ``n`` inputs, one output; atomically selects a
+  predefined number of tokens from one or several inputs.  Combined
+  with control actors it implements the paper's special actions:
+  *speculation*, *redundancy with vote*, *highest priority at a given
+  deadline*, and *selection of an active data path*.
+* **Clock** — a watchdog-timer control actor emitting a control token
+  on every timeout; this is what gives TPDF its time-triggered
+  semantics (the 500 ms deadline of the edge-detection case study).
+
+The factories build fully-wired kernels/actors and register them in a
+graph; their runtime behaviour is interpreted by :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..csdf.rates import RateLike
+from ..errors import GraphConstructionError
+from .graph import TPDFGraph
+from .kernel import ControlActor, Kernel
+from .modes import Mode
+
+
+def select_duplicate(
+    graph: TPDFGraph,
+    name: str,
+    outputs: int,
+    input_rate: RateLike = 1,
+    output_rate: RateLike = 1,
+    exec_time: float = 1.0,
+    output_names: Sequence[str] | None = None,
+) -> Kernel:
+    """Create a Select-duplicate kernel with ``outputs`` output ports.
+
+    Ports: ``in`` (data), ``out0..out{n-1}`` (data, or ``output_names``),
+    ``ctrl`` (control).  Each consumed token is duplicated onto the
+    outputs enabled by the current control token.
+    """
+    if outputs < 1:
+        raise GraphConstructionError(f"select-duplicate {name!r}: needs >= 1 output")
+    kernel = Kernel(
+        name,
+        exec_time=exec_time,
+        modes=(Mode.WAIT_ALL, Mode.SELECT_ONE, Mode.SELECT_MANY),
+    )
+    kernel.meta["builtin"] = "select_duplicate"
+    kernel.add_input("in", input_rate)
+    names = list(output_names) if output_names is not None else [
+        f"out{i}" for i in range(outputs)
+    ]
+    if len(names) != outputs:
+        raise GraphConstructionError(
+            f"select-duplicate {name!r}: {outputs} outputs but "
+            f"{len(names)} output names"
+        )
+    for port_name in names:
+        kernel.add_output(port_name, output_rate)
+    kernel.add_control_port("ctrl", 1)
+    graph.register(kernel)
+    return kernel
+
+
+def transaction(
+    graph: TPDFGraph,
+    name: str,
+    inputs: int,
+    input_rate: RateLike = 1,
+    output_rate: RateLike = 1,
+    exec_time: float = 1.0,
+    input_names: Sequence[str] | None = None,
+    priorities: Sequence[int] | None = None,
+    action: str = "priority_deadline",
+) -> Kernel:
+    """Create a Transaction kernel with ``inputs`` input ports.
+
+    Ports: ``in0..in{n-1}`` (or ``input_names``), ``out``, ``ctrl``.
+    ``priorities`` order the inputs for ``HIGHEST_PRIORITY`` modes
+    (larger wins, default: declaration order).  ``action`` names the
+    special behaviour the runtime applies:
+
+    ``"priority_deadline"``
+        emit the highest-priority input available when the control
+        token (usually from a clock) arrives — "best result by the
+        deadline";
+    ``"vote"``
+        read all selected inputs and emit the majority value
+        (redundancy with vote);
+    ``"select"``
+        forward exactly the inputs named by the control token
+        (active-data-path selection / speculation resolution).
+    """
+    if inputs < 1:
+        raise GraphConstructionError(f"transaction {name!r}: needs >= 1 input")
+    if action not in ("priority_deadline", "vote", "select"):
+        raise GraphConstructionError(f"transaction {name!r}: unknown action {action!r}")
+    kernel = Kernel(
+        name,
+        exec_time=exec_time,
+        modes=(Mode.WAIT_ALL, Mode.SELECT_ONE, Mode.SELECT_MANY, Mode.HIGHEST_PRIORITY),
+    )
+    kernel.meta["builtin"] = "transaction"
+    kernel.meta["action"] = action
+    names = list(input_names) if input_names is not None else [
+        f"in{i}" for i in range(inputs)
+    ]
+    if len(names) != inputs:
+        raise GraphConstructionError(
+            f"transaction {name!r}: {inputs} inputs but {len(names)} input names"
+        )
+    prios = list(priorities) if priorities is not None else list(range(inputs))
+    if len(prios) != inputs:
+        raise GraphConstructionError(
+            f"transaction {name!r}: {inputs} inputs but {len(prios)} priorities"
+        )
+    for port_name, priority in zip(names, prios):
+        kernel.add_input(port_name, input_rate, priority=priority)
+    kernel.add_output("out", output_rate)
+    kernel.add_control_port("ctrl", 1)
+    graph.register(kernel)
+    return kernel
+
+
+class ClockActor(ControlActor):
+    """A watchdog-timer control actor (Sec. II-B item c).
+
+    Fires autonomously every ``period`` model-time units and emits one
+    control token per control output.  It has no data inputs — its
+    firing rule is purely temporal, which is why plain CSDF cannot
+    express it (Sec. IV-A: "this kind of time-dependent decision is not
+    available in usual CSDF").
+    """
+
+    def __init__(self, name: str, period: float, exec_time: float = 0.0):
+        if period <= 0:
+            raise GraphConstructionError(f"clock {name!r}: period must be positive")
+        super().__init__(name, exec_time=exec_time)
+        self.period = float(period)
+        self.meta["builtin"] = "clock"
+        self.meta["period"] = float(period)
+
+
+def clock(
+    graph: TPDFGraph,
+    name: str,
+    period: float,
+    output_rate: RateLike = 1,
+) -> ClockActor:
+    """Create and register a clock control actor with one control
+    output named ``tick``."""
+    actor = ClockActor(name, period)
+    actor.add_control_output("tick", output_rate)
+    graph.register(actor)
+    return actor

@@ -1,0 +1,121 @@
+"""Structural diagnostics for TPDF graphs.
+
+`check_*` analyses answer "is this graph correct?"; :func:`lint`
+answers "is this graph *suspicious*?" — the well-formed-but-probably-
+wrong patterns a toolchain should warn about before burning analysis
+time:
+
+* dangling ports (declared but never connected),
+* kernels with a control port that no control actor feeds,
+* control actors whose tokens nobody receives,
+* unreachable actors (no path from any source),
+* undeclared parameters,
+* rate sequences that are all-zero on some port (the port can never
+  move a token),
+* clock actors inside feedback cycles (their time-triggered firings
+  would race the data path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+from .builtins import ClockActor
+from .graph import TPDFGraph
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.subject}: {self.message}"
+
+
+def lint(graph: TPDFGraph) -> list[LintWarning]:
+    """Run all structural checks; returns warnings (possibly empty)."""
+    return list(_iter_warnings(graph))
+
+
+def _iter_warnings(graph: TPDFGraph) -> Iterator[LintWarning]:
+    connected_ports = set()
+    for channel in graph.channels.values():
+        connected_ports.add((channel.src, channel.src_port))
+        connected_ports.add((channel.dst, channel.dst_port))
+
+    for name in graph.node_names():
+        node = graph.node(name)
+        for port in node.ports.values():
+            if (name, port.name) not in connected_ports:
+                yield LintWarning(
+                    "dangling-port", f"{name}.{port.name}",
+                    f"{port.kind} port is declared but never connected",
+                )
+            if all(entry.is_zero() for entry in port.rates):
+                yield LintWarning(
+                    "zero-rate-port", f"{name}.{port.name}",
+                    "every phase of the rate sequence is 0; the port can "
+                    "never move a token",
+                )
+
+    for name, kernel in graph.kernels.items():
+        port = kernel.control_port()
+        if port is not None and (name, port.name) not in connected_ports:
+            yield LintWarning(
+                "unfed-control-port", f"{name}.{port.name}",
+                "kernel declares a control port but no control actor "
+                "feeds it; it can never fire",
+            )
+
+    for name in graph.controls:
+        outs = graph.out_channels(name)
+        if not outs:
+            yield LintWarning(
+                "ineffective-control", name,
+                "control actor has no outgoing control channel; its "
+                "decisions reach nobody",
+            )
+
+    nxg = graph.to_networkx()
+    sources = {n for n in nxg.nodes
+               if nxg.in_degree(n) == 0
+               or isinstance(graph.node(n), ClockActor)}
+    reachable = set(sources)
+    for source in sources:
+        reachable |= nx.descendants(nxg, source)
+    for name in graph.node_names():
+        if name not in reachable:
+            yield LintWarning(
+                "unreachable", name,
+                "no path from any source or clock reaches this actor",
+            )
+
+    for undeclared in sorted(graph.undeclared_parameters()):
+        yield LintWarning(
+            "undeclared-parameter", undeclared,
+            "parameter used in rates but not declared on the graph "
+            "(domain unknown)",
+        )
+
+    for scc in nx.strongly_connected_components(nxg):
+        clocks = [n for n in scc if isinstance(graph.node(n), ClockActor)]
+        if clocks and (len(scc) > 1 or nxg.has_edge(clocks[0], clocks[0])):
+            yield LintWarning(
+                "clock-in-cycle", clocks[0],
+                "clock actor participates in a feedback cycle; its "
+                "time-triggered firings race the data path",
+            )
+
+
+def assert_clean(graph: TPDFGraph) -> None:
+    """Raise ``ValueError`` listing all warnings when the graph is not
+    lint-clean (convenience for strict pipelines)."""
+    warnings = lint(graph)
+    if warnings:
+        body = "\n  ".join(str(w) for w in warnings)
+        raise ValueError(f"graph {graph.name!r} has lint warnings:\n  {body}")

@@ -1,0 +1,116 @@
+"""Kernel modes and control tokens (Definition 2 of the paper).
+
+A kernel with a control port waits for one *control token* per firing;
+the token tells it in which mode to operate.  The paper defines four
+mode families:
+
+* select **one** of the data inputs (outputs),
+* select **more than one** data input (output),
+* select the available data input with the **highest priority**
+  (optionally "at a given deadline" when driven by a clock actor),
+* **wait** until all data inputs are available.
+
+A :class:`ControlToken` pairs a :class:`Mode` with the concrete port
+selection it applies to.  Unselected ports are *rejected*: their tokens
+are consumed-and-discarded (or their firings cancelled by the ADF,
+Sec. III-D), which is what lets TPDF drop entire data paths at runtime
+without breaking the static guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Mode(Enum):
+    """The mode families available to TPDF kernels (Def. 2)."""
+
+    #: Select exactly one data input (or output) port.
+    SELECT_ONE = "select_one"
+    #: Select a strict subset of size > 1 of the data ports.
+    SELECT_MANY = "select_many"
+    #: Select the available input with the highest priority ``alpha``;
+    #: combined with a clock this yields "best result by the deadline".
+    HIGHEST_PRIORITY = "highest_priority"
+    #: Plain dataflow behaviour: wait until *all* data inputs are
+    #: available (the default for kernels without a control port).
+    WAIT_ALL = "wait_all"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ControlToken:
+    """One token carried by a control channel.
+
+    Attributes
+    ----------
+    mode:
+        The mode the receiving kernel must fire in.
+    selection:
+        Port names the mode applies to (empty for
+        :attr:`Mode.WAIT_ALL` and for :attr:`Mode.HIGHEST_PRIORITY`,
+        where the selection is resolved dynamically from priorities and
+        availability).
+    deadline:
+        Optional model-time deadline attached by clock actors; a
+        transaction kernel firing in ``HIGHEST_PRIORITY`` mode commits
+        to the best available input when this time is reached.
+    """
+
+    mode: Mode
+    selection: tuple[str, ...] = field(default=())
+    deadline: float | None = None
+
+    def __post_init__(self):
+        if self.mode is Mode.SELECT_ONE and len(self.selection) != 1:
+            raise ValueError(
+                f"SELECT_ONE requires exactly one selected port, got {self.selection!r}"
+            )
+        if self.mode is Mode.SELECT_MANY and len(self.selection) < 2:
+            raise ValueError(
+                f"SELECT_MANY requires at least two selected ports, got {self.selection!r}"
+            )
+        if self.mode in (Mode.WAIT_ALL,) and self.selection:
+            raise ValueError("WAIT_ALL carries no port selection")
+
+    def selects(self, port: str) -> bool:
+        """Does this token enable the given port?
+
+        ``WAIT_ALL`` enables everything; ``HIGHEST_PRIORITY`` defers the
+        decision to runtime availability, so statically every port is
+        potentially enabled.
+        """
+        if self.mode in (Mode.WAIT_ALL, Mode.HIGHEST_PRIORITY):
+            return True
+        return port in self.selection
+
+    def __str__(self) -> str:
+        body = str(self.mode)
+        if self.selection:
+            body += "(" + ",".join(self.selection) + ")"
+        if self.deadline is not None:
+            body += f"@{self.deadline}"
+        return body
+
+
+def select_one(port: str, deadline: float | None = None) -> ControlToken:
+    """Shorthand for a ``SELECT_ONE`` token."""
+    return ControlToken(Mode.SELECT_ONE, (port,), deadline)
+
+
+def select_many(*ports: str, deadline: float | None = None) -> ControlToken:
+    """Shorthand for a ``SELECT_MANY`` token."""
+    return ControlToken(Mode.SELECT_MANY, tuple(ports), deadline)
+
+
+def highest_priority(deadline: float | None = None) -> ControlToken:
+    """Shorthand for a ``HIGHEST_PRIORITY`` token (deadline optional)."""
+    return ControlToken(Mode.HIGHEST_PRIORITY, (), deadline)
+
+
+def wait_all() -> ControlToken:
+    """Shorthand for a ``WAIT_ALL`` token."""
+    return ControlToken(Mode.WAIT_ALL)

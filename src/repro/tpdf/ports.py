@@ -1,0 +1,63 @@
+"""Ports of TPDF kernels and control actors.
+
+Definition 2 distinguishes data input ports ``I``, data output ports
+``O`` and control ports ``C``; every port carries a priority ``alpha``
+(used by ``HIGHEST_PRIORITY`` modes) and a rate sequence.  Control
+ports are restricted to rates in ``{0, 1}`` — a kernel reads at most
+one control token per firing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..csdf.rates import RateLike, RateSequence
+
+
+class PortKind(Enum):
+    DATA_IN = "data_in"
+    DATA_OUT = "data_out"
+    CONTROL_IN = "control_in"
+    CONTROL_OUT = "control_out"
+
+    def is_input(self) -> bool:
+        return self in (PortKind.DATA_IN, PortKind.CONTROL_IN)
+
+    def is_control(self) -> bool:
+        return self in (PortKind.CONTROL_IN, PortKind.CONTROL_OUT)
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Port:
+    """A named, kinded, prioritized port with a cyclic rate sequence.
+
+    ``priority`` is the ``alpha`` of Definition 2: larger values win in
+    ``HIGHEST_PRIORITY`` selections (the edge-detection case study
+    orders Canny > Prewitt > Sobel > QuickMask this way).
+    """
+
+    __slots__ = ("name", "kind", "rates", "priority")
+
+    def __init__(self, name: str, kind: PortKind, rates: RateLike = 1, priority: int = 0):
+        self.name = name
+        self.kind = kind
+        self.rates = RateSequence.of(rates)
+        self.priority = int(priority)
+        if kind is PortKind.CONTROL_IN:
+            # Def. 2: Rk(m, c, n) in {0, 1} — a kernel reads at most one
+            # control token per firing.  Control *outputs* are not
+            # restricted (the Fig. 2 controller emits 2 tokens per firing).
+            for entry in self.rates:
+                if not entry.is_const() or entry.const_value() not in (0, 1):
+                    raise ValueError(
+                        f"control port {name!r}: rates must be 0 or 1 per firing "
+                        f"(Def. 2), got {entry}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"Port({self.name!r}, {self.kind}, rates={self.rates}, "
+            f"priority={self.priority})"
+        )

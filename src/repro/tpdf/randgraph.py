@@ -1,0 +1,134 @@
+"""Random consistent TPDF graph generation.
+
+Used by the scalability ablation (ABL3 in DESIGN.md) and by
+property-based tests: graphs are generated *consistent by
+construction* — rates on each channel are derived from a randomly
+chosen base solution ``r`` (for edge ``(i, j)`` set production
+``r_j / g`` and consumption ``r_i / g`` with ``g = gcd(r_i, r_j)``,
+which balances by construction) — and cycles are made live by seeding
+back edges with one full local iteration's worth of tokens.
+"""
+
+from __future__ import annotations
+
+import random
+from math import gcd
+
+from ..symbolic import Param
+from .graph import TPDFGraph
+
+
+def random_consistent_graph(
+    n_actors: int,
+    extra_edges: int = 0,
+    n_cycles: int = 0,
+    seed: int = 0,
+    max_rate_base: int = 4,
+    parametric: bool = False,
+    with_control: bool = True,
+) -> TPDFGraph:
+    """Generate a random consistent, live TPDF graph.
+
+    Parameters
+    ----------
+    n_actors:
+        Number of computation kernels (>= 2).
+    extra_edges:
+        Forward edges added on top of the random spanning chain.
+    n_cycles:
+        Back edges (each seeded with enough initial tokens to be live).
+    seed:
+        RNG seed (generation is deterministic).
+    max_rate_base:
+        Base solutions are drawn from ``1..max_rate_base``.
+    parametric:
+        Scale the base solution of a random suffix of the pipeline by a
+        parameter ``p``, making rates and the repetition vector
+        parametric.
+    with_control:
+        Attach a control actor driving the last kernel (exercises the
+        control-area machinery on generated graphs).
+    """
+    if n_actors < 2:
+        raise ValueError("need at least two actors")
+    rng = random.Random(seed)
+    p = Param("p", lo=1, hi=8)
+    graph = TPDFGraph(f"rand{seed}", parameters=[p] if parametric else [])
+
+    names = [f"k{i}" for i in range(n_actors)]
+    base = {name: rng.randint(1, max_rate_base) for name in names}
+    split = rng.randrange(1, n_actors) if parametric else n_actors
+    factor = {
+        name: (p if parametric and i >= split else 1)
+        for i, name in enumerate(names)
+    }
+
+    for name in names:
+        kernel = graph.add_kernel(name, exec_time=rng.choice([1.0, 2.0, 4.0]))
+        kernel.meta["base"] = base[name]
+
+    counter = [0]
+
+    def port_pair(src: str, dst: str):
+        counter[0] += 1
+        suffix = f"_{counter[0]}"
+        g = gcd(base[src], base[dst])
+        production = base[dst] // g
+        consumption = base[src] // g
+        # Balance: r_src * prod == r_dst * cons with r_i = base_i * factor_i.
+        # Same factor on both sides cancels; across the parametric split the
+        # larger factor is pushed onto the opposite rate.
+        prod_rate = production * p if factor[dst] != factor[src] and factor[src] == 1 else production
+        cons_rate = consumption * p if factor[dst] != factor[src] and factor[dst] == 1 else consumption
+        graph.node(src).add_output(f"o{suffix}", prod_rate)
+        graph.node(dst).add_input(f"i{suffix}", cons_rate)
+        return (src, f"o{suffix}"), (dst, f"i{suffix}")
+
+    # Spanning chain guarantees weak connectivity.
+    for src, dst in zip(names, names[1:]):
+        s, d = port_pair(src, dst)
+        graph.connect(s, d)
+
+    for _ in range(extra_edges):
+        i, j = sorted(rng.sample(range(n_actors), 2))
+        s, d = port_pair(names[i], names[j])
+        graph.connect(s, d)
+
+    # Back edges with liveness-preserving initial tokens: one local
+    # iteration consumes cons_rate * q_dst tokens; we seed exactly that.
+    if n_cycles:
+        from .consistency import repetition_vector
+
+        q = repetition_vector(graph)
+        for _ in range(n_cycles):
+            i, j = sorted(rng.sample(range(n_actors), 2))
+            src, dst = names[j], names[i]  # backward
+            s, d = port_pair(src, dst)
+            consumption = graph.node(dst).port(d[1]).rates.cycle_total()
+            need = consumption * q[dst]
+            tokens = need.evaluate({p.name: p.hi or 8} if parametric else {})
+            graph.connect(s, d, initial_tokens=int(tokens))
+
+    if with_control:
+        # Attach a control actor that is rate safe *by construction*
+        # (Def. 5): it consumes one whole local iteration of the last
+        # kernel per firing (rate = q_last, possibly parametric) and
+        # steers a sink that also fires once per local iteration.
+        from .consistency import repetition_vector
+
+        last = names[-1]
+        q_last = repetition_vector(graph)[last]
+        control = graph.add_control_actor("ctrl0")
+        counter[0] += 1
+        graph.node(last).add_output(f"o_{counter[0]}", 1)
+        control.add_input("in", q_last)
+        control.add_control_output("out", 1)
+        target = graph.add_kernel("sink0")
+        target.add_input("in", q_last)
+        target.add_control_port("ctrl", 1)
+        counter[0] += 1
+        graph.node(last).add_output(f"o_{counter[0]}", 1)
+        graph.connect((last, f"o_{counter[0] - 1}"), ("ctrl0", "in"))
+        graph.connect(("ctrl0", "out"), ("sink0", "ctrl"))
+        graph.connect((last, f"o_{counter[0]}"), ("sink0", "in"))
+    return graph

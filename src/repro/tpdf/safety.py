@@ -1,0 +1,127 @@
+"""Rate safety (Definition 5) — the boundedness criterion of TPDF.
+
+A graph is *rate safe* when every control actor fires exactly once per
+local iteration of its control area: for each channel ``eu`` between a
+control actor ``g`` and an actor ``ai`` in ``prec(g) u succ(g)``::
+
+    X^u_g(1) = Y^u_i(q^L_ai)     if g produces on eu
+    Y^u_g(1) = X^u_i(q^L_ai)     if g consumes from eu
+
+i.e. one firing of ``g`` supplies (or absorbs) exactly the tokens its
+neighbours move during one local iteration.  Together with rate
+consistency and liveness this gives Theorem 2: the graph returns to its
+initial state each iteration and runs in bounded memory.
+
+The check is purely syntactic/symbolic; cumulative rates at parametric
+local counts are evaluated by
+:meth:`~repro.csdf.rates.RateSequence.cumulative_symbolic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RateSafetyError, SymbolicRateError
+from ..symbolic import Poly
+from .areas import area_local_solution
+from .graph import TPDFChannel, TPDFGraph
+
+
+@dataclass
+class SafetyCheck:
+    """One Definition-5 equation instance."""
+
+    control: str
+    other: str
+    channel: str
+    #: ``X_g(1)`` or ``Y_g(1)`` — the control actor's single-firing total.
+    control_side: Poly
+    #: ``Y_i(q^L_i)`` or ``X_i(q^L_i)`` — the neighbour's local-iteration total.
+    area_side: Poly
+    ok: bool
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.ok else "VIOLATED"
+        return (
+            f"{self.channel}: {self.control}(1) = {self.control_side} vs "
+            f"{self.other}(q^L) = {self.area_side} [{verdict}]"
+        )
+
+
+@dataclass
+class SafetyReport:
+    """Aggregate rate-safety verdict for a graph."""
+
+    safe: bool
+    checks: list[SafetyCheck] = field(default_factory=list)
+    #: Checks that could not be decided symbolically (SymbolicRateError).
+    undecided: list[str] = field(default_factory=list)
+
+    def violations(self) -> list[SafetyCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def __str__(self) -> str:
+        head = "rate safe" if self.safe else "NOT rate safe"
+        lines = [head] + [f"  {check}" for check in self.checks]
+        lines += [f"  undecided: {item}" for item in self.undecided]
+        return "\n".join(lines)
+
+
+def _neighbour_checks(graph: TPDFGraph, control: str) -> list[tuple[TPDFChannel, bool]]:
+    """Channels between ``control`` and its prec/succ; flag = g produces."""
+    out = [(channel, True) for channel in graph.out_channels(control)]
+    inc = [(channel, False) for channel in graph.in_channels(control)]
+    return out + inc
+
+
+def check_rate_safety(graph: TPDFGraph) -> SafetyReport:
+    """Run the Definition-5 check on every control actor."""
+    checks: list[SafetyCheck] = []
+    undecided: list[str] = []
+    for control in graph.controls:
+        local = area_local_solution(graph, control)
+        for channel, g_produces in _neighbour_checks(graph, control):
+            other = channel.dst if g_produces else channel.src
+            if other == control:
+                continue  # self-loop on a control actor constrains nothing here
+            if g_produces:
+                control_rates = graph.node(control).port(channel.src_port).rates
+                other_rates = graph.node(other).port(channel.dst_port).rates
+            else:
+                control_rates = graph.node(control).port(channel.dst_port).rates
+                other_rates = graph.node(other).port(channel.src_port).rates
+            control_side = control_rates.cumulative(1)
+            if other not in local.counts:
+                undecided.append(
+                    f"{channel.name}: neighbour {other!r} outside Area({control})"
+                )
+                continue
+            try:
+                area_side = other_rates.cumulative_symbolic(local.counts[other])
+            except SymbolicRateError as exc:
+                undecided.append(f"{channel.name}: {exc}")
+                continue
+            checks.append(
+                SafetyCheck(
+                    control=control,
+                    other=other,
+                    channel=channel.name,
+                    control_side=control_side,
+                    area_side=area_side,
+                    ok=control_side == area_side,
+                )
+            )
+    safe = not undecided and all(check.ok for check in checks)
+    return SafetyReport(safe=safe, checks=checks, undecided=undecided)
+
+
+def assert_rate_safe(graph: TPDFGraph) -> SafetyReport:
+    """Raise :class:`~repro.errors.RateSafetyError` unless rate safe."""
+    report = check_rate_safety(graph)
+    if not report.safe:
+        problems = [str(check) for check in report.violations()] + report.undecided
+        raise RateSafetyError(
+            f"graph {graph.name!r} violates rate safety (Def. 5):\n  "
+            + "\n  ".join(problems)
+        )
+    return report

@@ -1,0 +1,207 @@
+"""Graph transformations — the virtual-actor rewrite of Fig. 3.
+
+The boundedness proof (Thm. 2) handles modes that choose between data
+*outputs* (Select-duplicate) by rewriting them to the input-choosing
+case: a virtual control actor ``C`` receives a signal token from the
+select-duplicate kernel ``B`` and steers a virtual transaction kernel
+``F`` that consumes the downstream results, enabling exactly the data
+paths ``B`` chose.  The rewritten graph chooses between data *inputs*
+only, for which boundedness is already established.
+
+:func:`virtualize_select_duplicate` implements that rewrite
+generically; tests verify the result is consistent and rate safe and
+that its repetition vector restricts to the original one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import GraphConstructionError
+from .builtins import transaction
+from .graph import TPDFGraph
+from .kernel import ControlActor, Kernel
+
+
+def copy_graph(graph: TPDFGraph, name: str | None = None) -> TPDFGraph:
+    """Deep-copy the structure of a TPDF graph (nodes, ports, channels)."""
+    clone = TPDFGraph(name or graph.name, parameters=graph.parameters.values())
+    for node_name in graph.node_names():
+        node = graph.node(node_name)
+        if isinstance(node, ControlActor):
+            new = clone.add_control_actor(
+                node_name, exec_time=node.exec_times, decision=node.decision
+            )
+        else:
+            assert isinstance(node, Kernel)
+            new = clone.add_kernel(
+                node_name,
+                exec_time=node.exec_times,
+                function=node.function,
+                modes=node.modes,
+            )
+        new.meta.update(node.meta)
+        for port in node.ports.values():
+            if isinstance(new, ControlActor):
+                if port.kind.name == "DATA_IN":
+                    new.add_input(port.name, port.rates, priority=port.priority)
+                elif port.kind.name == "CONTROL_IN":
+                    new.add_control_input(port.name, port.rates)
+                else:
+                    new.add_control_output(port.name, port.rates)
+            else:
+                if port.kind.name == "DATA_IN":
+                    new.add_input(port.name, port.rates, priority=port.priority)
+                elif port.kind.name == "DATA_OUT":
+                    new.add_output(port.name, port.rates, priority=port.priority)
+                else:
+                    new.add_control_port(port.name, port.rates)
+    for channel in graph.channels.values():
+        clone.connect(
+            (channel.src, channel.src_port),
+            (channel.dst, channel.dst_port),
+            name=channel.name,
+            initial_tokens=channel.initial_tokens,
+        )
+    return clone
+
+
+def virtualize_select_duplicate(
+    graph: TPDFGraph,
+    kernel_name: str,
+    branch_sinks: Mapping[str, str] | None = None,
+    collector_name: str | None = None,
+    controller_name: str | None = None,
+) -> TPDFGraph:
+    """Rewrite output-selection into input-selection (Fig. 3).
+
+    Parameters
+    ----------
+    graph:
+        The graph containing a select-duplicate kernel.
+    kernel_name:
+        The kernel ``B`` whose output choice should be virtualized.
+    branch_sinks:
+        Maps each output port of ``B`` to the *last* actor of that
+        branch whose result the virtual collector should consume.
+        Defaults to the direct consumers of ``B``'s outputs.
+    collector_name, controller_name:
+        Names for the virtual transaction kernel ``F`` and virtual
+        control actor ``C`` (default ``<B>_vF`` / ``<B>_vC``).
+
+    Returns a **new** graph; the input graph is left untouched.
+    """
+    kernel = graph.node(kernel_name)
+    if not isinstance(kernel, Kernel):
+        raise GraphConstructionError(f"{kernel_name!r} is not a kernel")
+    outputs = kernel.data_outputs
+    if len(outputs) < 2:
+        raise GraphConstructionError(
+            f"{kernel_name!r} has {len(outputs)} outputs; the Fig. 3 rewrite "
+            f"needs a select-duplicate with at least two"
+        )
+
+    clone = copy_graph(graph, name=f"{graph.name}/virtualized")
+    controller = controller_name or f"{kernel_name}_vC"
+    collector = collector_name or f"{kernel_name}_vF"
+
+    # Resolve one sink actor per branch.
+    sinks: dict[str, str] = {}
+    for port in outputs:
+        feeds = [c for c in graph.out_channels(kernel_name) if c.src_port == port.name]
+        if not feeds:
+            raise GraphConstructionError(
+                f"output {kernel_name}.{port.name} is not connected"
+            )
+        default_sink = feeds[0].dst
+        sinks[port.name] = (
+            branch_sinks.get(port.name, default_sink) if branch_sinks else default_sink
+        )
+
+    # Virtual controller: fed by a fresh signal output on B, one token
+    # per firing; emits one control token per firing to the collector.
+    vc = clone.add_control_actor(controller, exec_time=0.0)
+    vc.add_input("signal", 1)
+    vc.add_control_output("ctrl", 1)
+    b = clone.node(kernel_name)
+    assert isinstance(b, Kernel)
+    b.add_output("vsignal", 1)
+    clone.connect((kernel_name, "vsignal"), (controller, "signal"),
+                  name=f"{kernel_name}_vsig")
+
+    # Virtual collector: a transaction kernel consuming one local-
+    # iteration's worth of tokens from each branch sink.
+    vf = transaction(
+        clone,
+        collector,
+        inputs=len(outputs),
+        input_names=[f"from_{sinks[port.name]}" for port in outputs],
+        action="select",
+        exec_time=0.0,
+    )
+    for port in outputs:
+        sink = sinks[port.name]
+        sink_node = clone.node(sink)
+        if not isinstance(sink_node, Kernel):
+            raise GraphConstructionError(f"branch sink {sink!r} is not a kernel")
+        out_name = f"vout_{collector}"
+        if out_name not in sink_node.ports:
+            sink_node.add_output(out_name, 1)
+        clone.connect((sink, out_name), (collector, f"from_{sink}"),
+                      name=f"v_{sink}_{collector}")
+    clone.connect((controller, "ctrl"), (collector, "ctrl"),
+                  name=f"v_{controller}_{collector}")
+    vf.meta["virtual"] = True
+    vc.meta["virtual"] = True
+    return clone
+
+
+def restrict_to_selection(
+    graph: TPDFGraph,
+    kernel_name: str,
+    selected_ports: Sequence[str],
+) -> TPDFGraph:
+    """Project the graph onto one mode: drop the channels hanging off
+    the *unselected* data ports of ``kernel_name`` (and any actors left
+    unreachable).  Models the topology after a SELECT_ONE/SELECT_MANY
+    decision; used to validate that consistency of the full graph
+    implies consistency of every restriction (Sec. III-A).
+    """
+    kernel = graph.node(kernel_name)
+    selected = set(selected_ports)
+    unknown = selected - set(kernel.ports)
+    if unknown:
+        raise GraphConstructionError(f"unknown ports on {kernel_name!r}: {sorted(unknown)}")
+    dropped_channels = {
+        channel.name
+        for channel in graph.channels.values()
+        if (channel.src == kernel_name and channel.src_port not in selected
+            and not graph.node(channel.src).port(channel.src_port).kind.is_control())
+        or (channel.dst == kernel_name and channel.dst_port not in selected
+            and not graph.node(channel.dst).port(channel.dst_port).kind.is_control())
+    }
+    clone = TPDFGraph(f"{graph.name}/restricted", parameters=graph.parameters.values())
+    kept_channels = [
+        channel for channel in graph.channels.values()
+        if channel.name not in dropped_channels
+    ]
+    kept_nodes = {channel.src for channel in kept_channels} | {
+        channel.dst for channel in kept_channels
+    }
+    template = copy_graph(graph)
+    for node_name in graph.node_names():
+        if node_name not in kept_nodes:
+            continue
+        node = template.node(node_name)
+        if isinstance(node, ControlActor):
+            clone._controls[node_name] = node  # reuse copied node objects
+        else:
+            clone._kernels[node_name] = node
+    for channel in kept_channels:
+        clone.connect(
+            (channel.src, channel.src_port),
+            (channel.dst, channel.dst_port),
+            name=channel.name,
+            initial_tokens=channel.initial_tokens,
+        )
+    return clone

@@ -1,0 +1,67 @@
+"""Graphviz DOT export for CSDF and TPDF graphs.
+
+No plotting libraries are available offline, so graphs export to DOT
+text for external rendering.  Control actors are drawn as diamonds and
+control channels dashed, matching the paper's figures; rates annotate
+the edge ends and initial tokens the edge middle.
+"""
+
+from __future__ import annotations
+
+from ..csdf.graph import CSDFGraph
+from ..tpdf.graph import TPDFGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def csdf_to_dot(graph: CSDFGraph) -> str:
+    """Render a CSDF graph as DOT."""
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=LR;",
+             "  node [shape=box, style=rounded];"]
+    for name in graph.actors:
+        lines.append(f'  "{_escape(name)}";')
+    for channel in graph.channels.values():
+        label = f"{channel.production} -> {channel.consumption}"
+        if channel.initial_tokens:
+            label += f" ({channel.initial_tokens} tok)"
+        lines.append(
+            f'  "{_escape(channel.src)}" -> "{_escape(channel.dst)}" '
+            f'[label="{_escape(label)}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tpdf_to_dot(graph: TPDFGraph) -> str:
+    """Render a TPDF graph as DOT (diamonds = control actors, dashed =
+    control channels, like the paper's figures)."""
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=LR;"]
+    if graph.parameters:
+        domains = ", ".join(
+            f"{p.name} in [{p.lo}, {p.hi if p.hi is not None else 'inf'}]"
+            for p in graph.parameters.values()
+        )
+        lines.append(f'  label="{_escape(graph.name)}: {_escape(domains)}";')
+    for name in graph.node_names():
+        if graph.is_control_actor(name):
+            shape = "diamond"
+        elif graph.node(name).meta.get("builtin") == "transaction":
+            shape = "hexagon"
+        else:
+            shape = "box"
+        lines.append(f'  "{_escape(name)}" [shape={shape}];')
+    for channel in graph.channels.values():
+        production = graph.node(channel.src).port(channel.src_port).rates
+        consumption = graph.node(channel.dst).port(channel.dst_port).rates
+        label = f"{production} -> {consumption}"
+        if channel.initial_tokens:
+            label += f" ({channel.initial_tokens} tok)"
+        style = ', style=dashed' if channel.is_control else ""
+        lines.append(
+            f'  "{_escape(channel.src)}" -> "{_escape(channel.dst)}" '
+            f'[label="{_escape(label)}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

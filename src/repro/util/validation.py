@@ -1,0 +1,70 @@
+"""The qualitative related-work comparison of Sec. V.
+
+The paper positions TPDF against the other parametric/dynamic dataflow
+MoCs (PSDF, VRDF, SPDF, SADF, BPDF) along the capabilities its
+contribution claims: static rate-consistency/boundedness/liveness
+guarantees, parametric rates, dynamic topology changes, and
+time-triggered semantics (clock actors).  This module encodes that
+matrix so the TAB-RW bench can print it and tests can pin the claimed
+TPDF row against what the library actually implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelFeatures:
+    """Capability row for one model of computation."""
+
+    name: str
+    static_guarantees: bool     # compile-time consistency/boundedness/liveness
+    parametric_rates: bool      # integer-parameter rates
+    dynamic_topology: bool      # runtime graph reconfiguration
+    time_constraints: bool      # time-triggered semantics (clocks/deadlines)
+    reference: str
+
+
+#: Sec. V, condensed.  "Static guarantees" follows the paper's claim
+#: that "none of these models provide any of the static guarantees that
+#: TPDF does" for PSDF/VRDF/SPDF; SADF and BPDF are statically
+#: analyzable but lack time constraints.
+RELATED_WORK = (
+    ModelFeatures("CSDF", True, False, False, False, "Bilsen et al. 1995"),
+    ModelFeatures("PSDF", False, True, False, False, "Bhattacharya & Bhattacharyya 2001"),
+    ModelFeatures("VRDF", False, True, False, False, "Wiggers et al. 2008"),
+    ModelFeatures("SPDF", False, True, False, False, "Fradet et al. 2012"),
+    ModelFeatures("SADF", True, False, True, False, "Theelen et al. 2006"),
+    ModelFeatures("BPDF", True, True, True, False, "Bebelis et al. 2013"),
+    ModelFeatures("TPDF", True, True, True, True, "this paper"),
+)
+
+
+def feature_matrix_rows() -> list[list[str]]:
+    """Rows for an ASCII table of the Sec. V comparison."""
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "-"
+
+    return [
+        [
+            model.name,
+            mark(model.static_guarantees),
+            mark(model.parametric_rates),
+            mark(model.dynamic_topology),
+            mark(model.time_constraints),
+            model.reference,
+        ]
+        for model in RELATED_WORK
+    ]
+
+
+FEATURE_HEADERS = [
+    "model", "static guarantees", "param rates", "dynamic topology",
+    "time constraints", "reference",
+]
+
+
+def tpdf_claims() -> ModelFeatures:
+    """The TPDF row — tests assert the library delivers each claim."""
+    return RELATED_WORK[-1]

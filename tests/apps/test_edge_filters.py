@@ -1,0 +1,105 @@
+"""Tests for the edge-detection filters (real image processing)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.edge import (
+    FILTERS,
+    canny,
+    detect,
+    edge_density,
+    flat,
+    kirsch,
+    prewitt,
+    quality_rank,
+    quick_mask,
+    sobel,
+    step_edge,
+    synthetic_scene,
+)
+
+
+class TestOnGroundTruth:
+    @pytest.mark.parametrize("method", sorted(FILTERS))
+    def test_flat_image_has_no_edges(self, method):
+        edges = detect(method, flat(48))
+        assert float(edges.max()) == 0.0
+
+    @pytest.mark.parametrize("method", ["quickmask", "sobel", "prewitt", "kirsch"])
+    def test_step_edge_localized(self, method):
+        image = step_edge(48, position=0.5)
+        edges = detect(method, image)
+        column_energy = edges.sum(axis=0)
+        peak = int(np.argmax(column_energy))
+        assert abs(peak - 24) <= 1
+
+    def test_canny_step_edge_thin(self):
+        edges = canny(step_edge(64))
+        # Canny output is binary and the edge is a thin vertical line.
+        assert set(np.unique(edges)) <= {0.0, 1.0}
+        cols = np.where(edges.sum(axis=0) > 0)[0]
+        assert len(cols) <= 6
+        assert abs(int(cols.mean()) - 32) <= 3
+
+    def test_outputs_normalized(self):
+        image = synthetic_scene(64)
+        for method in ("quickmask", "sobel", "prewitt", "kirsch"):
+            edges = detect(method, image)
+            assert 0.0 <= float(edges.min())
+            assert float(edges.max()) <= 1.0
+
+
+class TestShapesAndValidation:
+    def test_shape_preserved(self):
+        image = synthetic_scene(40)
+        for method in FILTERS:
+            assert detect(method, image).shape == image.shape
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            sobel(np.zeros((4, 4, 3)))
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            detect("magic", flat(16))
+
+    def test_kirsch_uses_all_directions(self):
+        # A diagonal edge must be detected as strongly as an axis-aligned one.
+        size = 48
+        yy, xx = np.mgrid[0:size, 0:size]
+        diagonal = (yy > xx).astype(float) * 255.0
+        horizontal = step_edge(size).T
+        d_mean = kirsch(diagonal).mean()
+        h_mean = kirsch(horizontal).mean()
+        assert d_mean > 0.5 * h_mean
+
+    def test_quality_rank_matches_paper_order(self):
+        assert quality_rank("canny") > quality_rank("prewitt")
+        assert quality_rank("prewitt") > quality_rank("sobel")
+        assert quality_rank("sobel") > quality_rank("quickmask")
+
+
+class TestImages:
+    def test_scene_deterministic(self):
+        a = synthetic_scene(64, noise=3.0, seed=9)
+        b = synthetic_scene(64, noise=3.0, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_scene_range(self):
+        scene = synthetic_scene(64, noise=50.0)
+        assert scene.min() >= 0.0
+        assert scene.max() <= 255.0
+
+    def test_scene_size_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_scene(4)
+
+    def test_edge_density(self):
+        edges = np.zeros((10, 10))
+        edges[0, :] = 1.0
+        assert edge_density(edges) == pytest.approx(0.1)
+
+    def test_noise_changes_detection(self):
+        clean = detect("quickmask", synthetic_scene(64, noise=0.0))
+        noisy = detect("quickmask", synthetic_scene(64, noise=30.0, seed=2))
+        assert edge_density(noisy, 0.1) > edge_density(clean, 0.1)

@@ -1,0 +1,85 @@
+"""Tests for the FM radio workload."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fmradio import (
+    bandpass_taps,
+    build_fm_graph,
+    compare_redundancy,
+    equalizer_bands,
+    fir,
+    fm_demodulate,
+    fm_modulate,
+    lowpass_taps,
+)
+from repro.tpdf import check_consistency, check_rate_safety
+
+
+class TestDSP:
+    def test_fm_roundtrip(self):
+        audio = 0.1 * np.sin(np.linspace(0, 30 * np.pi, 400))
+        recovered = fm_demodulate(fm_modulate(audio))
+        corr = np.corrcoef(audio[10:], recovered[10:])[0, 1]
+        assert corr > 0.99
+
+    def test_lowpass_dc_gain(self):
+        taps = lowpass_taps(0.2)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_bandpass_rejects_dc(self):
+        taps = bandpass_taps(0.1, 0.3)
+        assert abs(taps.sum()) < 1e-6
+
+    def test_bandpass_passes_in_band_tone(self):
+        taps = bandpass_taps(0.1, 0.3, taps=65)
+        t = np.arange(1024)
+        in_band = np.sin(2 * np.pi * 0.2 * t)
+        out_band = np.sin(2 * np.pi * 0.45 * t)
+        assert np.std(fir(in_band, taps)) > 5 * np.std(fir(out_band, taps))
+
+    def test_equalizer_band_edges_validated(self):
+        with pytest.raises(ValueError):
+            bandpass_taps(0.3, 0.1)
+        with pytest.raises(ValueError):
+            lowpass_taps(0.7)
+        with pytest.raises(ValueError):
+            equalizer_bands(0)
+
+    def test_demodulate_short_input(self):
+        assert fm_demodulate(np.array([1.0 + 0j])).size == 1
+
+
+class TestGraphs:
+    def test_static_variant_has_no_controls(self):
+        g = build_fm_graph(4, dynamic=False)
+        assert not g.controls
+
+    def test_dynamic_variant_consistent_and_safe(self):
+        g = build_fm_graph(4, active_bands=[0, 1], dynamic=True)
+        assert check_consistency(g).consistent
+        assert check_rate_safety(g).safe
+
+    def test_invalid_band_subset(self):
+        with pytest.raises(ValueError):
+            build_fm_graph(4, active_bands=[7])
+        with pytest.raises(ValueError):
+            build_fm_graph(4, active_bands=[])
+
+
+class TestRedundancy:
+    def test_savings_positive_for_subsets(self):
+        report = compare_redundancy(n_bands=6, active_bands=(0, 2), blocks=2)
+        assert report.dynamic_firings < report.static_firings
+        assert report.dynamic_buffer < report.static_buffer
+
+    def test_savings_grow_with_fewer_bands(self):
+        one = compare_redundancy(n_bands=6, active_bands=(0,), blocks=2)
+        three = compare_redundancy(n_bands=6, active_bands=(0, 2, 4), blocks=2)
+        assert one.firings_saved > three.firings_saved
+
+    def test_all_bands_has_control_overhead(self):
+        report = compare_redundancy(n_bands=4, active_bands=tuple(range(4)),
+                                    blocks=2)
+        # Dynamic variant pays the control machinery when nothing is cut.
+        assert report.dynamic_firings >= report.static_firings

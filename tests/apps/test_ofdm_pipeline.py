@@ -1,0 +1,135 @@
+"""Tests for the OFDM demodulator graphs and the Fig. 8 buffer study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.ofdm import (
+    OFDMTransmitter,
+    bindings_for,
+    build_ofdm_csdf,
+    build_ofdm_tpdf,
+    fft_symbols,
+    fig8_point,
+    fig8_series,
+    measured_csdf_buffer,
+    measured_tpdf_buffer,
+    paper_csdf_buffer,
+    paper_tpdf_buffer,
+    remove_cyclic_prefix,
+    run_ofdm_tpdf,
+)
+from repro.csdf import concrete_repetition_vector as csdf_q
+from repro.tpdf import check_boundedness, check_rate_safety
+from repro.tpdf import concrete_repetition_vector as tpdf_q
+
+
+class TestTransmitter:
+    def test_activation_shape(self):
+        tx = OFDMTransmitter(n=8, l=2, scheme="qpsk", beta=3)
+        samples = tx.activation()
+        assert samples.size == 3 * 10
+        assert tx.bits_per_activation == 3 * 2 * 8
+
+    def test_cp_is_cyclic(self):
+        tx = OFDMTransmitter(n=8, l=2, scheme="qpsk", beta=1)
+        samples = tx.activation()
+        # Prefix repeats the symbol tail: s[0:2] == s[8:10].
+        assert np.allclose(samples[:2], samples[8:10])
+
+    def test_rcp_fft_roundtrip(self):
+        tx = OFDMTransmitter(n=16, l=4, scheme="qam16", beta=2, seed=5)
+        samples = tx.activation()
+        stripped = remove_cyclic_prefix(samples, 16, 4)
+        symbols = fft_symbols(stripped, 16)
+        from repro.apps.ofdm import demap_symbols
+
+        bits = demap_symbols(symbols, "qam16")
+        assert np.array_equal(bits, tx.all_sent_bits())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OFDMTransmitter(n=1, l=0, scheme="qpsk", beta=1)
+        with pytest.raises(ValueError):
+            OFDMTransmitter(n=8, l=8, scheme="qpsk", beta=1)
+        with pytest.raises(ValueError):
+            OFDMTransmitter(n=8, l=1, scheme="qpsk", beta=0)
+        with pytest.raises(ValueError):
+            OFDMTransmitter(n=8, l=1, scheme="wat", beta=1)
+
+    def test_rcp_validates_block_size(self):
+        with pytest.raises(ValueError):
+            remove_cyclic_prefix(np.zeros(7), 4, 1)
+
+
+class TestStaticProperties:
+    def test_tpdf_repetition_all_ones(self):
+        q = tpdf_q(build_ofdm_tpdf(), bindings_for(10, 512, 1, 4))
+        assert set(q.values()) == {1}
+
+    def test_tpdf_rate_safe(self):
+        assert check_rate_safety(build_ofdm_tpdf()).safe
+
+    def test_tpdf_bounded(self):
+        assert check_boundedness(build_ofdm_tpdf()).bounded
+
+    def test_csdf_baseline_consistent(self):
+        q = csdf_q(build_ofdm_csdf(), bindings_for(10, 512, 1, 4))
+        assert set(q.values()) == {1}
+
+
+class TestFunctionalRuns:
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_noiseless_exact_recovery(self, m):
+        run = run_ofdm_tpdf(beta=2, n=16, l=4, m=m, activations=2)
+        assert run.bit_errors == 0
+        assert run.received_bits.size == run.sent_bits.size
+
+    def test_only_selected_demapper_fires(self):
+        run = run_ofdm_tpdf(beta=1, n=8, l=2, m=4, activations=1)
+        counts = run.trace.counts()
+        assert counts.get("QAM") == 1
+        assert "QPSK" not in counts
+
+    def test_moderate_noise_low_ber(self):
+        run = run_ofdm_tpdf(beta=2, n=32, l=4, m=2, activations=2,
+                            noise_std=0.05)
+        assert run.ber < 0.05
+
+    def test_heavy_noise_corrupts(self):
+        run = run_ofdm_tpdf(beta=2, n=32, l=4, m=2, activations=2,
+                            noise_std=2.0)
+        assert run.ber > 0.1
+
+
+class TestFig8Buffers:
+    def test_measured_matches_paper_formula_tpdf(self):
+        for beta, n in ((10, 512), (40, 1024), (100, 512)):
+            total = sum(measured_tpdf_buffer(beta, n, 1, 4).values())
+            assert total == paper_tpdf_buffer(beta, n, 1)
+
+    def test_measured_matches_paper_formula_csdf(self):
+        for beta, n in ((10, 512), (40, 1024)):
+            total = sum(measured_csdf_buffer(beta, n, 1).values())
+            assert total == paper_csdf_buffer(beta, n, 1)
+
+    def test_improvement_is_29_percent(self):
+        point = fig8_point(100, 1024)
+        assert point.improvement == pytest.approx(1 - 12 / 17, abs=0.01)
+
+    def test_linear_in_beta(self):
+        p10 = fig8_point(10, 512)
+        p20 = fig8_point(20, 512)
+        p40 = fig8_point(40, 512)
+        slope1 = (p20.tpdf_measured - p10.tpdf_measured) / 10
+        slope2 = (p40.tpdf_measured - p20.tpdf_measured) / 20
+        assert slope1 == pytest.approx(slope2)
+
+    def test_series_covers_sweep(self):
+        series = fig8_series(betas=(10, 50), ns=(512, 1024))
+        assert len(series) == 4
+        assert all(pt.tpdf_measured < pt.csdf_measured for pt in series)
+
+    def test_control_overhead_is_three_tokens(self):
+        peaks = measured_tpdf_buffer(10, 512, 1, 4)
+        control_channels = {"e_src_con", "e_con_dup", "e_con_tran"}
+        assert sum(peaks[c] for c in control_channels) == 3

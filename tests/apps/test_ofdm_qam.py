@@ -1,0 +1,83 @@
+"""Tests for constellation mapping/demapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.ofdm import BITS_PER_SYMBOL, demap_symbols, map_bits, scheme_for_m
+
+
+class TestSchemes:
+    def test_scheme_for_m(self):
+        assert scheme_for_m(2) == "qpsk"
+        assert scheme_for_m(4) == "qam16"
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            scheme_for_m(3)
+
+    def test_bits_per_symbol(self):
+        assert BITS_PER_SYMBOL == {"qpsk": 2, "qam16": 4}
+
+
+class TestMapping:
+    def test_qpsk_unit_power(self):
+        bits = np.array([0, 0, 0, 1, 1, 0, 1, 1])
+        symbols = map_bits(bits, "qpsk")
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_qam16_average_power(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 4000)
+        symbols = map_bits(bits, "qam16")
+        assert np.mean(np.abs(symbols) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_qpsk_constellation_size(self):
+        bits = np.array([b for i in range(4) for b in (i >> 1 & 1, i & 1)])
+        symbols = map_bits(bits, "qpsk")
+        assert len(set(np.round(symbols, 6))) == 4
+
+    def test_qam16_constellation_size(self):
+        bits = np.array([b for i in range(16)
+                         for b in (i >> 3 & 1, i >> 2 & 1, i >> 1 & 1, i & 1)])
+        symbols = map_bits(bits, "qam16")
+        assert len(set(np.round(symbols, 6))) == 16
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            map_bits(np.array([0, 1, 0]), "qpsk")
+
+
+class TestRoundTrips:
+    @given(st.binary(min_size=1, max_size=32))
+    def test_qpsk_roundtrip(self, data):
+        bits = np.array([b & 1 for b in data for _ in (0, 1)])[: 2 * len(data)]
+        bits = np.resize(bits, (len(bits) // 2) * 2)
+        if bits.size == 0:
+            return
+        assert np.array_equal(demap_symbols(map_bits(bits, "qpsk"), "qpsk"), bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    def test_qam16_roundtrip(self, bit_list):
+        bits = np.array(bit_list[: (len(bit_list) // 4) * 4])
+        if bits.size == 0:
+            return
+        assert np.array_equal(demap_symbols(map_bits(bits, "qam16"), "qam16"), bits)
+
+    def test_qpsk_gray_single_bit_noise_resilience(self):
+        """Gray coding: a small perturbation flips at most one bit."""
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 200)
+        symbols = map_bits(bits, "qpsk")
+        noisy = symbols + 0.05 * (rng.normal(size=symbols.size)
+                                  + 1j * rng.normal(size=symbols.size))
+        assert np.array_equal(demap_symbols(noisy, "qpsk"), bits)
+
+    def test_qam16_small_noise_resilience(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 400)
+        symbols = map_bits(bits, "qam16")
+        noisy = symbols + 0.02 * (rng.normal(size=symbols.size)
+                                  + 1j * rng.normal(size=symbols.size))
+        assert np.array_equal(demap_symbols(noisy, "qam16"), bits)

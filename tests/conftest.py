@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's example graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.symbolic import Param
+from repro.csdf import CSDFGraph
+from repro.tpdf import TPDFGraph, fig2_graph
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def fig1() -> CSDFGraph:
+    """The paper's Fig. 1 CSDF graph (q = [3, 2, 2])."""
+    from repro.gallery import fig1_graph
+
+    return fig1_graph()
+
+
+@pytest.fixture
+def fig2() -> TPDFGraph:
+    """The paper's Fig. 2 TPDF graph (q = [2, 2p, p, p, 2p, 2p])."""
+    return fig2_graph()
+
+
+def build_fig4(back_production, initial_tokens: int) -> TPDFGraph:
+    """The Fig. 4 liveness examples (delegates to the gallery)."""
+    from repro.gallery import fig4_graph
+
+    case = {((0, 2), 2): "a", ((2, 0), 1): "b", ((2, 0), 0): "dead"}.get(
+        (tuple(back_production), initial_tokens)
+    )
+    if case is not None:
+        return fig4_graph(case)
+    # Non-standard variants are built directly.
+    p = Param("p")
+    g = TPDFGraph("fig4custom", parameters=[p])
+    a = g.add_kernel("A")
+    a.add_output("out", [p, p])
+    b = g.add_kernel("B")
+    b.add_input("in", [1, 1])
+    b.add_output("to_c", 1)
+    b.add_input("back", [1, 1])
+    c = g.add_kernel("C")
+    c.add_input("in", 1)
+    c.add_output("back", back_production)
+    g.connect("A.out", "B.in", name="e1")
+    g.connect("B.to_c", "C.in", name="e2")
+    g.connect("C.back", "B.back", name="e3", initial_tokens=initial_tokens)
+    return g
+
+
+@pytest.fixture
+def fig4a() -> TPDFGraph:
+    return build_fig4([0, 2], 2)
+
+
+@pytest.fixture
+def fig4b() -> TPDFGraph:
+    return build_fig4([2, 0], 1)
+
+
+@pytest.fixture
+def simple_pipeline() -> TPDFGraph:
+    """src -> mid -> snk, unit rates; the smallest useful TPDF graph."""
+    g = TPDFGraph("pipeline")
+    src = g.add_kernel("src")
+    src.add_output("out", 1)
+    mid = g.add_kernel("mid")
+    mid.add_input("in", 1)
+    mid.add_output("out", 1)
+    snk = g.add_kernel("snk")
+    snk.add_input("in", 1)
+    g.connect("src.out", "mid.in", name="c1")
+    g.connect("mid.out", "snk.in", name="c2")
+    return g

@@ -1,0 +1,117 @@
+"""Tests for capacity-bounded (blocking-write) self-timed execution."""
+
+import pytest
+
+from repro.csdf import (
+    CSDFGraph,
+    minimal_buffer_schedule,
+    self_timed_execution,
+)
+from repro.csdf.throughput import buffer_throughput_tradeoff
+
+
+def producer_consumer(prod_time=1.0, cons_time=3.0) -> CSDFGraph:
+    g = CSDFGraph("pc")
+    g.add_actor("prod", exec_time=prod_time)
+    g.add_actor("cons", exec_time=cons_time)
+    g.add_channel("e", "prod", "cons", 1, 1)
+    return g
+
+
+class TestBlockingWrites:
+    def test_capacity_respected(self):
+        g = producer_consumer()
+        result = self_timed_execution(g, iterations=6, capacities={"e": 2})
+        assert result.peaks["e"] <= 2
+
+    def test_unbounded_producer_runs_ahead(self):
+        g = producer_consumer()
+        result = self_timed_execution(g, iterations=6)
+        # Fast producer fills the FIFO well past 2 without back-pressure.
+        assert result.peaks["e"] > 2
+
+    def test_tight_buffer_serializes(self):
+        g = producer_consumer(prod_time=1.0, cons_time=1.0)
+        tight = self_timed_execution(g, iterations=8, capacities={"e": 1})
+        loose = self_timed_execution(g, iterations=8, capacities={"e": 8})
+        assert tight.makespan >= loose.makespan
+
+    def test_throughput_unaffected_when_consumer_is_bottleneck(self):
+        g = producer_consumer(prod_time=1.0, cons_time=3.0)
+        small = self_timed_execution(g, iterations=8, capacities={"e": 2})
+        big = self_timed_execution(g, iterations=8, capacities={"e": 100})
+        assert small.iteration_period == pytest.approx(big.iteration_period)
+
+    def test_selfloop_capacity(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=1.0)
+        g.add_channel("loop", "a", "a", 1, 1, initial_tokens=1)
+        result = self_timed_execution(g, iterations=4, capacities={"loop": 1})
+        assert result.iterations == 4
+
+    def test_undersized_buffer_deadlocks(self):
+        from repro.errors import DeadlockError
+
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", 3, 3)  # one firing needs 3 slots
+        with pytest.raises(DeadlockError):
+            self_timed_execution(g, capacities={"e": 2})
+
+
+class TestMinBuffersForFullThroughput:
+    def test_result_achieves_unconstrained_period(self, fig1):
+        from repro.csdf import min_buffers_for_full_throughput
+
+        caps = min_buffers_for_full_throughput(fig1, iterations=5)
+        unconstrained = self_timed_execution(fig1, iterations=5)
+        constrained = self_timed_execution(fig1, iterations=5, capacities=caps)
+        assert constrained.iteration_period == pytest.approx(
+            unconstrained.iteration_period
+        )
+
+    def test_result_not_larger_than_unconstrained_peaks(self, fig1):
+        from repro.csdf import min_buffers_for_full_throughput
+
+        caps = min_buffers_for_full_throughput(fig1, iterations=5)
+        peaks = self_timed_execution(fig1, iterations=5).peaks
+        for name, cap in caps.items():
+            assert cap <= peaks[name]
+
+    def test_slow_consumer_needs_no_deep_fifo(self):
+        from repro.csdf import min_buffers_for_full_throughput
+
+        g = producer_consumer(prod_time=1.0, cons_time=4.0)
+        caps = min_buffers_for_full_throughput(g, iterations=6)
+        # The consumer is the bottleneck: a couple of slots suffice even
+        # though the unconstrained producer piles up many tokens.
+        assert caps["e"] <= 3
+        unbounded_peak = self_timed_execution(g, iterations=6).peaks["e"]
+        assert unbounded_peak > caps["e"]
+
+
+class TestTradeoff:
+    def test_monotone_throughput(self, fig1):
+        points = buffer_throughput_tradeoff(fig1, scales=(1.0, 2.0, 4.0),
+                                            iterations=4)
+        budgets = [budget for budget, _ in points]
+        periods = [result.iteration_period for _, result in points]
+        assert budgets == sorted(budgets)
+        # Larger buffers never hurt throughput.
+        assert all(a >= b - 1e-9 for a, b in zip(periods, periods[1:]))
+
+    def test_minimal_capacities_complete(self, fig1):
+        _, minimal = minimal_buffer_schedule(fig1)
+        result = self_timed_execution(fig1, iterations=3, capacities=minimal)
+        assert result.iterations == 3
+
+    def test_ofdm_tradeoff_shape(self):
+        from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+
+        graph = build_ofdm_tpdf().as_csdf()
+        points = buffer_throughput_tradeoff(
+            graph, bindings_for(2, 16, 2, 4), scales=(1.0, 2.0), iterations=3
+        )
+        assert len(points) == 2
+        assert points[0][0] < points[1][0]

@@ -1,0 +1,118 @@
+"""Tests for cyclic rate sequences."""
+
+import pytest
+
+from repro.csdf import RateSequence
+from repro.errors import SymbolicRateError
+from repro.symbolic import Poly
+
+P = Poly.var("p")
+
+
+class TestConstruction:
+    def test_of_scalar(self):
+        seq = RateSequence.of(3)
+        assert len(seq) == 1
+        assert seq.rate(0) == Poly.const(3)
+
+    def test_of_list(self):
+        seq = RateSequence.of([1, 0, 2])
+        assert len(seq) == 3
+
+    def test_of_param_poly(self):
+        seq = RateSequence.of(2 * P)
+        assert seq.rate(5) == 2 * P
+
+    def test_of_passthrough(self):
+        seq = RateSequence.of([1, 1])
+        assert RateSequence.of(seq) is seq
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RateSequence([])
+
+    def test_possibly_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RateSequence([P - 1])
+
+
+class TestCyclicIndexing:
+    def test_rate_wraps(self):
+        seq = RateSequence([1, 0, 2])
+        assert [int(seq.rate(i).const_value()) for i in range(6)] == [1, 0, 2, 1, 0, 2]
+
+    def test_getitem_wraps(self):
+        seq = RateSequence([5, 7])
+        assert seq[3] == Poly.const(7)
+
+    def test_uniform_and_constant(self):
+        assert RateSequence([2, 2, 2]).is_uniform()
+        assert not RateSequence([1, 2]).is_uniform()
+        assert RateSequence([1, 2]).is_constant()
+        assert not RateSequence([P]).is_constant()
+
+
+class TestCumulative:
+    def test_cycle_total(self):
+        assert RateSequence([1, 0, 2]).cycle_total() == Poly.const(3)
+
+    def test_cumulative_partial(self):
+        seq = RateSequence([1, 0, 2])
+        assert [int(seq.cumulative(i).const_value()) for i in range(7)] == [
+            0, 1, 1, 3, 4, 4, 6,
+        ]
+
+    def test_cumulative_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RateSequence([1]).cumulative(-1)
+
+    def test_cumulative_parametric(self):
+        seq = RateSequence([P, P])
+        assert seq.cumulative(3) == 3 * P
+
+
+class TestCumulativeSymbolic:
+    def test_constant_count(self):
+        seq = RateSequence([1, 0, 2])
+        assert seq.cumulative_symbolic(Poly.const(4)) == Poly.const(4)
+
+    def test_uniform_sequence(self):
+        seq = RateSequence([2, 2])
+        assert seq.cumulative_symbolic(P) == 2 * P
+
+    def test_cycle_multiple(self):
+        seq = RateSequence([0, 2])
+        assert seq.cumulative_symbolic(2 * P) == 2 * P
+
+    def test_undecidable_raises(self):
+        seq = RateSequence([0, 2])
+        with pytest.raises(SymbolicRateError):
+            seq.cumulative_symbolic(P)  # parity of p unknown
+
+    def test_fractional_count_rejected(self):
+        from fractions import Fraction
+
+        seq = RateSequence([1])
+        with pytest.raises(SymbolicRateError):
+            seq.cumulative_symbolic(Poly.const(Fraction(1, 2)))
+
+
+class TestBinding:
+    def test_bind_substitutes(self):
+        seq = RateSequence([P, 2 * P]).bind({"p": 3})
+        assert seq.as_ints() == (3, 6)
+
+    def test_as_ints_requires_bindings(self):
+        with pytest.raises(KeyError):
+            RateSequence([P]).as_ints()
+
+    def test_variables(self):
+        assert RateSequence([P, 1]).variables() == {"p"}
+
+    def test_equality_and_hash(self):
+        assert RateSequence([1, 2]) == RateSequence([1, 2])
+        assert hash(RateSequence([1, 2])) == hash(RateSequence([1, 2]))
+        assert RateSequence([1, 2]) != RateSequence([2, 1])
+
+    def test_str(self):
+        assert str(RateSequence([1, 0, 2])) == "[1,0,2]"

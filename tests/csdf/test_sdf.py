@@ -1,0 +1,109 @@
+"""Tests for the CSDF -> HSDF expansion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csdf import (
+    CSDFGraph,
+    concrete_repetition_vector,
+    expand_to_hsdf,
+    find_sequential_schedule,
+    hsdf_is_faithful,
+    is_live,
+    is_sdf,
+    iteration_latency,
+)
+from repro.csdf.sdf import firing_name
+from repro.errors import GraphConstructionError
+from repro.tpdf import random_consistent_graph
+
+
+class TestIsSdf:
+    def test_single_phase_graph(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", 2, 3)
+        assert is_sdf(g)
+
+    def test_cyclostatic_graph(self, fig1):
+        assert not is_sdf(fig1)
+
+
+class TestExpansionStructure:
+    def test_actor_counts(self, fig1):
+        expanded = expand_to_hsdf(fig1)
+        # One actor per firing: 3 + 2 + 2.
+        assert len(expanded.actors) == 7
+
+    def test_homogeneous_repetition(self, fig1):
+        expanded = expand_to_hsdf(fig1)
+        q = concrete_repetition_vector(expanded)
+        assert set(q.values()) == {1}
+        assert is_sdf(expanded) or all(
+            len(c.production) == 1 for c in expanded.channels.values()
+        )
+
+    def test_serialization_rings(self, fig1):
+        expanded = expand_to_hsdf(fig1)
+        ring = expanded.channel("ring_a1_3")
+        assert ring.src == firing_name("a1", 3)
+        assert ring.dst == firing_name("a1", 1)
+        assert ring.initial_tokens == 1
+
+    def test_exec_times_per_phase(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=[1.0, 5.0])
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", [1, 1], [2])
+        expanded = expand_to_hsdf(g)
+        assert expanded.actor(firing_name("a", 1)).exec_time(0) == 1.0
+        assert expanded.actor(firing_name("a", 2)).exec_time(0) == 5.0
+
+    def test_reserved_separator_rejected(self):
+        g = CSDFGraph()
+        g.add_actor("a#0")
+        with pytest.raises(GraphConstructionError):
+            expand_to_hsdf(g)
+
+
+class TestExpansionSemantics:
+    def test_fig1_faithful(self, fig1):
+        assert hsdf_is_faithful(fig1)
+
+    def test_initial_tokens_delay_dependencies(self, fig1):
+        expanded = expand_to_hsdf(fig1)
+        schedule = find_sequential_schedule(expanded, policy="round_robin")
+        # a3's first firing consumes nothing (phase [0,2], 2 initial
+        # tokens): it must be schedulable first, like in the original.
+        assert schedule.firings[0].startswith("a3#")
+
+    def test_deadlocked_cycle_stays_deadlocked(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("fwd", "a", "b", 2, 1)
+        g.add_channel("back", "b", "a", 1, 2)
+        assert not is_live(g)
+        expanded = expand_to_hsdf(g)
+        assert not is_live(expanded)
+
+    def test_latency_preserved_unit_times(self, fig1):
+        # With unit execution times and unlimited cores, the expansion
+        # has the same critical path as the original.
+        assert iteration_latency(fig1) == iteration_latency(expand_to_hsdf(fig1))
+
+    @given(seed=st.integers(0, 25), n=st.integers(2, 6))
+    @settings(max_examples=20)
+    def test_random_graphs_faithful(self, seed, n):
+        graph = random_consistent_graph(n, extra_edges=1, seed=seed,
+                                        with_control=False).as_csdf()
+        assert hsdf_is_faithful(graph)
+
+    @given(seed=st.integers(0, 15), n=st.integers(3, 6))
+    @settings(max_examples=10)
+    def test_random_cyclic_graphs_faithful(self, seed, n):
+        graph = random_consistent_graph(n, n_cycles=1, seed=seed,
+                                        with_control=False).as_csdf()
+        assert hsdf_is_faithful(graph)

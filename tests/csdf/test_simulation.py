@@ -1,0 +1,136 @@
+"""Tests for the token-count simulator."""
+
+import pytest
+
+from repro.csdf import CSDFGraph, TokenState
+from repro.errors import SimulationError
+from repro.symbolic import Poly
+
+
+@pytest.fixture
+def pipeline() -> CSDFGraph:
+    g = CSDFGraph("pipe")
+    g.add_actor("a")
+    g.add_actor("b")
+    g.add_channel("e", "a", "b", 2, 1)
+    return g
+
+
+class TestFiringRules:
+    def test_initial_state(self, pipeline):
+        state = TokenState(pipeline)
+        assert state.tokens == {"e": 0}
+        assert state.fired == {"a": 0, "b": 0}
+
+    def test_source_always_fireable(self, pipeline):
+        state = TokenState(pipeline)
+        assert state.can_fire("a")
+        assert not state.can_fire("b")
+
+    def test_fire_moves_tokens(self, pipeline):
+        state = TokenState(pipeline)
+        state.fire("a")
+        assert state.tokens["e"] == 2
+        state.fire("b")
+        assert state.tokens["e"] == 1
+
+    def test_underflow_raises(self, pipeline):
+        state = TokenState(pipeline)
+        with pytest.raises(SimulationError):
+            state.fire("b")
+
+    def test_blocked_on(self, pipeline):
+        state = TokenState(pipeline)
+        assert state.blocked_on("b") == ["e"]
+        state.fire("a")
+        assert state.blocked_on("b") == []
+
+    def test_unknown_actor(self, pipeline):
+        state = TokenState(pipeline)
+        with pytest.raises(KeyError):
+            state.fire("ghost")
+
+
+class TestCyclicPhases:
+    def test_phase_advances_per_firing(self, fig1):
+        state = TokenState(fig1)
+        # a3 consumes [0, 2] from e2 (2 initial tokens).
+        state.fire("a3")
+        assert state.tokens["e2"] == 2  # phase 0 consumes nothing
+        state.fire("a3")
+        assert state.tokens["e2"] == 0  # phase 1 consumes 2
+
+    def test_demand_supply_views(self, fig1):
+        state = TokenState(fig1)
+        assert state.demand("a3", "e2") == 0
+        assert state.supply("a3", "e3") == 2
+        state.fire("a3")
+        assert state.demand("a3", "e2") == 2
+
+
+class TestSelfLoops:
+    def test_selfloop_consume_before_produce(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_channel("loop", "a", "a", 1, 1, initial_tokens=1)
+        state = TokenState(g)
+        state.fire("a")
+        assert state.tokens["loop"] == 1
+
+    def test_selfloop_blocks_without_tokens(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_channel("loop", "a", "a", 1, 1)
+        state = TokenState(g)
+        assert not state.can_fire("a")
+
+
+class TestPeaksAndState:
+    def test_peak_tracks_maximum(self, pipeline):
+        state = TokenState(pipeline)
+        state.run(["a", "a", "b", "b", "b", "b"])
+        assert state.peak["e"] == 4
+        assert state.tokens["e"] == 0
+
+    def test_peak_includes_initial_tokens(self, fig1):
+        state = TokenState(fig1)
+        assert state.peak["e2"] == 2
+
+    def test_matches_initial_state(self, fig1):
+        state = TokenState(fig1)
+        state.run(["a3", "a3", "a1", "a1", "a1", "a2", "a2"])
+        assert state.matches_initial_state()
+
+    def test_total_tokens(self, fig1):
+        assert TokenState(fig1).total_tokens() == 2
+
+    def test_copy_is_independent(self, pipeline):
+        state = TokenState(pipeline)
+        clone = state.copy()
+        state.fire("a")
+        assert clone.tokens["e"] == 0
+        assert clone.fired["a"] == 0
+
+    def test_fireable_listing(self, fig1):
+        state = TokenState(fig1)
+        assert state.fireable() == ["a3"]
+        assert state.fireable(["a1", "a2"]) == []
+
+
+class TestParametricBinding:
+    def test_rates_bound_at_construction(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", Poly.var("p"), 1)
+        state = TokenState(g, bindings={"p": 4})
+        state.fire("a")
+        assert state.tokens["e"] == 4
+
+    def test_missing_binding_raises(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", Poly.var("p"), 1)
+        with pytest.raises(KeyError):
+            TokenState(g)

@@ -1,0 +1,119 @@
+"""Tests for symbolic buffer bounds and max-cycle-ratio analysis."""
+
+import pytest
+
+from repro.csdf import (
+    CSDFGraph,
+    bound_is_tight_for_single_appearance,
+    max_cycle_ratio,
+    minimal_buffer_schedule,
+    self_timed_execution,
+    symbolic_channel_bounds,
+    symbolic_total_bound,
+    throughput_bound,
+)
+from repro.symbolic import Poly
+
+
+class TestSymbolicBounds:
+    def test_pipeline_bound(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", Poly.var("p"), 1, initial_tokens=2)
+        bounds = symbolic_channel_bounds(g)
+        assert bounds["e"] == Poly.var("p") + 2
+
+    def test_total_is_sum(self, fig1):
+        bounds = symbolic_channel_bounds(fig1)
+        total = symbolic_total_bound(fig1)
+        acc = Poly()
+        for bound in bounds.values():
+            acc = acc + bound
+        assert total == acc
+
+    def test_fig8_csdf_formula_derived(self):
+        from repro.apps.ofdm import build_ofdm_csdf
+
+        beta, n, l = Poly.var("beta"), Poly.var("N"), Poly.var("L")
+        assert symbolic_total_bound(build_ofdm_csdf()) == beta * (17 * n + l)
+
+    def test_fig8_tpdf_formula_derived(self):
+        from repro.apps.ofdm import build_ofdm_tpdf
+        from repro.tpdf import restrict_to_selection
+
+        beta, n, l = Poly.var("beta"), Poly.var("N"), Poly.var("L")
+        restricted = restrict_to_selection(build_ofdm_tpdf(), "DUP", ["in", "qam"])
+        restricted = restrict_to_selection(restricted, "TRAN", ["qam", "out"])
+        total = symbolic_total_bound(restricted.as_csdf()).subs({"M": 4})
+        assert total == 3 + beta * (12 * n + l)
+
+    def test_bound_matches_measured_peaks_acyclic(self):
+        from repro.apps.ofdm import bindings_for, build_ofdm_csdf
+
+        graph = build_ofdm_csdf()
+        bindings = bindings_for(10, 512, 1, 4)
+        assert bound_is_tight_for_single_appearance(graph)
+        _, peaks = minimal_buffer_schedule(graph, bindings)
+        symbolic = symbolic_total_bound(graph).evaluate(bindings)
+        assert symbolic == sum(peaks.values())
+
+    def test_bound_sound_on_cyclic(self, fig1):
+        """On cyclic graphs the bound is an upper bound (not always tight)."""
+        assert not bound_is_tight_for_single_appearance(fig1)
+        bounds = symbolic_channel_bounds(fig1)
+        _, peaks = minimal_buffer_schedule(fig1)
+        for name, peak in peaks.items():
+            assert bounds[name].evaluate({}) >= peak
+
+
+class TestMaxCycleRatio:
+    def test_pipeline_bottleneck(self):
+        g = CSDFGraph()
+        for name, t in (("a", 1.0), ("b", 3.0), ("c", 1.0)):
+            g.add_actor(name, exec_time=t)
+        g.add_channel("e1", "a", "b", 1, 1)
+        g.add_channel("e2", "b", "c", 1, 1)
+        assert max_cycle_ratio(g) == pytest.approx(3.0, abs=1e-4)
+
+    def test_matches_self_timed_period(self, fig1):
+        mcr = max_cycle_ratio(fig1)
+        period = self_timed_execution(fig1, iterations=10).iteration_period
+        assert period == pytest.approx(mcr, abs=1e-3)
+
+    def test_feedback_cycle_dominates(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=2.0)
+        g.add_actor("b", exec_time=2.0)
+        g.add_channel("fwd", "a", "b", 1, 1)
+        g.add_channel("back", "b", "a", 1, 1, initial_tokens=1)
+        # Cycle: 4 time units per token: period 4 (each actor alone
+        # would only bound it at 2).
+        assert max_cycle_ratio(g) == pytest.approx(4.0, abs=1e-4)
+        period = self_timed_execution(g, iterations=8).iteration_period
+        assert period == pytest.approx(4.0, abs=1e-6)
+
+    def test_multirate_phases(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=[1.0, 3.0])  # 4.0 per 2-firing cycle
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("e", "a", "b", [1, 1], [2])
+        assert max_cycle_ratio(g) == pytest.approx(4.0, abs=1e-4)
+
+    def test_throughput_bound(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=2.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("e", "a", "b", 1, 1)
+        assert throughput_bound(g) == pytest.approx(0.5, abs=1e-4)
+
+    def test_deadlocked_graph_raises(self):
+        from repro.errors import AnalysisError, SchedulingError
+
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("fwd", "a", "b", 1, 1)
+        g.add_channel("back", "b", "a", 1, 1)
+        with pytest.raises((AnalysisError, SchedulingError, Exception)):
+            max_cycle_ratio(g)

@@ -1,0 +1,114 @@
+"""Tests for self-timed execution (latency & throughput)."""
+
+import pytest
+
+from repro.csdf import (
+    CSDFGraph,
+    iteration_latency,
+    self_timed_execution,
+    throughput_vs_cores,
+)
+from repro.errors import DeadlockError
+
+
+def pipeline(times=(1.0, 2.0, 1.0)) -> CSDFGraph:
+    g = CSDFGraph("pipe")
+    names = [f"s{i}" for i in range(len(times))]
+    for name, t in zip(names, times):
+        g.add_actor(name, exec_time=t)
+    for a, b in zip(names, names[1:]):
+        g.add_channel(None, a, b, 1, 1)
+    return g
+
+
+class TestSingleIteration:
+    def test_latency_is_chain_sum_on_one_core(self):
+        assert iteration_latency(pipeline(), cores=1) == 4.0
+
+    def test_latency_unlimited_cores_equals_critical_path(self):
+        assert iteration_latency(pipeline()) == 4.0  # chain: no parallelism
+
+    def test_parallel_branches_overlap(self):
+        g = CSDFGraph()
+        g.add_actor("src", exec_time=1.0)
+        for i in range(3):
+            g.add_actor(f"w{i}", exec_time=5.0)
+            g.add_channel(None, "src", f"w{i}", 1, 1)
+        assert iteration_latency(g) == 6.0
+        assert iteration_latency(g, cores=1) == 16.0
+
+    def test_multirate_iteration(self, fig1):
+        result = self_timed_execution(fig1)
+        assert result.firings == 7  # 3 + 2 + 2
+        assert result.iterations == 1
+
+
+class TestPipelining:
+    def test_steady_state_period_bounded_by_bottleneck(self):
+        g = pipeline((1.0, 3.0, 1.0))
+        result = self_timed_execution(g, iterations=6)
+        # Bottleneck actor takes 3.0 per iteration: the steady-state
+        # period cannot beat it, and pipelining should reach it.
+        assert result.iteration_period >= 3.0 - 1e-9
+        assert result.iteration_period == pytest.approx(3.0)
+
+    def test_pipelining_beats_serial_iterations(self):
+        g = pipeline((2.0, 2.0, 2.0))
+        one = self_timed_execution(g, iterations=1).makespan
+        many = self_timed_execution(g, iterations=5)
+        assert many.makespan < 5 * one  # overlap happened
+
+    def test_iteration_ends_monotone(self):
+        result = self_timed_execution(pipeline(), iterations=4)
+        ends = result.iteration_ends
+        assert len(ends) == 4
+        assert all(a < b for a, b in zip(ends, ends[1:]))
+
+    def test_throughput_property(self):
+        result = self_timed_execution(pipeline((1.0, 4.0, 1.0)), iterations=5)
+        assert result.throughput == pytest.approx(1.0 / result.iteration_period)
+
+
+class TestCoreBudgets:
+    def test_more_cores_never_slower(self, fig1):
+        sweep = throughput_vs_cores(fig1, core_budgets=(1, 2, 4), iterations=3)
+        m1 = sweep[1].makespan
+        m2 = sweep[2].makespan
+        m4 = sweep[4].makespan
+        assert m2 <= m1 + 1e-9
+        assert m4 <= m2 + 1e-9
+
+    def test_single_core_makespan_is_total_work(self):
+        g = pipeline((1.0, 1.0, 1.0))
+        result = self_timed_execution(g, iterations=2, cores=1)
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_peaks_recorded(self, fig1):
+        result = self_timed_execution(fig1, iterations=2)
+        assert all(v >= 0 for v in result.peaks.values())
+        assert result.peaks["e2"] >= 2  # initial tokens counted
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("fwd", "a", "b", 1, 1)
+        g.add_channel("back", "b", "a", 1, 1)
+        with pytest.raises(DeadlockError):
+            self_timed_execution(g)
+
+    def test_zero_iterations_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            self_timed_execution(fig1, iterations=0)
+
+    def test_parametric_needs_bindings(self):
+        from repro.symbolic import Poly
+
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", Poly.var("p"), 1)
+        result = self_timed_execution(g, bindings={"p": 3})
+        assert result.firings == 4

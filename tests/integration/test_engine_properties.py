@@ -1,0 +1,100 @@
+"""Property-based tests of the discrete-event engine.
+
+Invariants checked on randomly generated timed pipelines and fan-outs:
+
+* token conservation: produced == consumed + in-flight per channel;
+* the DES firing counts equal the untimed repetition-vector counts for
+  the same source budget;
+* event times are monotone per node and no node overlaps itself;
+* the self-timed CSDF executor and the value-carrying DES agree on
+  makespan for plain dataflow graphs with identical timing;
+* MCR lower-bounds the measured steady-state period on random graphs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csdf import max_cycle_ratio, self_timed_execution
+from repro.csdf import concrete_repetition_vector as concrete_q
+from repro.sim import Simulator
+from repro.tpdf import TPDFGraph, random_consistent_graph
+
+
+def build_random_timed_pipeline(seed: int, depth: int) -> TPDFGraph:
+    rng = random.Random(seed)
+    g = TPDFGraph(f"pipe{seed}")
+    names = [f"k{i}" for i in range(depth)]
+    prev = None
+    for index, name in enumerate(names):
+        kernel = g.add_kernel(name, exec_time=rng.choice([0.5, 1.0, 2.0]))
+        if index:
+            kernel.add_input("in", rng.randint(1, 3))
+        if index < depth - 1:
+            kernel.add_output("out", rng.randint(1, 3))
+        if prev is not None:
+            g.connect(f"{prev}.out", f"{name}.in")
+        prev = name
+    return g
+
+
+@given(seed=st.integers(0, 30), depth=st.integers(2, 5))
+@settings(max_examples=25)
+def test_firing_counts_match_token_semantics(seed, depth):
+    graph = build_random_timed_pipeline(seed, depth)
+    csdf = graph.as_csdf()
+    q = concrete_q(csdf)
+    iterations = 2
+    sim = Simulator(graph)
+    trace = sim.run(limits={name: count * iterations for name, count in q.items()})
+    assert trace.counts() == {name: count * iterations for name, count in q.items()}
+    for channel in csdf.channels.values():
+        assert sim.tokens_in(channel.name) == channel.initial_tokens
+
+
+@given(seed=st.integers(0, 30), depth=st.integers(2, 5))
+@settings(max_examples=25)
+def test_no_node_self_overlap(seed, depth):
+    graph = build_random_timed_pipeline(seed, depth)
+    q = concrete_q(graph.as_csdf())
+    trace = Simulator(graph).run(limits=dict(q))
+    for name in q:
+        records = sorted(trace.firings_of(name), key=lambda r: r.start)
+        for first, second in zip(records, records[1:]):
+            assert first.end <= second.start + 1e-9
+
+
+@given(seed=st.integers(0, 25), depth=st.integers(2, 5))
+@settings(max_examples=20)
+def test_des_matches_self_timed_makespan(seed, depth):
+    """For plain dataflow graphs the value-carrying DES and the
+    token-only self-timed executor implement the same semantics."""
+    graph = build_random_timed_pipeline(seed, depth)
+    csdf = graph.as_csdf()
+    q = concrete_q(csdf)
+    timed = self_timed_execution(csdf, iterations=1)
+    trace = Simulator(graph).run(limits=dict(q))
+    assert trace.end_time() == pytest.approx(timed.makespan)
+
+
+@given(seed=st.integers(0, 20), n=st.integers(2, 5))
+@settings(max_examples=12)
+def test_mcr_bounds_self_timed_period(seed, n):
+    graph = random_consistent_graph(n, seed=seed, with_control=False).as_csdf()
+    mcr = max_cycle_ratio(graph)
+    result = self_timed_execution(graph, iterations=6)
+    assert result.iteration_period >= mcr - 1e-3
+
+
+@given(seed=st.integers(0, 20), depth=st.integers(2, 4),
+       cores=st.integers(1, 3))
+@settings(max_examples=15)
+def test_core_budget_monotonicity(seed, depth, cores):
+    graph = build_random_timed_pipeline(seed, depth)
+    q = concrete_q(graph.as_csdf())
+    limits = {name: count for name, count in q.items()}
+    constrained = Simulator(graph, cores=cores).run(limits=dict(limits))
+    unlimited = Simulator(graph).run(limits=dict(limits))
+    assert unlimited.end_time() <= constrained.end_time() + 1e-9

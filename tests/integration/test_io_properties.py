@@ -1,0 +1,60 @@
+"""Property tests: serialization round-trips preserve semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    csdf_from_json,
+    csdf_to_json,
+    parse_poly,
+    tpdf_from_json,
+    tpdf_to_json,
+)
+from repro.tpdf import (
+    check_consistency,
+    random_consistent_graph,
+    repetition_vector,
+)
+
+
+@given(seed=st.integers(0, 40), n=st.integers(2, 7),
+       parametric=st.booleans())
+@settings(max_examples=25)
+def test_tpdf_roundtrip_preserves_repetition(seed, n, parametric):
+    graph = random_consistent_graph(n, extra_edges=1, seed=seed,
+                                    parametric=parametric,
+                                    with_control=True)
+    clone = tpdf_from_json(tpdf_to_json(graph))
+    assert repetition_vector(clone) == repetition_vector(graph)
+    assert set(clone.channels) == set(graph.channels)
+    assert set(clone.parameters) == set(graph.parameters)
+
+
+@given(seed=st.integers(0, 30), n=st.integers(2, 6))
+@settings(max_examples=20)
+def test_csdf_roundtrip_preserves_structure(seed, n):
+    graph = random_consistent_graph(n, seed=seed, with_control=False).as_csdf()
+    clone = csdf_from_json(csdf_to_json(graph))
+    assert set(clone.actors) == set(graph.actors)
+    for name, channel in graph.channels.items():
+        twin = clone.channel(name)
+        assert twin.production.entries == channel.production.entries
+        assert twin.consumption.entries == channel.consumption.entries
+        assert twin.initial_tokens == channel.initial_tokens
+
+
+@given(seed=st.integers(0, 30), n=st.integers(3, 6))
+@settings(max_examples=15)
+def test_roundtrip_preserves_analysis_verdicts(seed, n):
+    graph = random_consistent_graph(n, n_cycles=1, seed=seed,
+                                    with_control=False)
+    clone = tpdf_from_json(tpdf_to_json(graph))
+    assert check_consistency(clone).consistent == check_consistency(graph).consistent
+
+
+@given(st.integers(-9, 9), st.integers(0, 3), st.integers(0, 3))
+def test_parse_poly_roundtrips_rendering(coefficient, ep, eq):
+    from repro.symbolic import Poly
+
+    poly = (Poly.var("p") ** ep) * (Poly.var("q") ** eq) * coefficient + 1
+    assert parse_poly(str(poly)) == poly

@@ -1,0 +1,45 @@
+"""Tests for the platform model."""
+
+import pytest
+
+from repro.platform import Platform, mppa256, single_cluster
+
+
+class TestPlatform:
+    def test_mppa256_shape(self):
+        p = mppa256()
+        assert p.n_cores == 256
+        assert p.clusters == 16
+        assert p.cores_per_cluster == 16
+
+    def test_pe_indexing(self):
+        p = Platform("t", 2, 3)
+        assert p.pe(0).cluster == 0
+        assert p.pe(3).cluster == 1
+        assert p.pe(5).index == 5
+
+    def test_message_latencies(self):
+        p = Platform("t", 2, 2, intra_latency=1.0, inter_latency=9.0)
+        same = p.pe(0)
+        neighbour = p.pe(1)   # same cluster
+        remote = p.pe(2)      # other cluster
+        assert p.message_latency(same, same) == 0.0
+        assert p.message_latency(same, neighbour) == 1.0
+        assert p.message_latency(same, remote) == 9.0
+        assert p.message_latency(remote, same) == 9.0
+
+    def test_single_cluster_uniform_latency(self):
+        p = single_cluster(4, intra_latency=2.0)
+        assert p.clusters == 1
+        assert p.message_latency(p.pe(0), p.pe(3)) == 2.0
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Platform("t", 0, 4)
+        with pytest.raises(ValueError):
+            Platform("t", 4, 0)
+        with pytest.raises(ValueError):
+            Platform("t", 1, 1, intra_latency=-1.0)
+
+    def test_repr(self):
+        assert "MPPA-256" in repr(mppa256())

@@ -1,0 +1,78 @@
+"""Tests for ADF pruning of rejected firings (Sec. III-D)."""
+
+import pytest
+
+from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+from repro.scheduling import (
+    build_canonical_period,
+    prune_canonical_period,
+    pruned_period,
+    rejected_channels,
+)
+from repro.tpdf import select_one
+
+
+@pytest.fixture
+def ofdm():
+    return build_ofdm_tpdf()
+
+
+@pytest.fixture
+def ofdm_period(ofdm):
+    return build_canonical_period(ofdm, bindings_for(2, 8, 2, 4))
+
+
+class TestRejectedChannels:
+    def test_qam_selection_rejects_qpsk_path(self, ofdm):
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        rejected = rejected_channels(ofdm, decisions)
+        assert rejected == {"e_dup_qpsk", "e_qpsk_tran"}
+
+    def test_control_channels_never_rejected(self, ofdm):
+        decisions = {"DUP": select_one("qam")}
+        assert not any(
+            name.startswith("e_con") for name in rejected_channels(ofdm, decisions)
+        )
+
+    def test_empty_decisions(self, ofdm):
+        assert rejected_channels(ofdm, {}) == set()
+
+
+class TestPruning:
+    def test_qpsk_occurrences_cancelled(self, ofdm, ofdm_period):
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        result = prune_canonical_period(ofdm_period, ofdm, decisions)
+        cancelled_actors = {actor for actor, _ in result.cancelled}
+        assert cancelled_actors == {"QPSK"}
+        assert result.cancelled_firings == 1
+
+    def test_all_kept_without_decisions(self, ofdm, ofdm_period):
+        result = prune_canonical_period(ofdm_period, ofdm, {})
+        assert result.cancelled == set()
+
+    def test_control_occurrences_always_kept(self, ofdm, ofdm_period):
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        result = prune_canonical_period(ofdm_period, ofdm, decisions)
+        assert ("CON", 1) in result.kept
+
+    def test_pruned_period_is_schedulable(self, ofdm, ofdm_period):
+        from repro.platform import single_cluster
+        from repro.scheduling import list_schedule
+
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        result = prune_canonical_period(ofdm_period, ofdm, decisions)
+        sub = pruned_period(result)
+        mapping = list_schedule(sub, single_cluster(4))
+        assert len(mapping.firings) == result.executed_firings
+
+    def test_pruning_reduces_work(self, ofdm, ofdm_period):
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        result = prune_canonical_period(ofdm_period, ofdm, decisions)
+        assert result.executed_firings < ofdm_period.dag.number_of_nodes()
+
+    def test_explicit_sinks(self, ofdm, ofdm_period):
+        decisions = {"DUP": select_one("qam"), "TRAN": select_one("qam")}
+        result = prune_canonical_period(
+            ofdm_period, ofdm, decisions, sinks=["SNK"]
+        )
+        assert ("SNK", 1) in result.kept

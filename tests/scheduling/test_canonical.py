@@ -1,0 +1,116 @@
+"""Tests for canonical-period construction (Fig. 5)."""
+
+import pytest
+
+from repro.csdf import CSDFGraph
+from repro.errors import SchedulingError
+from repro.scheduling import build_canonical_period
+from repro.tpdf import fig2_graph
+
+
+class TestFig5:
+    """The canonical period of Fig. 2 at p = 1 is the paper's Fig. 5."""
+
+    @pytest.fixture
+    def period(self):
+        return build_canonical_period(fig2_graph(), {"p": 1})
+
+    def test_occurrence_set(self, period):
+        names = {f"{a}{k}" for a, k in period.occurrences()}
+        assert names == {
+            "A1", "A2", "B1", "B2", "C1", "D1", "E1", "E2", "F1", "F2",
+        }
+
+    def test_serial_edges(self, period):
+        assert period.dag.has_edge(("A", 1), ("A", 2))
+        assert period.dag.has_edge(("F", 1), ("F", 2))
+
+    def test_data_dependencies(self, period):
+        assert period.dag.has_edge(("A", 1), ("B", 1))
+        assert period.dag.has_edge(("A", 2), ("B", 2))
+        assert period.dag.has_edge(("B", 2), ("C", 1))  # C needs 2 tokens
+        assert period.dag.has_edge(("B", 2), ("D", 1))
+
+    def test_control_dependencies(self, period):
+        # F1 and F2 are fired after receiving C1's control tokens.
+        assert period.dag.has_edge(("C", 1), ("F", 1))
+        assert ("C", 1) in set(period.dag.predecessors(("F", 2))) | {
+            p for q in period.dag.predecessors(("F", 2))
+            for p in period.dag.predecessors(q)
+        }
+
+    def test_phase_dependent_consumption(self, period):
+        # F's e6 consumption is [0, 2]: F1 needs no D token, F2 needs D1.
+        assert not period.dag.has_edge(("D", 1), ("F", 1))
+        assert period.dag.has_edge(("D", 1), ("F", 2))
+
+    def test_control_marking(self, period):
+        assert period.is_control(("C", 1))
+        assert not period.is_control(("A", 1))
+        assert period.control_actors == frozenset({"C"})
+
+    def test_repetition_recorded(self, period):
+        assert period.repetition == {"A": 2, "B": 2, "C": 1, "D": 1, "E": 2, "F": 2}
+
+    def test_describe_lists_occurrences(self, period):
+        text = period.describe()
+        assert "C1*" in text  # control marker
+
+
+class TestScaling:
+    def test_p2_counts(self):
+        period = build_canonical_period(fig2_graph(), {"p": 2})
+        assert period.dag.number_of_nodes() == 2 + 4 + 2 + 2 + 4 + 4
+
+    def test_initial_tokens_remove_dependencies(self, fig1):
+        period = build_canonical_period(fig1)
+        # a3's first firing needs nothing (phase 0 of [0,2] consumes 0
+        # and e2 holds 2 initial tokens): it must be a DAG source.
+        assert period.dag.in_degree(("a3", 1)) == 0
+
+    def test_csdf_graph_accepted(self, fig1):
+        period = build_canonical_period(fig1)
+        assert period.control_actors == frozenset()
+
+    def test_exec_times_attached(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=4.0)
+        g.add_actor("b", exec_time=[1.0, 2.0])
+        g.add_channel("e", "a", "b", 2, 1)
+        period = build_canonical_period(g)
+        assert period.exec_time(("a", 1)) == 4.0
+        assert period.exec_time(("b", 1)) == 1.0
+        assert period.exec_time(("b", 2)) == 2.0
+
+
+class TestDeadlockDetection:
+    def test_tokenless_cycle_rejected(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("fwd", "a", "b", 1, 1)
+        g.add_channel("back", "b", "a", 1, 1)
+        with pytest.raises(SchedulingError):
+            build_canonical_period(g)
+
+    def test_seeded_cycle_accepted(self):
+        g = CSDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("fwd", "a", "b", 1, 1)
+        g.add_channel("back", "b", "a", 1, 1, initial_tokens=1)
+        period = build_canonical_period(g)
+        assert period.dag.number_of_nodes() == 2
+
+
+class TestRanks:
+    def test_critical_path(self, fig1):
+        # Longest chain: a3_1 -> a1_1 -> a1_2 -> a1_3 -> a2_2 (5 unit firings).
+        period = build_canonical_period(fig1)
+        assert period.critical_path_length() == 5.0
+
+    def test_downward_rank_decreases_along_edges(self, fig1):
+        period = build_canonical_period(fig1)
+        rank = period.downward_rank()
+        for src, dst in period.dag.edges:
+            assert rank[src] > rank[dst] or rank[src] >= rank[dst] + period.exec_time(dst) - 1e-9

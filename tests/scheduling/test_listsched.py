@@ -1,0 +1,116 @@
+"""Tests for the many-core list scheduler (Sec. III-D)."""
+
+import pytest
+
+from repro.csdf import CSDFGraph
+from repro.platform import Platform, single_cluster
+from repro.scheduling import build_canonical_period, list_schedule, schedule_graph
+from repro.tpdf import fig2_graph
+
+
+@pytest.fixture
+def fig2_period():
+    return build_canonical_period(fig2_graph(), {"p": 1})
+
+
+class TestBasicScheduling:
+    def test_all_occurrences_scheduled(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(4))
+        assert len(result.firings) == fig2_period.dag.number_of_nodes()
+
+    def test_precedence_respected(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(4))
+        for src, dst in fig2_period.dag.edges:
+            assert result.firings[src].finish <= result.firings[dst].start + 1e-9
+
+    def test_no_pe_overlap(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(3))
+        by_pe: dict = {}
+        for firing in result.firings.values():
+            by_pe.setdefault(firing.pe.index, []).append(firing)
+        for firings in by_pe.values():
+            firings.sort(key=lambda f: f.start)
+            for first, second in zip(firings, firings[1:]):
+                assert first.finish <= second.start + 1e-9
+
+    def test_makespan_bounds(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(4))
+        assert result.makespan >= fig2_period.critical_path_length()
+        total_work = sum(
+            fig2_period.exec_time(node) for node in fig2_period.occurrences()
+        )
+        assert result.makespan <= total_work
+
+    def test_single_core_serializes(self, fig2_period):
+        result = list_schedule(
+            fig2_period, single_cluster(1), dedicated_control_pe=False
+        )
+        total_work = sum(
+            fig2_period.exec_time(node) for node in fig2_period.occurrences()
+        )
+        assert result.makespan == pytest.approx(total_work)
+
+
+class TestControlRules:
+    def test_control_on_dedicated_pe(self, fig2_period):
+        platform = single_cluster(4)
+        result = list_schedule(fig2_period, platform, dedicated_control_pe=True)
+        control_pe = platform.pes[-1]
+        assert result.pe_of(("C", 1)) == control_pe
+        for occurrence, firing in result.firings.items():
+            if occurrence[0] != "C":
+                assert firing.pe != control_pe
+
+    def test_no_dedicated_pe_when_disabled(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(2),
+                               dedicated_control_pe=False)
+        assert len(result.firings) == 10
+
+    def test_more_cores_never_hurt(self, fig2_period):
+        small = list_schedule(fig2_period, single_cluster(2)).makespan
+        large = list_schedule(fig2_period, single_cluster(8)).makespan
+        assert large <= small + 1e-9
+
+
+class TestMessageLatency:
+    def test_cross_cluster_latency_visible(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("e", "a", "b", 1, 1)
+        period = build_canonical_period(g)
+        fast = Platform("fast", 1, 2, intra_latency=0.0)
+        result_fast = list_schedule(period, fast, dedicated_control_pe=False)
+        # With zero latency, b can start right after a.
+        assert result_fast.makespan == pytest.approx(2.0)
+
+    def test_latency_prefers_same_pe(self):
+        g = CSDFGraph()
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("e", "a", "b", 1, 1)
+        period = build_canonical_period(g)
+        slow = Platform("slow", 2, 1, inter_latency=100.0, intra_latency=50.0)
+        result = list_schedule(period, slow, dedicated_control_pe=False)
+        # Scheduling b on the other PE would cost 100; same PE costs 0.
+        assert result.makespan == pytest.approx(2.0)
+
+
+class TestUtilities:
+    def test_utilization_in_unit_interval(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(4))
+        assert 0.0 < result.utilization() <= 1.0
+
+    def test_gantt_renders(self, fig2_period):
+        result = list_schedule(fig2_period, single_cluster(4))
+        text = result.gantt()
+        assert "PE" in text
+
+    def test_schedule_graph_convenience(self):
+        result = schedule_graph(fig2_graph(), single_cluster(4), {"p": 1})
+        assert result.makespan > 0
+
+    def test_order_is_deterministic(self, fig2_period):
+        a = list_schedule(fig2_period, single_cluster(4))
+        b = list_schedule(fig2_period, single_cluster(4))
+        assert a.order == b.order

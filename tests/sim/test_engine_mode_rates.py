@@ -1,0 +1,165 @@
+"""Tests for mode-dependent rates (the Rk(m, ., n) table of Def. 2)
+and the late-discard policy."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tpdf import ControlToken, Mode, TPDFGraph, select_one
+
+
+def controlled_graph(mode_rates: dict | None = None, discard_late=None):
+    """src -> proc(ctrl) with a controller alternating WAIT_ALL tokens."""
+    g = TPDFGraph()
+    src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+    src.add_output("out", 2)
+    src.add_output("sig", 1)
+    ctrl = g.add_control_actor(
+        "ctrl", decision=lambda n, inputs: ControlToken(Mode.WAIT_ALL)
+    )
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    proc = g.add_kernel(
+        "proc", exec_time=0.0,
+        modes=(Mode.WAIT_ALL, Mode.SELECT_ONE),
+        function=lambda n, c: len(c["in"]),
+    )
+    proc.add_input("in", 2)
+    proc.add_control_port("c", 1)
+    proc.add_output("out", 1)
+    if mode_rates:
+        proc.set_mode_rates(Mode.WAIT_ALL, mode_rates)
+    if discard_late is not None:
+        proc.meta["discard_late"] = discard_late
+    got = []
+    snk = g.add_kernel("snk", exec_time=0.0,
+                       function=lambda n, c: got.append(c["in"][0]))
+    snk.add_input("in", 1)
+    g.connect("src.out", "proc.in", name="e_data")
+    g.connect("src.sig", "ctrl.in")
+    g.connect("ctrl.out", "proc.c")
+    g.connect("proc.out", "snk.in")
+    return g, got
+
+
+class TestModeRates:
+    def test_default_rate_without_override(self):
+        g, got = controlled_graph()
+        Simulator(g).run(limits={"src": 3})
+        assert got == [2, 2, 2]  # consumes its declared rate 2
+
+    def test_override_changes_consumption(self):
+        g, got = controlled_graph(mode_rates={"in": 4})
+        Simulator(g).run(limits={"src": 4})
+        # Each WAIT_ALL firing now consumes 4 tokens: two src firings
+        # feed one proc firing.
+        assert got == [4, 4]
+
+    def test_override_on_output(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("out", 1)
+        src.add_output("sig", 1)
+        ctrl = g.add_control_actor(
+            "ctrl", decision=lambda n, inputs: ControlToken(Mode.WAIT_ALL)
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        proc = g.add_kernel(
+            "proc", exec_time=0.0, modes=(Mode.WAIT_ALL,),
+            function=lambda n, c: [c["in"][0]] * 3,
+        )
+        proc.add_input("in", 1)
+        proc.add_control_port("c", 1)
+        proc.add_output("out", 1)
+        proc.set_mode_rates(Mode.WAIT_ALL, {"out": 3})
+        snk = g.add_kernel("snk", exec_time=0.0)
+        snk.add_input("in", 1)
+        g.connect("src.out", "proc.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "proc.c")
+        g.connect("proc.out", "snk.in")
+        trace = Simulator(g).run(limits={"src": 2})
+        assert trace.count("snk") == 6  # 3 tokens per proc firing
+
+
+class TestDiscardPolicy:
+    def build_selector(self, discard_late: bool):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("a", 1)
+        src.add_output("b", 1)
+        src.add_output("sig", 1)
+        slow = g.add_kernel("slow", exec_time=50.0,
+                            function=lambda n, c: ("slow", n))
+        slow.add_input("in", 1)
+        slow.add_output("out", 1)
+        fast = g.add_kernel("fast", exec_time=1.0,
+                            function=lambda n, c: ("fast", n))
+        fast.add_input("in", 1)
+        fast.add_output("out", 1)
+        ctrl = g.add_control_actor(
+            "ctrl", decision=lambda n, inputs: select_one("from_fast")
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        sel = g.add_kernel("sel", exec_time=0.0,
+                           modes=(Mode.WAIT_ALL, Mode.SELECT_ONE))
+        sel.add_input("from_fast", 1)
+        sel.add_input("from_slow", 1)
+        sel.add_control_port("c", 1)
+        sel.add_output("out", 1)
+        sel.meta["discard_late"] = discard_late
+        snk = g.add_kernel("snk", exec_time=0.0)
+        snk.add_input("in", 1)
+        g.connect("src.a", "fast.in")
+        g.connect("src.b", "slow.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("fast.out", "sel.from_fast")
+        g.connect("slow.out", "sel.from_slow", name="e_slow")
+        g.connect("ctrl.out", "sel.c")
+        g.connect("sel.out", "snk.in")
+        return g
+
+    def test_late_debt_flushes_slow_arrivals(self):
+        g = self.build_selector(discard_late=True)
+        sim = Simulator(g)
+        sim.run(limits={"src": 3})
+        # Slow results arrive after sel fired; the debt removes them.
+        assert sim.tokens_in("e_slow") == 0
+
+    def test_no_late_debt_keeps_arrivals(self):
+        g = self.build_selector(discard_late=False)
+        sim = Simulator(g)
+        sim.run(limits={"src": 3})
+        # Only tokens present at firing time were flushed; the rest stay.
+        assert sim.tokens_in("e_slow") > 0
+
+
+class TestScenarioSwitching:
+    def test_runtime_scheme_switching_exact(self):
+        from repro.apps.ofdm import run_ofdm_scenarios
+
+        run = run_ofdm_scenarios(
+            ["qpsk", "qam16", "qpsk", "qam16", "qam16"], beta=2, n=16, l=4
+        )
+        assert run.total_errors == 0
+        assert run.bits_per_activation == [64, 128, 64, 128, 128]
+        counts = run.trace.counts()
+        assert counts["QPSK"] == 2
+        assert counts["QAM"] == 3
+        assert counts["SNK"] == 5
+
+    def test_single_scheme_equivalent(self):
+        from repro.apps.ofdm import run_ofdm_scenarios
+
+        run = run_ofdm_scenarios(["qam16"] * 3, beta=1, n=8, l=2)
+        assert run.total_errors == 0
+        assert "QPSK" not in run.trace.counts()
+
+    def test_validation(self):
+        from repro.apps.ofdm import run_ofdm_scenarios
+
+        with pytest.raises(ValueError):
+            run_ofdm_scenarios([])
+        with pytest.raises(ValueError):
+            run_ofdm_scenarios(["wat"])

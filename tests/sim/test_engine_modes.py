@@ -1,0 +1,227 @@
+"""Tests for mode semantics: control tokens, selections, clocks,
+deadlines, voting, discard debts."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tpdf import (
+    ControlToken,
+    Mode,
+    TPDFGraph,
+    clock,
+    select_duplicate,
+    select_one,
+    transaction,
+)
+
+
+def controlled_kernel_graph(decision):
+    """src feeds two branches; a controlled sink selects among them."""
+    g = TPDFGraph()
+    src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+    src.add_output("o1", 1)
+    src.add_output("o2", 1)
+    src.add_output("sig", 1)
+    left = g.add_kernel("left", exec_time=1.0, function=lambda n, c: ("L", c["in"][0]))
+    left.add_input("in", 1)
+    left.add_output("out", 1)
+    right = g.add_kernel("right", exec_time=2.0, function=lambda n, c: ("R", c["in"][0]))
+    right.add_input("in", 1)
+    right.add_output("out", 1)
+    ctrl = g.add_control_actor("ctrl", decision=decision)
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    got = []
+    sink = g.add_kernel("sink", exec_time=0.0,
+                        function=lambda n, c: got.append(dict(c)))
+    sink.add_input("from_left", 1, priority=1)
+    sink.add_input("from_right", 1, priority=2)
+    sink.add_control_port("ctrl", 1)
+    g.connect("src.o1", "left.in")
+    g.connect("src.o2", "right.in")
+    g.connect("src.sig", "ctrl.in")
+    g.connect("left.out", "sink.from_left", name="e_left")
+    g.connect("right.out", "sink.from_right", name="e_right")
+    g.connect("ctrl.out", "sink.ctrl")
+    return g, got
+
+
+class TestSelectOne:
+    def test_only_selected_port_consumed(self):
+        g, got = controlled_kernel_graph(
+            lambda n, inputs: select_one("from_left")
+        )
+        Simulator(g, record_values=True).run(limits={"src": 2})
+        assert all(list(c) == ["from_left"] for c in got)
+
+    def test_rejected_tokens_discarded(self):
+        g, _ = controlled_kernel_graph(
+            lambda n, inputs: select_one("from_left")
+        )
+        sim = Simulator(g)
+        trace = sim.run(limits={"src": 3})
+        right_discards = [d for d in trace.discards if d.channel == "e_right"]
+        assert sum(d.count for d in right_discards) == 3
+        assert sim.tokens_in("e_right") == 0
+
+    def test_wait_all_mode(self):
+        g, got = controlled_kernel_graph(
+            lambda n, inputs: ControlToken(Mode.WAIT_ALL)
+        )
+        Simulator(g, record_values=True).run(limits={"src": 2})
+        assert all(set(c) == {"from_left", "from_right"} for c in got)
+
+
+class TestHighestPriority:
+    def test_best_available_wins_when_both_ready(self):
+        g, got = controlled_kernel_graph(
+            lambda n, inputs: ControlToken(Mode.HIGHEST_PRIORITY)
+        )
+        # Control token arrives at t=0; neither input ready yet; right
+        # (priority 2) finishes at 2.0, left at 1.0 -> at wake-up time
+        # (first arrival = left at 1.0) left is taken.
+        Simulator(g, record_values=True).run(limits={"src": 1})
+        assert got and list(got[0]) == ["from_left"]
+
+    def test_priority_decides_between_available(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("o1", 1)
+        src.add_output("o2", 1)
+        got = []
+        sink = g.add_kernel("sink", exec_time=0.0,
+                            function=lambda n, c: got.append(dict(c)))
+        sink.add_input("low", 1, priority=1)
+        sink.add_input("high", 1, priority=9)
+        sink.add_control_port("ctrl", 1)
+        ck = clock(g, "ck", period=5.0)
+        g.connect("src.o1", "sink.low")
+        g.connect("src.o2", "sink.high")
+        g.connect("ck.tick", "sink.ctrl")
+        Simulator(g, record_values=True).run(until=6.0, limits={"src": 1})
+        # At the 5.0 tick both inputs are available: high priority wins.
+        assert got and list(got[0]) == ["high"]
+
+
+class TestSelectDuplicate:
+    def test_duplicate_to_selected_outputs(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: f"v{n}")
+        src.add_output("out", 1)
+        src.add_output("sig", 1)
+        dup = select_duplicate(g, "dup", outputs=2, output_names=["a", "b"])
+        ctrl = g.add_control_actor(
+            "ctrl", decision=lambda n, inputs: select_one("a" if n % 2 == 0 else "b")
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        got_a, got_b = [], []
+        ka = g.add_kernel("ka", function=lambda n, c: got_a.append(c["in"][0]))
+        ka.add_input("in", 1)
+        kb = g.add_kernel("kb", function=lambda n, c: got_b.append(c["in"][0]))
+        kb.add_input("in", 1)
+        g.connect("src.out", "dup.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "dup.ctrl")
+        g.connect("dup.a", "ka.in")
+        g.connect("dup.b", "kb.in")
+        Simulator(g).run(limits={"src": 4})
+        assert got_a == ["v0", "v2"]
+        assert got_b == ["v1", "v3"]
+
+
+class TestVote:
+    def test_majority_masks_minority(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        for i in range(3):
+            src.add_output(f"o{i}", 1)
+        src.add_output("sig", 1)
+        values = [lambda n, c: 100, lambda n, c: 100, lambda n, c: 7]
+        for i in range(3):
+            r = g.add_kernel(f"r{i}", function=values[i])
+            r.add_input("in", 1)
+            r.add_output("out", 1)
+            g.connect(f"src.o{i}", f"r{i}.in")
+        voter = transaction(g, "voter", inputs=3,
+                            input_names=["i0", "i1", "i2"], action="vote")
+        for i in range(3):
+            g.connect(f"r{i}.out", f"voter.i{i}")
+        ctrl = g.add_control_actor(
+            "ctrl",
+            decision=lambda n, inputs: ControlToken(Mode.SELECT_MANY, ("i0", "i1", "i2")),
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "voter.ctrl")
+        got = []
+        snk = g.add_kernel("snk", function=lambda n, c: got.append(c["in"][0]))
+        snk.add_input("in", 1)
+        g.connect("voter.out", "snk.in")
+        Simulator(g).run(limits={"src": 2})
+        assert got == [100, 100]
+
+
+class TestClocks:
+    def test_clock_requires_horizon(self):
+        from repro.errors import SimulationError
+
+        g = TPDFGraph()
+        ck = clock(g, "ck", period=1.0)
+        k = g.add_kernel("k")
+        k.add_control_port("ctrl", 1)
+        g.connect("ck.tick", "k.ctrl")
+        with pytest.raises(SimulationError):
+            Simulator(g).run()
+
+    def test_tick_times(self):
+        g = TPDFGraph()
+        ck = clock(g, "ck", period=2.5)
+        k = g.add_kernel("k", exec_time=0.0)
+        k.add_control_port("ctrl", 1)
+        g.connect("ck.tick", "k.ctrl")
+        trace = Simulator(g).run(until=10.0)
+        ticks = [r.start for r in trace.firings_of("ck")]
+        assert ticks == [2.5, 5.0, 7.5, 10.0]
+
+    def test_tick_token_carries_deadline(self):
+        g = TPDFGraph()
+        ck = clock(g, "ck", period=4.0)
+        k = g.add_kernel("k", exec_time=0.0)
+        k.add_control_port("ctrl", 1)
+        g.connect("ck.tick", "k.ctrl")
+        trace = Simulator(g, record_values=True).run(until=4.0)
+        token = trace.firings_of("ck")[0].mode
+        assert token.mode is Mode.HIGHEST_PRIORITY
+        assert token.deadline == 4.0
+
+    def test_clock_limit_respected(self):
+        g = TPDFGraph()
+        ck = clock(g, "ck", period=1.0)
+        k = g.add_kernel("k", exec_time=0.0)
+        k.add_control_port("ctrl", 1)
+        g.connect("ck.tick", "k.ctrl")
+        trace = Simulator(g).run(until=10.0, limits={"ck": 3})
+        assert trace.count("ck") == 3
+
+
+class TestControlPriority:
+    def test_control_actor_bypasses_core_limit(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=5.0, function=lambda n, c: n)
+        src.add_output("out", 1)
+        src.add_output("sig", 1)
+        ctrl = g.add_control_actor("ctrl", exec_time=0.0)
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        snk = g.add_kernel("snk", exec_time=0.0)
+        snk.add_input("in", 1)
+        snk.add_control_port("c", 1)
+        g.connect("src.out", "snk.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "snk.c")
+        # One core, fully occupied by src; the control actor must still run.
+        trace = Simulator(g, cores=1).run(limits={"src": 2})
+        assert trace.count("ctrl") == 2
+        assert trace.count("snk") == 2

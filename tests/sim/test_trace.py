@@ -1,0 +1,63 @@
+"""Tests for trace aggregation."""
+
+from repro.sim import Trace
+from repro.sim.trace import DiscardRecord, FiringRecord
+
+
+def sample_trace() -> Trace:
+    trace = Trace()
+    trace.firings = [
+        FiringRecord("a", 0, 0.0, 1.0, produced={"out": [10]}),
+        FiringRecord("a", 1, 1.0, 2.0, produced={"out": [20]}),
+        FiringRecord("b", 0, 2.0, 4.0),
+    ]
+    trace.discards = [DiscardRecord("e", "in", "b", 3, 4.0)]
+    trace.peaks = {"e": 5, "f": 2}
+    return trace
+
+
+class TestTraceViews:
+    def test_counts(self):
+        trace = sample_trace()
+        assert trace.count("a") == 2
+        assert trace.counts() == {"a": 2, "b": 1}
+
+    def test_firings_of(self):
+        assert len(sample_trace().firings_of("a")) == 2
+        assert sample_trace().firings_of("zzz") == []
+
+    def test_end_time(self):
+        assert sample_trace().end_time() == 4.0
+        assert Trace().end_time() == 0.0
+
+    def test_total_buffer(self):
+        assert sample_trace().total_buffer() == 7
+
+    def test_discarded_tokens(self):
+        assert sample_trace().discarded_tokens() == 3
+
+    def test_produced_values(self):
+        assert sample_trace().produced_values("a", "out") == [10, 20]
+        assert sample_trace().produced_values("b", "out") == []
+
+    def test_gantt_render(self):
+        text = sample_trace().gantt(width=20)
+        assert "a" in text and "|" in text
+        assert Trace().gantt() == "(no firings)"
+
+    def test_firing_record_str(self):
+        record = sample_trace().firings[0]
+        assert "a#0" in str(record)
+
+    def test_busy_time(self):
+        trace = sample_trace()
+        assert trace.busy_time("a") == 2.0
+        assert trace.busy_time("b") == 2.0
+        assert trace.busy_time("ghost") == 0.0
+
+    def test_utilization(self):
+        trace = sample_trace()
+        util = trace.utilization()
+        assert util["a"] == 0.5  # 2.0 busy over a 4.0 span
+        assert util["b"] == 0.5
+        assert Trace().utilization() == {}

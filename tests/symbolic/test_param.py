@@ -1,0 +1,120 @@
+"""Tests for integer parameters."""
+
+import pytest
+
+from repro.symbolic import Param, Poly, params
+from repro.symbolic.param import normalize_bindings
+
+
+class TestParamValidation:
+    def test_basic_construction(self):
+        p = Param("p")
+        assert p.name == "p"
+        assert p.lo == 1
+        assert p.hi is None
+
+    def test_bounded_domain(self):
+        beta = Param("beta", lo=1, hi=100)
+        assert beta.contains(1)
+        assert beta.contains(100)
+        assert not beta.contains(0)
+        assert not beta.contains(101)
+
+    def test_unbounded_domain_contains(self):
+        p = Param("p", lo=3)
+        assert not p.contains(2)
+        assert p.contains(10**9)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Param("")
+
+    def test_nonalnum_name_rejected(self):
+        with pytest.raises(ValueError):
+            Param("a-b")
+
+    def test_leading_digit_rejected(self):
+        with pytest.raises(ValueError):
+            Param("2p")
+
+    def test_underscore_allowed(self):
+        assert Param("my_param").name == "my_param"
+
+    def test_lower_bound_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            Param("p", lo=0)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Param("p", lo=5, hi=4)
+
+
+class TestParamIdentity:
+    def test_equality_by_name(self):
+        assert Param("p") == Param("p", lo=2)
+        assert Param("p") != Param("q")
+
+    def test_hash_by_name(self):
+        assert hash(Param("p")) == hash(Param("p", lo=3, hi=9))
+
+    def test_repr_mentions_domain(self):
+        assert "lo=2" in repr(Param("p", lo=2))
+        assert "hi=7" in repr(Param("x", lo=2, hi=7))
+
+    def test_str_is_name(self):
+        assert str(Param("beta")) == "beta"
+
+
+class TestParamSampling:
+    def test_samples_start_at_lower_bound(self):
+        assert Param("p", lo=4).sample_values()[0] == 4
+
+    def test_samples_respect_upper_bound(self):
+        values = Param("p", lo=1, hi=2).sample_values(5)
+        assert all(v <= 2 for v in values)
+        assert 2 in values
+
+    def test_singleton_domain(self):
+        assert Param("p", lo=3, hi=3).sample_values() == [3]
+
+
+class TestParamArithmetic:
+    def test_add_yields_poly(self):
+        p = Param("p")
+        assert p + 1 == Poly.var("p") + 1
+
+    def test_mul_and_pow(self):
+        p = Param("p")
+        assert 2 * p == Poly.var("p").scale(2)
+        assert p**2 == Poly.var("p") * Poly.var("p")
+
+    def test_sub_and_neg(self):
+        p = Param("p")
+        assert (p - p).is_zero()
+        assert (-p) + p == 0
+
+
+class TestParamsHelper:
+    def test_creates_each(self):
+        a, b, c = params("a b c")
+        assert [x.name for x in (a, b, c)] == ["a", "b", "c"]
+
+    def test_domain_applied_to_all(self):
+        (x,) = params("x", lo=2, hi=9)
+        assert (x.lo, x.hi) == (2, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            params("  ")
+
+
+class TestBindings:
+    def test_param_keys_normalized(self):
+        out = normalize_bindings({Param("p"): 3, "q": 4})
+        assert out == {"p": 3, "q": 4}
+
+    def test_values_become_fractions(self):
+        from fractions import Fraction
+
+        out = normalize_bindings({"p": 3})
+        assert out["p"] == Fraction(3)

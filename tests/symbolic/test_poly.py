@@ -1,0 +1,243 @@
+"""Tests for the polynomial ring, including hypothesis law checks."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symbolic import ONE, ZERO, Poly, Param, poly_gcd, poly_gcd_many, poly_lcm
+
+P = Poly.var("p")
+Q = Poly.var("q")
+
+
+def small_polys(max_terms: int = 3):
+    """Hypothesis strategy for small polynomials in p, q."""
+    coeff = st.integers(min_value=-4, max_value=4)
+    exps = st.tuples(st.integers(0, 2), st.integers(0, 2))
+
+    def build(pairs):
+        total = Poly()
+        for (ep, eq), c in pairs:
+            total = total + (P**ep) * (Q**eq) * c
+        return total
+
+    return st.lists(st.tuples(exps, coeff), max_size=max_terms).map(build)
+
+
+class TestConstruction:
+    def test_const_and_var(self):
+        assert Poly.const(3).const_value() == 3
+        assert Poly.var("p").variables() == {"p"}
+
+    def test_zero_is_falsy(self):
+        assert not ZERO
+        assert ONE
+
+    def test_coerce_param(self):
+        assert Poly.coerce(Param("p")) == P
+
+    def test_coerce_fraction(self):
+        assert Poly.coerce(Fraction(1, 2)).const_value() == Fraction(1, 2)
+
+    def test_coerce_rejects_strings(self):
+        with pytest.raises(TypeError):
+            Poly.coerce("p")
+
+    def test_zero_coefficients_dropped(self):
+        assert (P - P).is_zero()
+        assert (P + 0) == P
+
+
+class TestInspection:
+    def test_degree(self):
+        assert ZERO.degree() == -1
+        assert ONE.degree() == 0
+        assert (P * P * Q).degree() == 3
+
+    def test_is_monomial(self):
+        assert (2 * P).is_monomial()
+        assert not (P + 1).is_monomial()
+
+    def test_leading_graded_lex(self):
+        poly = P + P * P * Q + Q
+        key, coeff = poly.leading()
+        assert dict(key) == {"p": 2, "q": 1}
+        assert coeff == 1
+
+    def test_content(self):
+        assert (4 * P + 6 * Q).content() == 2
+        assert (P.scale(Fraction(1, 2)) + Q.scale(Fraction(3, 2))).content() == Fraction(1, 2)
+
+    def test_monomial_content(self):
+        poly = P * P * Q + P * Q
+        assert dict(poly.monomial_content()) == {"p": 1, "q": 1}
+
+    def test_const_value_raises_on_nonconst(self):
+        with pytest.raises(ValueError):
+            P.const_value()
+
+    def test_nonnegative_coefficients(self):
+        assert (P + 2 * Q).has_nonnegative_coefficients()
+        assert not (P - Q).has_nonnegative_coefficients()
+
+    def test_coefficient_lcm_denominator(self):
+        poly = P.scale(Fraction(1, 2)) + Q.scale(Fraction(1, 3))
+        assert poly.coefficient_lcm_denominator() == 6
+
+
+class TestArithmetic:
+    def test_add_commutes_concrete(self):
+        assert P + Q == Q + P
+
+    def test_distributive_concrete(self):
+        assert P * (Q + 1) == P * Q + P
+
+    def test_pow(self):
+        assert (P + 1) ** 2 == P * P + 2 * P + 1
+        assert P**0 == ONE
+
+    def test_pow_negative_rejected(self):
+        with pytest.raises(ValueError):
+            P ** (-1)
+
+    def test_scale(self):
+        assert (2 * P).scale(Fraction(1, 2)) == P
+
+    def test_radd_rsub(self):
+        assert 1 + P == P + 1
+        assert (1 - P) + P == ONE
+
+    @given(small_polys(), small_polys())
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(small_polys(), small_polys(), small_polys())
+    def test_mul_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(small_polys(), small_polys(), small_polys())
+    def test_mul_associative(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+
+    @given(small_polys())
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+
+class TestDivision:
+    def test_exact_division(self):
+        product = (P + Q) * (2 * P + 3)
+        assert product.try_div(P + Q) == 2 * P + 3
+
+    def test_division_by_constant(self):
+        assert (2 * P).try_div(2) == P
+
+    def test_non_divisible_returns_none(self):
+        assert (P + 1).try_div(Q) is None
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            P.try_div(ZERO)
+
+    def test_zero_dividend(self):
+        assert ZERO.try_div(P) == ZERO
+
+    def test_divides_predicate(self):
+        assert P.divides(P * Q)
+        assert not (P + 1).divides(P)
+
+    @given(small_polys(), small_polys())
+    def test_product_always_divisible(self, a, b):
+        product = a * b
+        if not b.is_zero():
+            quotient = product.try_div(b)
+            assert quotient is not None
+            assert quotient * b == product
+
+
+class TestGcdLcm:
+    def test_gcd_separates_content(self):
+        assert poly_gcd(2, P) == ONE
+        assert poly_gcd(2, 2 * P) == Poly.const(2)
+
+    def test_gcd_monomials(self):
+        assert poly_gcd(2 * P, 4 * P * Q) == 2 * P
+
+    def test_gcd_with_zero(self):
+        assert poly_gcd(ZERO, P) == P
+
+    def test_gcd_divisible_pair(self):
+        assert poly_gcd(P * (P + Q), P + Q) == P + Q
+
+    def test_gcd_many(self):
+        assert poly_gcd_many([2 * P, P, 2 * P, P]) == P
+
+    def test_lcm(self):
+        assert poly_lcm(2, P) == 2 * P
+        assert poly_lcm(P, P * Q) == P * Q
+
+    def test_lcm_zero(self):
+        assert poly_lcm(ZERO, P) == ZERO
+
+    @given(small_polys(), small_polys())
+    def test_gcd_divides_both(self, a, b):
+        g = poly_gcd(a, b)
+        if not g.is_zero():
+            assert g.divides(a)
+            assert g.divides(b)
+
+    @given(small_polys(), small_polys())
+    def test_lcm_is_common_multiple(self, a, b):
+        if a.is_zero() or b.is_zero():
+            return
+        m = poly_lcm(a, b)
+        assert a.divides(m)
+        assert b.divides(m)
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        poly = 2 * P * Q + 3
+        assert poly.evaluate({"p": 2, "q": 5}) == 23
+
+    def test_evaluate_int_rejects_fractions(self):
+        with pytest.raises(ValueError):
+            P.scale(Fraction(1, 2)).evaluate_int({"p": 1})
+
+    def test_evaluate_missing_binding(self):
+        with pytest.raises(KeyError):
+            P.evaluate({})
+
+    def test_subs_partial(self):
+        poly = P * Q + Q
+        assert poly.subs({"p": 3}) == 4 * Q
+
+    def test_subs_complete_matches_evaluate(self):
+        poly = P * P + 2 * Q
+        assert poly.subs({"p": 3, "q": 4}).const_value() == poly.evaluate({"p": 3, "q": 4})
+
+    @given(small_polys(), st.integers(1, 5), st.integers(1, 5))
+    def test_evaluate_is_ring_hom(self, a, pv, qv):
+        bindings = {"p": pv, "q": qv}
+        assert (a + a).evaluate(bindings) == 2 * a.evaluate(bindings)
+        assert (a * a).evaluate(bindings) == a.evaluate(bindings) ** 2
+
+
+class TestRendering:
+    def test_zero(self):
+        assert str(ZERO) == "0"
+
+    def test_ordering_and_signs(self):
+        assert str(P * P - Q + 1) == "p**2 - q + 1"
+
+    def test_coefficient_rendering(self):
+        assert str(2 * P * Q) == "2*p*q"
+        assert str(-P) == "-p"
+
+    def test_fraction_coefficient(self):
+        assert str(P.scale(Fraction(1, 2))) == "1/2*p"
+
+    def test_repr_roundtrip_info(self):
+        assert "Poly" in repr(P + 1)

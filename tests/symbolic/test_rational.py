@@ -1,0 +1,93 @@
+"""Tests for rational functions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import Poly, Rat
+
+P = Poly.var("p")
+Q = Poly.var("q")
+
+
+class TestReduction:
+    def test_exact_quotient_becomes_polynomial(self):
+        assert Rat(P * Q, P).is_polynomial()
+        assert Rat(P * Q, P).as_poly() == Q
+
+    def test_constant_denominator_absorbed(self):
+        r = Rat(P, 2)
+        assert r.is_polynomial()
+        assert r.as_poly() == P.scale(Fraction(1, 2))
+
+    def test_common_factor_cancelled(self):
+        assert Rat(2 * P * Q, 2 * P * (P + 1)) == Rat(Q, P + 1)
+
+    def test_zero_numerator_normalizes(self):
+        r = Rat(Poly(), P)
+        assert r.is_zero()
+        assert r.den == Poly.const(1)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            Rat(P, Poly())
+
+    def test_sign_normalized_to_denominator(self):
+        r = Rat(P, -Q)
+        assert r == Rat(-P, Q)
+        lead = r.den.leading()[1]
+        assert lead > 0
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Rat(1, P) + Rat(1, P) == Rat(2, P)
+
+    def test_add_different_denominators(self):
+        assert Rat(1, P) + Rat(1, Q) == Rat(P + Q, P * Q)
+
+    def test_mul(self):
+        assert Rat(P, Q) * Rat(Q, P) == Rat(1)
+
+    def test_div(self):
+        assert Rat(P) / Rat(Q) == Rat(P, Q)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Rat(P) / Rat(0)
+
+    def test_sub_self_is_zero(self):
+        assert (Rat(P, Q) - Rat(P, Q)).is_zero()
+
+    def test_mixed_with_ints(self):
+        assert 2 * Rat(P, 2) == Rat(P)
+        assert (1 / Rat(P)) == Rat(1, P)
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        assert Rat(P, Q).evaluate({"p": 6, "q": 4}) == Fraction(3, 2)
+
+    def test_evaluate_zero_denominator(self):
+        r = Rat(P, Q - 4)
+        with pytest.raises(ZeroDivisionError):
+            r.evaluate({"p": 1, "q": 4})
+
+    def test_subs(self):
+        assert Rat(P * Q, Q).subs({"q": 3}) == Rat(P)
+
+
+class TestIdentity:
+    def test_cross_multiplication_equality(self):
+        assert Rat(P, 2) == Rat(2 * P, 4)
+
+    def test_equality_with_poly(self):
+        assert Rat(P * Q, Q) == P
+
+    def test_hash_consistent_for_reduced_forms(self):
+        assert hash(Rat(2 * P, 4)) == hash(Rat(P, 2))
+
+    def test_str(self):
+        assert str(Rat(P)) == "p"
+        assert str(Rat(P, Q)) == "p/q"
+        assert "(" in str(Rat(P + 1, Q))

@@ -1,0 +1,97 @@
+"""Hypothesis field-law tests for rational functions."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.symbolic import Poly, Rat
+
+P = Poly.var("p")
+Q = Poly.var("q")
+
+
+def small_rats():
+    """Strategy: quotients of small non-trivial polynomials."""
+    coeff = st.integers(min_value=-3, max_value=3)
+    exps = st.tuples(st.integers(0, 1), st.integers(0, 1))
+
+    def build_poly(pairs):
+        total = Poly()
+        for (ep, eq), c in pairs:
+            total = total + (P**ep) * (Q**eq) * c
+        return total
+
+    polys = st.lists(st.tuples(exps, coeff), min_size=1, max_size=2).map(build_poly)
+
+    def build_rat(pair):
+        num, den = pair
+        if den.is_zero():
+            den = Poly.const(1)
+        return Rat(num, den)
+
+    return st.tuples(polys, polys).map(build_rat)
+
+
+class TestFieldLaws:
+    @given(small_rats(), small_rats())
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(small_rats(), small_rats(), small_rats())
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(small_rats(), small_rats())
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(small_rats(), small_rats(), small_rats())
+    def test_distributive(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(small_rats())
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+    @given(small_rats())
+    def test_multiplicative_inverse(self, a):
+        assume(not a.is_zero())
+        assert a * (1 / a) == Rat(1)
+
+    @given(small_rats(), small_rats())
+    def test_sub_then_add_roundtrip(self, a, b):
+        assert (a - b) + b == a
+
+    @given(small_rats(), small_rats())
+    def test_div_then_mul_roundtrip(self, a, b):
+        assume(not b.is_zero())
+        assert (a / b) * b == a
+
+
+class TestEvaluationHomomorphism:
+    @given(small_rats(), small_rats(), st.integers(1, 5), st.integers(1, 5))
+    def test_evaluate_respects_operations(self, a, b, pv, qv):
+        bindings = {"p": pv, "q": qv}
+        try:
+            va = a.evaluate(bindings)
+            vb = b.evaluate(bindings)
+            vsum = (a + b).evaluate(bindings)
+            vprod = (a * b).evaluate(bindings)
+        except ZeroDivisionError:
+            return  # denominator vanished at this point: fine
+        assert vsum == va + vb
+        assert vprod == va * vb
+
+    @given(small_rats())
+    def test_reduction_preserves_value(self, a):
+        """The canonical form equals the raw quotient numerically."""
+        bindings = {"p": 3, "q": 5}
+        try:
+            value = a.evaluate(bindings)
+        except ZeroDivisionError:
+            return
+        num = a.num.evaluate(bindings)
+        den = a.den.evaluate(bindings)
+        assert den != 0
+        assert value == Fraction(num) / Fraction(den)

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.io import csdf_to_dict, tpdf_to_dict
+from repro.tpdf import TPDFGraph, fig2_graph
+
+
+@pytest.fixture
+def fig2_json(tmp_path):
+    path = tmp_path / "fig2.json"
+    path.write_text(json.dumps(tpdf_to_dict(fig2_graph())))
+    return str(path)
+
+
+@pytest.fixture
+def fig1_json(tmp_path, fig1):
+    path = tmp_path / "fig1.json"
+    path.write_text(json.dumps(csdf_to_dict(fig1)))
+    return str(path)
+
+
+class TestAnalyze:
+    def test_bounded_graph_exits_zero(self, fig2_json, capsys):
+        assert main(["analyze", fig2_json]) == 0
+        out = capsys.readouterr().out
+        assert "bounded" in out
+        assert "q[B] = 2*p" in out
+
+    def test_csdf_graph_wrapped(self, fig1_json, capsys):
+        assert main(["analyze", fig1_json]) == 0
+        out = capsys.readouterr().out
+        assert "q[a1] = 3" in out
+
+    def test_unbounded_graph_exits_one(self, tmp_path, capsys):
+        g = TPDFGraph("bad")
+        a = g.add_kernel("a")
+        a.add_output("o1", 1)
+        a.add_output("o2", 2)
+        b = g.add_kernel("b")
+        b.add_input("i1", 1)
+        b.add_input("i2", 1)
+        g.connect("a.o1", "b.i1")
+        g.connect("a.o2", "b.i2")
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(tpdf_to_dict(g)))
+        assert main(["analyze", str(path)]) == 1
+
+
+class TestLint:
+    def test_clean_graph(self, fig2_json, capsys):
+        assert main(["lint", fig2_json]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warnings_exit_one(self, tmp_path, capsys):
+        g = TPDFGraph("warned")
+        k = g.add_kernel("k")
+        k.add_output("dangling", 1)
+        path = tmp_path / "warned.json"
+        path.write_text(json.dumps(tpdf_to_dict(g)))
+        assert main(["lint", str(path)]) == 1
+        assert "dangling-port" in capsys.readouterr().out
+
+
+class TestDot:
+    def test_tpdf_dot(self, fig2_json, capsys):
+        assert main(["dot", fig2_json]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_csdf_dot(self, fig1_json, capsys):
+        assert main(["dot", fig1_json]) == 0
+        assert '"a1" -> "a2"' in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_schedule_with_bindings(self, fig2_json, capsys):
+        assert main(["schedule", fig2_json, "--bind", "p=1", "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "occurrences: 10" in out
+        assert "makespan" in out
+
+    def test_unfolded_schedule(self, fig1_json, capsys):
+        assert main(["schedule", fig1_json, "--cores", "2",
+                     "--unfolding", "2"]) == 0
+        assert "occurrences: 14" in capsys.readouterr().out
+
+    def test_bad_binding_syntax(self, fig2_json):
+        with pytest.raises(SystemExit):
+            main(["schedule", fig2_json, "--bind", "p2"])
+
+
+class TestBuffers:
+    def test_symbolic_when_unbound(self, fig2_json, capsys):
+        assert main(["buffers", fig2_json]) == 0
+        assert "p" in capsys.readouterr().out
+
+    def test_concrete_with_bindings(self, fig2_json, capsys):
+        assert main(["buffers", fig2_json, "--bind", "p=2"]) == 0
+        assert "total:" in capsys.readouterr().out
+
+
+class TestThroughput:
+    def test_csdf_throughput(self, fig1_json, capsys):
+        assert main(["throughput", fig1_json]) == 0
+        out = capsys.readouterr().out
+        assert "max cycle ratio" in out
+        assert "self-timed steady period" in out
+
+    def test_tpdf_with_bindings(self, fig2_json, capsys):
+        assert main(["throughput", fig2_json, "--bind", "p=2",
+                     "--iterations", "3"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_model(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"model": "???"}')
+        with pytest.raises(SystemExit):
+            main(["analyze", str(path)])

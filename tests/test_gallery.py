@@ -1,0 +1,41 @@
+"""Tests for the paper-graph gallery."""
+
+import pytest
+
+from repro import gallery
+from repro.csdf import concrete_repetition_vector
+from repro.tpdf import check_boundedness, check_liveness, repetition_vector
+
+
+class TestGallery:
+    def test_fig1(self):
+        assert concrete_repetition_vector(gallery.fig1_graph()) == {
+            "a1": 3, "a2": 2, "a3": 2,
+        }
+
+    def test_fig2(self):
+        q = repetition_vector(gallery.fig2_graph())
+        assert str(q["B"]) == "2*p"
+
+    def test_fig3_virtualizable(self):
+        from repro.tpdf import virtualize_select_duplicate
+
+        virt = virtualize_select_duplicate(gallery.fig3_graph(), "B")
+        assert check_boundedness(virt).bounded
+
+    @pytest.mark.parametrize("case,live", [("a", True), ("b", True), ("dead", False)])
+    def test_fig4_cases(self, case, live):
+        assert check_liveness(gallery.fig4_graph(case)).live is live
+
+    def test_fig4_unknown_case(self):
+        with pytest.raises(ValueError):
+            gallery.fig4_graph("z")
+
+    def test_fig6(self):
+        graph, results = gallery.fig6_graph(image_size=64)
+        assert "Clock" in graph.controls
+        assert results == []
+
+    def test_fig7(self):
+        graph = gallery.fig7_graph()
+        assert check_boundedness(graph).bounded

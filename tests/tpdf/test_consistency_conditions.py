@@ -1,0 +1,78 @@
+"""Tests for parametric consistency conditions."""
+
+from repro.symbolic import Param, Poly
+from repro.tpdf import TPDFGraph, consistency_conditions, fig2_graph
+
+
+def diamond(left_rate, right_rate) -> TPDFGraph:
+    """src fans out to two branches that join: consistent iff the
+    branch gains agree."""
+    g = TPDFGraph(parameters=[Param("p"), Param("q")])
+    src = g.add_kernel("src")
+    src.add_output("o1", 1)
+    src.add_output("o2", 1)
+    a = g.add_kernel("a")
+    a.add_input("in", 1)
+    a.add_output("out", left_rate)
+    b = g.add_kernel("b")
+    b.add_input("in", 1)
+    b.add_output("out", right_rate)
+    snk = g.add_kernel("snk")
+    snk.add_input("i1", 1)
+    snk.add_input("i2", 1)
+    g.connect("src.o1", "a.in")
+    g.connect("src.o2", "b.in")
+    g.connect("a.out", "snk.i1")
+    g.connect("b.out", "snk.i2")
+    return g
+
+
+class TestConditions:
+    def test_consistent_graph_has_no_conditions(self):
+        assert consistency_conditions(fig2_graph()) == []
+        assert consistency_conditions(diamond(2, 2)) == []
+
+    def test_concrete_mismatch_yields_constant(self):
+        conditions = consistency_conditions(diamond(2, 3))
+        assert len(conditions) == 1
+        assert conditions[0].is_const()  # unsatisfiable: no parameters
+
+    def test_parametric_condition(self):
+        p = Poly.var("p")
+        conditions = consistency_conditions(diamond(p, 3))
+        assert conditions == [p - 3]
+
+    def test_two_parameter_relation(self):
+        p, q = Poly.var("p"), Poly.var("q")
+        conditions = consistency_conditions(diamond(p, q))
+        assert conditions == [p - q]
+
+    def test_condition_satisfied_makes_concrete_graph_consistent(self):
+        from repro.tpdf import check_consistency
+
+        g = diamond(Poly.var("p"), 3)
+        assert not check_consistency(g).consistent  # for general p
+        # Substituting the condition's root yields a consistent graph.
+        from repro.tpdf import concrete_repetition_vector
+
+        q = concrete_repetition_vector(
+            diamond(3, 3), {}
+        )
+        assert q["snk"] >= 1
+
+    def test_conditions_deduplicated(self):
+        p = Poly.var("p")
+        g = diamond(p, 3)
+        # A third branch replicating b's shape yields the same residual
+        # p - 3 and must not be reported twice.
+        src = g.node("src")
+        src.add_output("o3", 1)
+        c = g.add_kernel("c")
+        c.add_input("in", 1)
+        c.add_output("out", 3)
+        snk = g.node("snk")
+        snk.add_input("i3", 1)
+        g.connect("src.o3", "c.in")
+        g.connect("c.out", "snk.i3")
+        conditions = consistency_conditions(g)
+        assert conditions == [p - 3]

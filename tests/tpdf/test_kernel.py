@@ -1,0 +1,134 @@
+"""Tests for kernels, control actors and their ports."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.tpdf import ControlActor, Kernel, Mode, PortKind
+from repro.tpdf.ports import Port
+
+
+class TestPort:
+    def test_kinds(self):
+        assert PortKind.DATA_IN.is_input()
+        assert PortKind.CONTROL_IN.is_input()
+        assert not PortKind.DATA_OUT.is_input()
+        assert PortKind.CONTROL_OUT.is_control()
+
+    def test_control_in_rate_restricted(self):
+        with pytest.raises(ValueError):
+            Port("c", PortKind.CONTROL_IN, rates=2)
+        Port("c", PortKind.CONTROL_IN, rates=[0, 1])  # ok
+
+    def test_control_out_rate_unrestricted(self):
+        Port("o", PortKind.CONTROL_OUT, rates=2)  # Fig. 2's controller
+
+    def test_priority_stored(self):
+        assert Port("i", PortKind.DATA_IN, priority=3).priority == 3
+
+
+class TestKernelPorts:
+    def test_add_ports(self):
+        k = Kernel("k")
+        k.add_input("in", 2)
+        k.add_output("out", [1, 1])
+        assert {p.name for p in k.data_inputs} == {"in"}
+        assert {p.name for p in k.data_outputs} == {"out"}
+
+    def test_single_control_port_enforced(self):
+        k = Kernel("k")
+        k.add_control_port("c1")
+        with pytest.raises(GraphConstructionError):
+            k.add_control_port("c2")
+
+    def test_has_control(self):
+        k = Kernel("k")
+        assert not k.has_control()
+        k.add_control_port()
+        assert k.has_control()
+
+    def test_duplicate_port_rejected(self):
+        k = Kernel("k")
+        k.add_input("x")
+        with pytest.raises(GraphConstructionError):
+            k.add_output("x")
+
+    def test_unknown_port_raises(self):
+        with pytest.raises(KeyError):
+            Kernel("k").port("nope")
+
+
+class TestKernelModes:
+    def test_mode_rate_override(self):
+        k = Kernel("k", modes=(Mode.WAIT_ALL, Mode.SELECT_ONE))
+        k.add_input("in", 4)
+        k.set_mode_rates(Mode.SELECT_ONE, {"in": 2})
+        assert k.rate("in", mode=Mode.SELECT_ONE) == 2
+        assert k.rate("in", mode=Mode.WAIT_ALL) == 4
+        assert k.rate("in") == 4
+
+    def test_undeclared_mode_rejected(self):
+        k = Kernel("k")
+        k.add_input("in")
+        with pytest.raises(GraphConstructionError):
+            k.set_mode_rates(Mode.SELECT_ONE, {"in": 1})
+
+    def test_mode_rates_unknown_port(self):
+        k = Kernel("k", modes=(Mode.SELECT_ONE,))
+        with pytest.raises(KeyError):
+            k.set_mode_rates(Mode.SELECT_ONE, {"ghost": 1})
+
+    def test_effective_ports(self):
+        from repro.tpdf import select_one
+
+        k = Kernel("k", modes=(Mode.SELECT_ONE,))
+        k.add_input("a")
+        k.add_input("b")
+        k.add_control_port("c")
+        ports = k.effective_ports(select_one("a"))
+        assert [p.name for p in ports] == ["a"]
+
+
+class TestTiming:
+    def test_tau_lcm_over_ports(self):
+        k = Kernel("k")
+        k.add_input("in", [1, 1])
+        k.add_output("out", [1, 0, 1])
+        assert k.tau() == 6
+
+    def test_exec_time_phases(self):
+        k = Kernel("k", exec_time=[1.0, 2.0])
+        assert k.exec_time(0) == 1.0
+        assert k.exec_time(3) == 2.0
+
+    def test_invalid_exec_time(self):
+        with pytest.raises(ValueError):
+            Kernel("k", exec_time=-1.0)
+
+
+class TestControlActor:
+    def test_ports(self):
+        g = ControlActor("g")
+        g.add_input("in", 2)
+        g.add_control_output("out", 2)
+        assert len(g.control_outputs()) == 1
+
+    def test_default_decision_is_wait_all(self):
+        g = ControlActor("g")
+        token = g.decide(0, [])
+        assert token.mode is Mode.WAIT_ALL
+
+    def test_custom_decision(self):
+        from repro.tpdf import select_one
+
+        g = ControlActor("g", decision=lambda n, inputs: select_one(f"port{n}"))
+        assert g.decide(2, []).selection == ("port2",)
+
+    def test_control_input_allowed(self):
+        g = ControlActor("g")
+        g.add_control_input("cin")
+        assert g.ports["cin"].kind is PortKind.CONTROL_IN
+
+    def test_meta_dict(self):
+        g = ControlActor("g")
+        g.meta["builtin"] = "clock"
+        assert g.meta["builtin"] == "clock"

@@ -1,0 +1,104 @@
+"""Tests for the structural lint pass."""
+
+import pytest
+
+from repro.tpdf import TPDFGraph, assert_clean, clock, fig2_graph, lint
+
+
+def codes(graph) -> set[str]:
+    return {warning.code for warning in lint(graph)}
+
+
+class TestCleanGraphs:
+    def test_fig2_clean(self):
+        assert lint(fig2_graph()) == []
+        assert_clean(fig2_graph())
+
+    def test_apps_clean(self):
+        from repro.apps.ofdm import build_ofdm_tpdf
+
+        assert lint(build_ofdm_tpdf()) == []
+
+
+class TestWarnings:
+    def test_dangling_port(self):
+        g = TPDFGraph()
+        k = g.add_kernel("k")
+        k.add_output("never_used", 1)
+        assert "dangling-port" in codes(g)
+
+    def test_unfed_control_port(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src")
+        src.add_output("out", 1)
+        k = g.add_kernel("k")
+        k.add_input("in", 1)
+        k.add_control_port("ctrl", 1)
+        g.connect("src.out", "k.in")
+        assert "unfed-control-port" in codes(g)
+
+    def test_ineffective_control(self):
+        g = TPDFGraph()
+        src = g.add_kernel("src")
+        src.add_output("sig", 1)
+        c = g.add_control_actor("c")
+        c.add_input("in", 1)
+        g.connect("src.sig", "c.in")
+        assert "ineffective-control" in codes(g)
+
+    def test_unreachable_actor(self):
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("o", 1)
+        b = g.add_kernel("b")
+        b.add_input("i", 1)
+        g.connect("a.o", "b.i")
+        # A two-node cycle with no source feeding it: unreachable.
+        x = g.add_kernel("x")
+        x.add_output("o", 1)
+        x.add_input("i", 1)
+        y = g.add_kernel("y")
+        y.add_output("o", 1)
+        y.add_input("i", 1)
+        g.connect("x.o", "y.i", initial_tokens=1)
+        g.connect("y.o", "x.i", initial_tokens=1)
+        assert "unreachable" in codes(g)
+
+    def test_zero_rate_port(self):
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("o", [0, 0])
+        b = g.add_kernel("b")
+        b.add_input("i", 1)
+        g.connect("a.o", "b.i")
+        assert "zero-rate-port" in codes(g)
+
+    def test_undeclared_parameter(self):
+        from repro.symbolic import Param
+
+        g = TPDFGraph()
+        a = g.add_kernel("a")
+        a.add_output("o", Param("ghost"))
+        b = g.add_kernel("b")
+        b.add_input("i", 1)
+        g.connect("a.o", "b.i")
+        assert "undeclared-parameter" in codes(g)
+
+    def test_clock_in_cycle(self):
+        g = TPDFGraph()
+        ck = clock(g, "ck", period=1.0)
+        ck.add_input("feedback", 1)
+        k = g.add_kernel("k")
+        k.add_control_port("ctrl", 1)
+        k.add_output("out", 1)
+        g.connect("ck.tick", "k.ctrl")
+        g.connect("k.out", "ck.feedback", initial_tokens=1)
+        assert "clock-in-cycle" in codes(g)
+
+    def test_assert_clean_raises(self):
+        g = TPDFGraph()
+        k = g.add_kernel("k")
+        k.add_output("never", 1)
+        with pytest.raises(ValueError) as excinfo:
+            assert_clean(g)
+        assert "dangling-port" in str(excinfo.value)

@@ -1,0 +1,67 @@
+"""Tests for modes and control tokens."""
+
+import pytest
+
+from repro.tpdf import ControlToken, Mode, highest_priority, select_many, select_one, wait_all
+
+
+class TestControlTokenValidation:
+    def test_select_one_needs_exactly_one(self):
+        with pytest.raises(ValueError):
+            ControlToken(Mode.SELECT_ONE, ())
+        with pytest.raises(ValueError):
+            ControlToken(Mode.SELECT_ONE, ("a", "b"))
+
+    def test_select_many_needs_at_least_two(self):
+        with pytest.raises(ValueError):
+            ControlToken(Mode.SELECT_MANY, ("a",))
+
+    def test_wait_all_carries_no_selection(self):
+        with pytest.raises(ValueError):
+            ControlToken(Mode.WAIT_ALL, ("a",))
+
+    def test_highest_priority_empty_selection_ok(self):
+        token = ControlToken(Mode.HIGHEST_PRIORITY)
+        assert token.selection == ()
+
+
+class TestSelects:
+    def test_select_one(self):
+        token = select_one("x")
+        assert token.selects("x")
+        assert not token.selects("y")
+
+    def test_select_many(self):
+        token = select_many("x", "y")
+        assert token.selects("x") and token.selects("y")
+        assert not token.selects("z")
+
+    def test_wait_all_selects_everything(self):
+        assert wait_all().selects("anything")
+
+    def test_highest_priority_statically_selects_everything(self):
+        assert highest_priority().selects("anything")
+
+
+class TestDeadlines:
+    def test_deadline_attached(self):
+        token = highest_priority(deadline=500.0)
+        assert token.deadline == 500.0
+
+    def test_select_one_with_deadline(self):
+        token = select_one("x", deadline=10.0)
+        assert token.deadline == 10.0
+
+    def test_tokens_are_frozen(self):
+        token = wait_all()
+        with pytest.raises(Exception):
+            token.mode = Mode.SELECT_ONE  # type: ignore[misc]
+
+
+class TestRendering:
+    def test_str_mode(self):
+        assert "select_one" in str(select_one("x"))
+        assert "(x)" in str(select_one("x"))
+
+    def test_str_deadline(self):
+        assert "@500.0" in str(highest_priority(deadline=500.0))

@@ -1,0 +1,89 @@
+"""Tests for the random consistent graph generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tpdf import (
+    check_consistency,
+    check_liveness,
+    random_consistent_graph,
+    repetition_vector,
+)
+
+
+class TestGeneratedGraphs:
+    def test_deterministic(self):
+        a = random_consistent_graph(6, seed=5)
+        b = random_consistent_graph(6, seed=5)
+        assert repetition_vector(a) == repetition_vector(b)
+
+    def test_consistent_by_construction(self):
+        g = random_consistent_graph(10, extra_edges=4, seed=1)
+        assert check_consistency(g).consistent
+
+    def test_cycles_are_live(self):
+        g = random_consistent_graph(8, extra_edges=2, n_cycles=2, seed=2)
+        assert check_liveness(g).live
+
+    def test_parametric_generation(self):
+        g = random_consistent_graph(8, seed=3, parametric=True)
+        q = repetition_vector(g)
+        assert any(not poly.is_const() for poly in q.values())
+
+    def test_control_machinery_attached(self):
+        g = random_consistent_graph(5, seed=4, with_control=True)
+        assert "ctrl0" in g.controls
+        assert any(c.is_control for c in g.channels.values())
+
+    def test_without_control(self):
+        g = random_consistent_graph(5, seed=4, with_control=False)
+        assert not g.controls
+
+    def test_minimum_size_enforced(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_consistent_graph(1)
+
+
+class TestRateSafeByConstruction:
+    @given(seed=st.integers(0, 20), n=st.integers(2, 7))
+    @settings(max_examples=15)
+    def test_control_attachment_is_rate_safe(self, seed, n):
+        from repro.tpdf import check_rate_safety
+
+        g = random_consistent_graph(n, extra_edges=1, seed=seed,
+                                    with_control=True)
+        assert check_rate_safety(g).safe
+
+    @given(seed=st.integers(0, 15), n=st.integers(3, 6))
+    @settings(max_examples=10)
+    def test_parametric_control_attachment_safe(self, seed, n):
+        from repro.tpdf import check_boundedness
+
+        g = random_consistent_graph(n, seed=seed, parametric=True,
+                                    with_control=True)
+        assert check_boundedness(g).bounded
+
+
+class TestGeneratedGraphProperties:
+    @given(seed=st.integers(0, 30), n=st.integers(2, 9), extra=st.integers(0, 3))
+    @settings(max_examples=25)
+    def test_always_consistent(self, seed, n, extra):
+        g = random_consistent_graph(n, extra_edges=extra, seed=seed,
+                                    with_control=False)
+        assert check_consistency(g).consistent
+
+    @given(seed=st.integers(0, 20), n=st.integers(3, 8))
+    @settings(max_examples=15)
+    def test_parametric_always_consistent(self, seed, n):
+        g = random_consistent_graph(n, seed=seed, parametric=True,
+                                    with_control=False)
+        assert check_consistency(g).consistent
+
+    @given(seed=st.integers(0, 15), n=st.integers(3, 7), cycles=st.integers(1, 2))
+    @settings(max_examples=15)
+    def test_cycles_live(self, seed, n, cycles):
+        g = random_consistent_graph(n, n_cycles=cycles, seed=seed,
+                                    with_control=False)
+        assert check_liveness(g).live

@@ -1,0 +1,95 @@
+"""Tests for rate safety (Definition 5)."""
+
+import pytest
+
+from repro.errors import RateSafetyError
+from repro.symbolic import Param
+from repro.tpdf import TPDFGraph, assert_rate_safe, check_rate_safety
+
+
+class TestFig2Safety:
+    def test_fig2_is_rate_safe(self, fig2):
+        report = check_rate_safety(fig2)
+        assert report.safe
+        assert not report.undecided
+        assert len(report.checks) == 2  # e2 (consume) and e5 (produce)
+
+    def test_check_details(self, fig2):
+        report = check_rate_safety(fig2)
+        by_channel = {check.channel: check for check in report.checks}
+        # e2: Y_C(1) = 2 equals X_B(q^L_B = 2) = 2.
+        assert by_channel["e2"].control_side == by_channel["e2"].area_side
+        # e5: X_C(1) = 2 equals Y_F(q^L_F = 2) = 2.
+        assert by_channel["e5"].control_side == by_channel["e5"].area_side
+
+    def test_assert_passes(self, fig2):
+        assert_rate_safe(fig2)
+
+
+def build_unsafe_graph() -> TPDFGraph:
+    """Consistent graph whose control actor fires twice per local
+    iteration (q = [src: 1, ctrl: 2, snk: 2]): not rate safe."""
+    g = TPDFGraph()
+    src = g.add_kernel("src")
+    src.add_output("out", 2)      # snk consumes 1 -> q_snk = 2
+    src.add_output("sig", 2)      # ctrl consumes 1 -> q_ctrl = 2 (!)
+    ctrl = g.add_control_actor("ctrl")
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    snk = g.add_kernel("snk")
+    snk.add_input("in", 1)
+    snk.add_control_port("c", 1)
+    g.connect("src.out", "snk.in")
+    g.connect("src.sig", "ctrl.in")
+    g.connect("ctrl.out", "snk.c")
+    return g
+
+
+class TestViolations:
+    def test_unsafe_graph_detected(self):
+        g = build_unsafe_graph()
+        report = check_rate_safety(g)
+        assert not report.safe
+        assert report.violations()
+
+    def test_assert_raises_with_details(self):
+        with pytest.raises(RateSafetyError) as excinfo:
+            assert_rate_safe(build_unsafe_graph())
+        assert "Def. 5" in str(excinfo.value)
+
+    def test_violation_str(self):
+        report = check_rate_safety(build_unsafe_graph())
+        text = str(report)
+        assert "NOT rate safe" in text
+        assert "VIOLATED" in text
+
+
+class TestDecidability:
+    def test_parametric_nonuniform_rates_still_decidable(self):
+        """For *consistent* graphs every Def.-5 check is symbolically
+        decidable: q^L_ai is always an integer multiple of tau_i (it is
+        tau_i * r_ai / gcd(r)), so cumulative rates at local counts
+        always reduce to whole cycles.  This test pins that invariant
+        with non-uniform parametric rates in the control area."""
+        p = Param("p")
+        g = TPDFGraph(parameters=[p])
+        src = g.add_kernel("src")
+        src.add_output("out", [p, p])       # tau = 2, parametric
+        src.add_output("sig", [1, 1])
+        ctrl = g.add_control_actor("ctrl")
+        ctrl.add_input("in", 2)             # one firing per src cycle
+        ctrl.add_control_output("out", 1)
+        snk = g.add_kernel("snk")
+        snk.add_input("in", 2 * p)          # q_snk = 1 per src cycle
+        snk.add_control_port("c", 1)
+        g.connect("src.out", "snk.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "snk.c")
+        report = check_rate_safety(g)
+        assert not report.undecided
+        assert report.safe
+
+    def test_graph_without_controls_trivially_safe(self, simple_pipeline):
+        report = check_rate_safety(simple_pipeline)
+        assert report.safe
+        assert report.checks == []

@@ -1,0 +1,131 @@
+"""Tests for graph transformations (Fig. 3 virtualization and mode
+restriction)."""
+
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.tpdf import (
+    TPDFGraph,
+    check_consistency,
+    check_rate_safety,
+    copy_graph,
+    repetition_vector,
+    restrict_to_selection,
+    select_duplicate,
+    virtualize_select_duplicate,
+)
+
+
+def build_select_dup_app() -> TPDFGraph:
+    """The left-hand graph of Fig. 3: B select-duplicates to D and E."""
+    g = TPDFGraph("fig3")
+    a = g.add_kernel("A")
+    a.add_output("out", 1)
+    b = select_duplicate(g, "B", outputs=2, output_names=["to_d", "to_e"])
+    ctrl = g.add_control_actor("CTRL")
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    a.add_output("sig", 1)
+    g.connect("A.sig", "CTRL.in")
+    g.connect("CTRL.out", "B.ctrl")
+    d = g.add_kernel("D")
+    d.add_input("in", 1)
+    e = g.add_kernel("E")
+    e.add_input("in", 1)
+    g.connect("A.out", "B.in")
+    g.connect("B.to_d", "D.in")
+    g.connect("B.to_e", "E.in")
+    return g
+
+
+class TestCopyGraph:
+    def test_structure_preserved(self, fig2):
+        clone = copy_graph(fig2)
+        assert set(clone.kernels) == set(fig2.kernels)
+        assert set(clone.controls) == set(fig2.controls)
+        assert set(clone.channels) == set(fig2.channels)
+        assert set(clone.parameters) == set(fig2.parameters)
+
+    def test_copy_is_independent(self, fig2):
+        clone = copy_graph(fig2)
+        clone.add_kernel("extra")
+        assert "extra" not in fig2.kernels
+
+    def test_copy_preserves_analyses(self, fig2):
+        clone = copy_graph(fig2)
+        assert repetition_vector(clone) == repetition_vector(fig2)
+
+
+class TestVirtualization:
+    def test_adds_virtual_controller_and_collector(self):
+        g = build_select_dup_app()
+        virt = virtualize_select_duplicate(g, "B")
+        assert "B_vC" in virt.controls
+        assert "B_vF" in virt.kernels
+        assert virt.node("B_vF").meta.get("virtual")
+
+    def test_original_untouched(self):
+        g = build_select_dup_app()
+        before = set(g.channels)
+        virtualize_select_duplicate(g, "B")
+        assert set(g.channels) == before
+
+    def test_virtualized_graph_consistent_and_safe(self):
+        g = build_select_dup_app()
+        virt = virtualize_select_duplicate(g, "B")
+        assert check_consistency(virt).consistent
+        assert check_rate_safety(virt).safe
+
+    def test_repetition_restriction(self):
+        g = build_select_dup_app()
+        virt = virtualize_select_duplicate(g, "B")
+        q_orig = repetition_vector(g)
+        q_virt = repetition_vector(virt)
+        for name in q_orig:
+            assert q_virt[name] == q_orig[name]
+
+    def test_requires_multiple_outputs(self, simple_pipeline):
+        with pytest.raises(GraphConstructionError):
+            virtualize_select_duplicate(simple_pipeline, "mid")
+
+    def test_requires_kernel(self):
+        g = build_select_dup_app()
+        with pytest.raises(GraphConstructionError):
+            virtualize_select_duplicate(g, "CTRL")
+
+    def test_custom_sinks(self):
+        g = build_select_dup_app()
+        virt = virtualize_select_duplicate(
+            g, "B", branch_sinks={"to_d": "D", "to_e": "E"}
+        )
+        collector_inputs = {
+            p.name for p in virt.node("B_vF").data_inputs
+        }
+        assert collector_inputs == {"from_D", "from_E"}
+
+
+class TestRestriction:
+    def test_restrict_drops_unselected_channels(self):
+        g = build_select_dup_app()
+        restricted = restrict_to_selection(g, "B", ["in", "to_d"])
+        assert "E" not in restricted.kernels
+        assert all(c.dst != "E" for c in restricted.channels.values())
+
+    def test_restriction_preserves_consistency(self):
+        """Sec. III-A: consistency of the full graph implies consistency
+        of every mode-restricted graph."""
+        g = build_select_dup_app()
+        assert check_consistency(g).consistent
+        for kept in (["in", "to_d"], ["in", "to_e"]):
+            restricted = restrict_to_selection(g, "B", kept)
+            assert check_consistency(restricted).consistent
+
+    def test_restriction_keeps_control_channels(self):
+        g = build_select_dup_app()
+        restricted = restrict_to_selection(g, "B", ["in", "to_d"])
+        assert any(c.is_control for c in restricted.channels.values())
+
+    def test_unknown_port_rejected(self):
+        g = build_select_dup_app()
+        with pytest.raises(GraphConstructionError):
+            restrict_to_selection(g, "B", ["nonexistent"])

@@ -1,0 +1,44 @@
+"""Tests for DOT export."""
+
+from repro.util import csdf_to_dot, tpdf_to_dot
+
+
+class TestCsdfDot:
+    def test_structure(self, fig1):
+        dot = csdf_to_dot(fig1)
+        assert dot.startswith('digraph "fig1"')
+        assert '"a1" -> "a2"' in dot
+        assert "2 tok" in dot  # initial tokens annotated
+
+    def test_rates_annotated(self, fig1):
+        dot = csdf_to_dot(fig1)
+        assert "[1,0,1] -> [1,1]" in dot
+
+
+class TestTpdfDot:
+    def test_control_shapes(self, fig2):
+        dot = tpdf_to_dot(fig2)
+        assert '"C" [shape=diamond]' in dot
+        assert '"A" [shape=box]' in dot
+
+    def test_control_channels_dashed(self, fig2):
+        dot = tpdf_to_dot(fig2)
+        dashed = [line for line in dot.splitlines() if "dashed" in line]
+        assert len(dashed) == 1  # only e5 is a control channel
+        assert '"C" -> "F"' in dashed[0]
+
+    def test_parameters_in_label(self, fig2):
+        assert "p in [1, inf]" in tpdf_to_dot(fig2)
+
+    def test_transaction_shape(self):
+        from repro.tpdf import TPDFGraph, transaction
+
+        g = TPDFGraph()
+        transaction(g, "t", inputs=2)
+        assert '"t" [shape=hexagon]' in tpdf_to_dot(g)
+
+    def test_quotes_escaped(self):
+        from repro.tpdf import TPDFGraph
+
+        g = TPDFGraph('we"ird')
+        assert '\\"' in tpdf_to_dot(g)

@@ -1,0 +1,50 @@
+"""Tests for ASCII tables and CSV export."""
+
+import pytest
+
+from repro.util import ascii_series_plot, ascii_table, write_csv
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = ascii_table(["x"], [[1]], title="My table")
+        assert text.startswith("My table")
+
+    def test_float_formatting(self):
+        text = ascii_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+
+class TestCsv:
+    def test_write_and_read_back(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested.csv", ["x"], [[1]])
+        assert path.exists()
+
+
+class TestSeriesPlot:
+    def test_renders_legend(self):
+        text = ascii_series_plot([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "o=up" in text
+        assert "x=down" in text
+
+    def test_empty(self):
+        assert ascii_series_plot([], {}) == "(no data)"
+
+    def test_constant_series(self):
+        text = ascii_series_plot([1, 2], {"flat": [5, 5]})
+        assert "flat" in text

@@ -1,0 +1,44 @@
+"""Tests for the related-work capability matrix (Sec. V)."""
+
+from repro.util.validation import (
+    FEATURE_HEADERS,
+    RELATED_WORK,
+    feature_matrix_rows,
+    tpdf_claims,
+)
+
+
+class TestMatrix:
+    def test_tpdf_claims_everything(self):
+        claims = tpdf_claims()
+        assert claims.name == "TPDF"
+        assert claims.static_guarantees
+        assert claims.parametric_rates
+        assert claims.dynamic_topology
+        assert claims.time_constraints
+
+    def test_only_tpdf_has_time_constraints(self):
+        timed = [m.name for m in RELATED_WORK if m.time_constraints]
+        assert timed == ["TPDF"]
+
+    def test_paper_quote_on_spdf_family(self):
+        """Sec. V: PSDF/VRDF/SPDF lack TPDF's static guarantees."""
+        for name in ("PSDF", "VRDF", "SPDF"):
+            model = next(m for m in RELATED_WORK if m.name == name)
+            assert not model.static_guarantees
+            assert model.parametric_rates
+
+    def test_bpdf_closest_relative(self):
+        bpdf = next(m for m in RELATED_WORK if m.name == "BPDF")
+        assert bpdf.static_guarantees and bpdf.dynamic_topology
+        assert not bpdf.time_constraints
+
+    def test_rows_align_with_headers(self):
+        rows = feature_matrix_rows()
+        assert len(rows) == len(RELATED_WORK)
+        assert all(len(row) == len(FEATURE_HEADERS) for row in rows)
+
+    def test_marks_rendering(self):
+        rows = feature_matrix_rows()
+        tpdf_row = next(row for row in rows if row[0] == "TPDF")
+        assert tpdf_row[1:5] == ["yes", "yes", "yes", "yes"]
