@@ -17,6 +17,10 @@ Subpackages
     Discrete-event execution with control tokens, clocks, deadlines.
 :mod:`repro.apps`
     The evaluation case studies (edge detection, OFDM, FM radio).
+:mod:`repro.analysis`
+    The unified batch front door: consistency, liveness, MCR, buffer
+    sizing and self-timed throughput over many graphs in one call,
+    with all intermediates shared through per-graph caches.
 
 Quick start::
 
@@ -24,7 +28,8 @@ Quick start::
     q = repetition_vector(fig2_graph())      # {'A': 2, 'B': 2p, ...}
 """
 
-from . import apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
+from . import analysis, apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
+from .analysis import GraphReport, analyze, analyze_batch
 from .errors import (
     AnalysisError,
     BoundednessError,
@@ -40,6 +45,10 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
+    "GraphReport",
+    "analyze",
+    "analyze_batch",
     "symbolic",
     "csdf",
     "tpdf",

@@ -71,19 +71,28 @@ def _as_tpdf(graph):
 
 
 def cmd_analyze(args) -> int:
-    from .tpdf import check_boundedness
+    """Full batch analysis chain over one or more graphs.
 
-    graph = _as_tpdf(_load(args.graph))
-    report = check_boundedness(graph)
-    print(f"graph: {graph.name}")
-    print(f"verdict: {report}")
-    if report.consistency.consistent:
-        print("repetition vector:")
-        for name, count in report.repetition.items():
-            print(f"  q[{name}] = {count}")
-    print(f"rate safety: {'safe' if report.safety.safe else 'violated'}")
-    print(f"liveness: {'live' if report.liveness.live else report.liveness.reason}")
-    return 0 if report.bounded else 1
+    Static verdicts always run; the performance stages (MCR, buffer
+    sizing, self-timed throughput) run whenever the graph is concrete
+    under ``--bind``.  Exit status 1 if any graph is not provably
+    bounded.
+    """
+    from .analysis import analyze_batch
+
+    bindings = _parse_bindings(args.bind) or None
+    graphs = [_as_tpdf(_load(path)) for path in args.graphs]
+    exit_code = 0
+    reports = analyze_batch(
+        ((g, bindings) for g in graphs), iterations=args.iterations
+    )
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.summary())
+        if not report.bounded:
+            exit_code = 1
+    return exit_code
 
 
 def cmd_lint(args) -> int:
@@ -173,8 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_analyze = sub.add_parser("analyze", help="full static analysis chain")
-    p_analyze.add_argument("graph")
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="full analysis chain (static + performance) over one or more graphs",
+    )
+    p_analyze.add_argument("graphs", nargs="+", metavar="graph")
+    p_analyze.add_argument("--bind", action="append", default=[],
+                           metavar="NAME=VALUE")
+    p_analyze.add_argument("--iterations", type=int, default=4,
+                           help="self-timed iterations for the throughput stage")
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_lint = sub.add_parser("lint", help="structural diagnostics")

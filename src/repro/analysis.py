@@ -1,0 +1,279 @@
+"""``repro.analysis`` — the unified batch analysis front door.
+
+One call runs the whole static chain over a graph (or many graphs)
+with every intermediate shared through the per-graph caches of
+:mod:`repro.cache`:
+
+* **consistency** and the (symbolic + concrete) repetition vector;
+* **liveness** (TPDF cycle analysis, or a sequential-schedule probe
+  for plain CSDF);
+* **MCR** — the throughput bound, by Howard's policy iteration;
+* **buffer sizing** — peaks of a buffer-minimizing iteration;
+* **self-timed throughput** — steady-state period of the timed
+  event-driven execution.
+
+The point of the batch shape: a sweep that used to re-derive the
+repetition vector and HSDF expansion for every query (one per beta
+point, one per analysis kind) now derives each once per graph.  Used
+by the ``analyze`` CLI subcommand and the scalability/Fig. 8 benches.
+
+Typical use::
+
+    from repro.analysis import analyze, analyze_batch
+
+    report = analyze(graph, bindings={"p": 2})
+    print(report.summary())
+
+    for report in analyze_batch([(g, {"p": 2}), (h, None)]):
+        ...
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Union
+
+from .csdf.buffers import minimal_buffer_schedule
+from .csdf.graph import CSDFGraph
+from .csdf.mcr import max_cycle_ratio
+from .csdf.throughput import TimedResult, self_timed_execution
+from .errors import ReproError
+from .symbolic import InconsistentRatesError
+from .tpdf.graph import TPDFGraph
+
+#: What an analysis stage may legitimately raise.
+_STAGE_ERRORS = (ReproError, InconsistentRatesError)
+
+AnyGraph = Union[CSDFGraph, TPDFGraph]
+#: An analyze_batch item: a graph, or a (graph, bindings) pair.
+BatchItem = Union[AnyGraph, tuple]
+
+
+@dataclass
+class GraphReport:
+    """Aggregate outcome of one graph's analysis chain.
+
+    Stages that could not run record a reason in :attr:`skipped`
+    (e.g. performance stages of a parametric graph analyzed without
+    bindings) or :attr:`errors` (stage raised).
+    """
+
+    graph: AnyGraph
+    name: str
+    bindings: dict
+    consistent: bool = False
+    #: symbolic repetition vector, rendered (``{"B": "2*p"}``)
+    repetition_symbolic: dict[str, str] = field(default_factory=dict)
+    #: concrete repetition vector under ``bindings`` (when evaluable)
+    repetition: dict[str, int] | None = None
+    live: bool | None = None
+    #: rate safety (TPDF graphs only; None for plain CSDF)
+    safe: bool | None = None
+    bounded: bool | None = None
+    #: maximum cycle ratio — the steady-state period bound
+    mcr: float | None = None
+    #: per-channel buffer peaks of a buffer-minimizing iteration
+    buffers: dict[str, int] | None = None
+    #: timed self-timed execution (period, throughput, peaks)
+    timed: TimedResult | None = None
+    #: stage -> reason for stages that did not run
+    skipped: dict[str, str] = field(default_factory=dict)
+    #: stage -> error message for stages that raised
+    errors: dict[str, str] = field(default_factory=dict)
+    #: wall-clock cost of this report, seconds
+    elapsed: float = 0.0
+
+    @property
+    def total_buffer(self) -> int | None:
+        return None if self.buffers is None else sum(self.buffers.values())
+
+    @property
+    def period(self) -> float | None:
+        return None if self.timed is None else self.timed.iteration_period
+
+    @property
+    def throughput(self) -> float | None:
+        return None if self.timed is None else self.timed.throughput
+
+    def verdict_reasons(self) -> list[str]:
+        """Why the graph is not provably bounded (empty when it is)."""
+        reasons = []
+        if not self.consistent:
+            reasons.append("rate inconsistent: "
+                           + self.errors.get("consistency", "no non-trivial solution"))
+        if self.safe is False:
+            reasons.append("rate safety violated")
+        if self.live is False:
+            reasons.append("not live")
+        if "liveness" in self.errors:
+            reasons.append(f"liveness analysis failed: {self.errors['liveness']}")
+        return reasons
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (exactly what the CLI
+        ``analyze`` subcommand prints per graph)."""
+        lines = [f"graph: {self.name}"]
+        verdict = (
+            "bounded (consistent, rate safe, live)"
+            if self.bounded
+            else "NOT provably bounded: " + "; ".join(self.verdict_reasons())
+        )
+        lines.append(f"verdict: {verdict}")
+        if self.consistent:
+            lines.append("repetition vector:")
+            q = self.repetition or self.repetition_symbolic
+            for actor, count in q.items():
+                lines.append(f"  q[{actor}] = {count}")
+        if self.safe is not None:
+            lines.append(f"rate safety: {'safe' if self.safe else 'violated'}")
+        elif "liveness" in self.errors:
+            lines.append("rate safety: unknown (analysis failed)")
+        if self.live is not None:
+            lines.append(f"liveness: {'live' if self.live else 'DEADLOCK'}")
+        elif not self.consistent:
+            lines.append("liveness: skipped (inconsistent)")
+        if self.mcr is not None:
+            lines.append(f"max cycle ratio (period bound): {self.mcr:.4f}")
+        if self.timed is not None:
+            lines.append(f"self-timed steady period:       {self.period:.4f}")
+            lines.append(f"throughput:                     {self.throughput:.4f} iterations/time")
+        if self.buffers is not None:
+            lines.append(f"min single-core buffer total:   {self.total_buffer}")
+        for stage, reason in self.skipped.items():
+            lines.append(f"({stage} skipped: {reason})")
+        for stage, message in self.errors.items():
+            if stage != "consistency":
+                lines.append(f"({stage} FAILED: {message})")
+        return "\n".join(lines)
+
+
+def _csdf_view(graph: AnyGraph) -> CSDFGraph:
+    return graph.as_csdf() if isinstance(graph, TPDFGraph) else graph
+
+
+def _is_concrete(csdf: CSDFGraph, bindings: Mapping | None) -> bool:
+    return not (csdf.parameters() - set(bindings or {}))
+
+
+def analyze(
+    graph: AnyGraph,
+    bindings: Mapping | None = None,
+    *,
+    iterations: int = 4,
+    with_liveness: bool = True,
+    with_mcr: bool = True,
+    with_buffers: bool = True,
+    with_throughput: bool = True,
+) -> GraphReport:
+    """Run the full analysis chain over one graph.
+
+    Accepts TPDF and plain CSDF graphs.  Performance stages (MCR,
+    buffers, self-timed throughput) need a concrete valuation; on a
+    parametric graph without (complete) ``bindings`` they are recorded
+    as skipped instead of raising.  All intermediates are memoized on
+    the graph, so re-analyzing (or analyzing per-stage elsewhere) costs
+    nothing extra.
+    """
+    start = time.perf_counter()
+    report = GraphReport(graph=graph, name=graph.name, bindings=dict(bindings or {}))
+    csdf = _csdf_view(graph)
+
+    # -- consistency + repetition vector -------------------------------
+    from .csdf.analysis import concrete_repetition_vector, repetition_vector
+
+    try:
+        q_sym = repetition_vector(csdf)
+        report.consistent = True
+        report.repetition_symbolic = {name: str(poly) for name, poly in q_sym.items()}
+    except _STAGE_ERRORS as exc:
+        report.errors["consistency"] = str(exc)
+        report.elapsed = time.perf_counter() - start
+        return report
+
+    concrete = _is_concrete(csdf, bindings)
+    if concrete:
+        try:
+            report.repetition = concrete_repetition_vector(csdf, bindings)
+        except _STAGE_ERRORS as exc:
+            # Consistent but not evaluable at this valuation (e.g. a
+            # fractional repetition count): report and stop the
+            # concrete stages.
+            report.errors["repetition"] = str(exc)
+            concrete = False
+
+    # -- rate safety + liveness ----------------------------------------
+    if with_liveness:
+        try:
+            if isinstance(graph, TPDFGraph):
+                # The full Theorem 2 chain (consistency is a cache hit).
+                from .tpdf.boundedness import check_boundedness
+
+                verdict = check_boundedness(graph)
+                report.safe = verdict.safety.safe
+                report.live = verdict.liveness.live
+                report.bounded = verdict.bounded
+            elif concrete:
+                from .csdf.schedule import is_live
+
+                report.live = is_live(csdf, bindings)
+            else:
+                report.skipped["liveness"] = "parametric CSDF graph: pass bindings"
+        except _STAGE_ERRORS as exc:
+            report.errors["liveness"] = str(exc)
+    if "liveness" in report.errors:
+        # Boundedness was never established — don't report it proven.
+        report.bounded = False
+    elif report.bounded is None:
+        report.bounded = report.consistent and (report.live is not False)
+
+    # -- performance stages (need a concrete valuation) -----------------
+    unbound = sorted(csdf.parameters() - set(bindings or {}))
+    reason = f"parametric (unbound: {', '.join(unbound)})" if unbound else None
+    for stage, enabled in (
+        ("mcr", with_mcr), ("buffers", with_buffers), ("throughput", with_throughput),
+    ):
+        if enabled and not concrete:
+            report.skipped[stage] = reason or "repetition vector not concrete"
+    if concrete and report.live is not False:
+        if with_mcr:
+            try:
+                report.mcr = max_cycle_ratio(csdf, bindings)
+            except _STAGE_ERRORS as exc:
+                report.errors["mcr"] = str(exc)
+        if with_buffers:
+            try:
+                _, peaks = minimal_buffer_schedule(csdf, bindings)
+                report.buffers = dict(peaks)
+            except _STAGE_ERRORS as exc:
+                report.errors["buffers"] = str(exc)
+        if with_throughput:
+            try:
+                report.timed = self_timed_execution(csdf, bindings, iterations=iterations)
+            except _STAGE_ERRORS as exc:
+                report.errors["throughput"] = str(exc)
+    elif concrete and report.live is False:
+        for stage in ("mcr", "buffers", "throughput"):
+            report.skipped.setdefault(stage, "graph deadlocks")
+
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+def analyze_batch(items: Iterable[BatchItem], **options) -> list[GraphReport]:
+    """Analyze many graphs (or (graph, bindings) pairs) in one call.
+
+    Options are forwarded to :func:`analyze`.  Analyses of the same
+    graph object under different bindings share every binding-independent
+    intermediate (symbolic repetition vector, consistency verdict) and
+    all binding-keyed caches (HSDF expansion, MCR) via the per-graph
+    cache, which is what makes parameter sweeps cheap.
+    """
+    reports = []
+    for item in items:
+        if isinstance(item, tuple):
+            graph, bindings = item
+        else:
+            graph, bindings = item, None
+        reports.append(analyze(graph, bindings, **options))
+    return reports

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...csdf import minimal_buffer_schedule, total_buffer_size
+from ...errors import AnalysisError
 from ...tpdf import restrict_to_selection
 from .pipeline import bindings_for, build_ofdm_csdf, build_ofdm_tpdf
 from .qam import scheme_for_m
@@ -95,5 +96,51 @@ def fig8_series(
     l: int = 1,
     m: int = 4,
 ) -> list[Fig8Point]:
-    """The full Fig. 8 sweep: beta in 10..100, N in {512, 1024}."""
-    return [fig8_point(beta, n, l, m) for n in ns for beta in betas]
+    """The full Fig. 8 sweep: beta in 10..100, N in {512, 1024}.
+
+    Runs through :func:`repro.analysis.analyze_batch` over two shared
+    graph instances (the mode-restricted TPDF and the CSDF baseline):
+    the symbolic balance solve, repetition vectors and consistency
+    verdicts are computed once per graph and reused across all
+    ``(beta, N)`` valuations instead of once per point.
+    """
+    from ...analysis import analyze_batch
+
+    graph = build_ofdm_tpdf()
+    port = "qam" if scheme_for_m(m) == "qam16" else "qpsk"
+    restricted = restrict_to_selection(graph, "DUP", ["in", port])
+    restricted = restrict_to_selection(restricted, "TRAN", [port, "out"])
+    tpdf_csdf = restricted.as_csdf()
+    csdf = build_ofdm_csdf()
+
+    grid = [(beta, n) for n in ns for beta in betas]
+    options = dict(with_liveness=False, with_mcr=False, with_throughput=False)
+    tpdf_reports = analyze_batch(
+        ((tpdf_csdf, bindings_for(beta, n, l, m)) for beta, n in grid), **options
+    )
+    csdf_reports = analyze_batch(
+        ((csdf, bindings_for(beta, n, l, 4)) for beta, n in grid), **options
+    )
+    def measured(report, beta, n):
+        if report.total_buffer is None:
+            detail = "; ".join(
+                f"{stage}: {message}"
+                for stage, message in {**report.skipped, **report.errors}.items()
+            )
+            raise AnalysisError(
+                f"fig8 point (beta={beta}, N={n}) has no buffer measurement: {detail}"
+            )
+        return report.total_buffer
+
+    return [
+        Fig8Point(
+            beta=beta,
+            n=n,
+            l=l,
+            tpdf_measured=measured(tpdf, beta, n),
+            csdf_measured=measured(baseline, beta, n),
+            tpdf_paper=paper_tpdf_buffer(beta, n, l),
+            csdf_paper=paper_csdf_buffer(beta, n, l),
+        )
+        for (beta, n), tpdf, baseline in zip(grid, tpdf_reports, csdf_reports)
+    ]

@@ -1,0 +1,78 @@
+"""Per-graph memoization for the static analyses.
+
+The analysis chain recomputes its expensive building blocks many times
+over: one ``check_boundedness`` call solves the balance equations four
+times (consistency, rate safety, liveness, local solutions), and every
+MCR/buffer query re-derives the repetition vector and the HSDF
+expansion.  This module gives each graph instance a small cache keyed
+by the graph's *mutation version*: construction methods bump the
+version, which atomically invalidates every memoized result.
+
+Contract for cached values: they are shared — callers must treat
+memoized graphs (``as_csdf()``, ``expand_to_hsdf()``) and mappings as
+frozen.  All in-tree analyses only read them.
+
+Negative results (inconsistent-rate errors) are cached too, so
+``is_consistent`` probes on a bad graph stay cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Mapping
+
+_CACHE_ATTR = "_analysis_cache"
+_VERSION_ATTR = "_analysis_version"
+
+
+def bump_version(graph: Any) -> None:
+    """Invalidate every cached analysis of ``graph`` (called by the
+    graph classes' construction methods)."""
+    setattr(graph, _VERSION_ATTR, getattr(graph, _VERSION_ATTR, 0) + 1)
+
+
+def analysis_cache(graph: Any) -> dict:
+    """The live cache dict of ``graph`` for its current version."""
+    version = getattr(graph, _VERSION_ATTR, 0)
+    entry = getattr(graph, _CACHE_ATTR, None)
+    if entry is None or entry[0] != version:
+        entry = (version, {})
+        setattr(graph, _CACHE_ATTR, entry)
+    return entry[1]
+
+
+class _Raised:
+    """Sentinel wrapping an exception so failures memoize as well."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException):
+        self.error = error
+
+
+def cached(graph: Any, key: Hashable, factory: Callable[[], Any]) -> Any:
+    """Memoize ``factory()`` under ``key`` in the graph's cache.
+
+    Exceptions raised by ``factory`` are cached and re-raised on
+    subsequent hits (analysis verdicts are deterministic for a given
+    graph version).
+    """
+    cache = analysis_cache(graph)
+    if key in cache:
+        value = cache[key]
+        if isinstance(value, _Raised):
+            raise value.error
+        return value
+    try:
+        value = factory()
+    except Exception as error:
+        cache[key] = _Raised(error)
+        raise
+    cache[key] = value
+    return value
+
+
+def bindings_key(bindings: Mapping | None) -> tuple:
+    """Hashable view of a parameter valuation (order-insensitive)."""
+    if not bindings:
+        return ()
+    return tuple(sorted((str(name), value) for name, value in bindings.items()))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
+from ..cache import bindings_key, cached
 from ..errors import AnalysisError
 from ..symbolic import InconsistentRatesError, Poly, solve_balance
 from .graph import CSDFGraph
@@ -46,8 +47,13 @@ def base_solution(graph: CSDFGraph) -> dict[str, Poly]:
     """Minimal positive integer solution ``r`` of the balance equations.
 
     Raises :class:`~repro.symbolic.InconsistentRatesError` when only the
-    trivial solution exists (graph not consistent).
+    trivial solution exists (graph not consistent).  Memoized per graph
+    version (the solve dominates the whole analysis chain's cost).
     """
+    return cached(graph, ("base_solution",), lambda: _base_solution(graph))
+
+
+def _base_solution(graph: CSDFGraph) -> dict[str, Poly]:
     if not graph.actors:
         return {}
     edges = []
@@ -83,8 +89,13 @@ def repetition_vector(graph: CSDFGraph) -> dict[str, Poly]:
 
     ``q_j = tau_j * r_j`` counts actor firings per graph iteration.
     """
-    r = base_solution(graph)
-    return {name: Poly.const(graph.tau(name)) * r[name] for name in r}
+    return cached(
+        graph, ("repetition_vector",),
+        lambda: {
+            name: Poly.const(graph.tau(name)) * poly
+            for name, poly in base_solution(graph).items()
+        },
+    )
 
 
 def is_consistent(graph: CSDFGraph) -> bool:
@@ -103,6 +114,13 @@ def concrete_repetition_vector(graph: CSDFGraph, bindings: Mapping | None = None
     repetition count like ``p/2`` means the parameter valuation is
     incompatible with one atomic graph iteration.
     """
+    return cached(
+        graph, ("concrete_q", bindings_key(bindings)),
+        lambda: _concrete_repetition_vector(graph, bindings),
+    )
+
+
+def _concrete_repetition_vector(graph: CSDFGraph, bindings: Mapping | None) -> dict[str, int]:
     q = repetition_vector(graph)
     out: dict[str, int] = {}
     for name, poly in q.items():

@@ -13,6 +13,7 @@ from typing import Iterable, Mapping
 
 import networkx as nx
 
+from ..cache import bump_version
 from ..errors import GraphConstructionError
 from .actor import Actor, ExecTime
 from .channel import Channel
@@ -46,6 +47,7 @@ class CSDFGraph:
             raise GraphConstructionError(f"duplicate actor name {name!r}")
         actor = Actor(name, exec_time=exec_time, function=function)
         self._actors[name] = actor
+        bump_version(self)
         return actor
 
     def add_channel(
@@ -72,6 +74,7 @@ class CSDFGraph:
                 )
         channel = Channel(name, src, dst, production, consumption, initial_tokens)
         self._channels[name] = channel
+        bump_version(self)
         return channel
 
     # -- access -----------------------------------------------------------

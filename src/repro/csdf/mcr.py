@@ -9,72 +9,277 @@ processors equals the *maximum cycle ratio*
 
 CSDF graphs are analyzed through their exact HSDF expansion
 (:mod:`repro.csdf.sdf`), whose serialization rings contribute the
-per-actor "one firing at a time" cycles.  The MCR is computed by
-parametric binary search: the period candidate ``lambda`` is feasible
-iff the edge weights ``exec(src) - lambda * tokens(e)`` admit no
-positive cycle (checked with Bellman-Ford on the negated weights).
+per-actor "one firing at a time" cycles.
 
-Tests cross-validate: ``self_timed_execution`` with enough cores and
-iterations converges to the MCR period.
+Two solvers are provided:
+
+* :func:`max_cycle_ratio` — **Howard's policy iteration** (the
+  max-plus spectral method of Cochet-Terrasson et al., surveyed by
+  Dasdan as the fastest MCR algorithm in practice).  Each iteration
+  evaluates one successor policy in O(V + E) and improves it greedily;
+  convergence typically takes a handful of iterations instead of the
+  ~50 full relaxation sweeps of the parametric search.
+* :func:`mcr_reference` — the legacy parametric binary search with
+  Bellman-Ford feasibility checks, kept as the independent oracle for
+  the differential test suite (``tests/csdf/test_mcr_differential.py``).
+
+Tests cross-validate both against each other and against the converged
+``self_timed_execution`` period.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
+from ..cache import bindings_key, cached
 from ..errors import AnalysisError
 from .graph import CSDFGraph
 from .sdf import expand_to_hsdf
 
+#: Strict-improvement threshold of the policy iteration; values closer
+#: than this are considered equal, which keeps ties from cycling.
+_EPS = 1e-10
 
-def _has_positive_cycle(nodes, edges, lam: float) -> bool:
-    """Positive-weight cycle detection for weights exec(src) - lam*tokens.
 
-    Bellman-Ford longest-path relaxation: a further relaxation after
-    |V| - 1 rounds means a positive cycle exists.
+def _hsdf_edges(graph: CSDFGraph, bindings: Mapping | None):
+    """The weighted event graph the MCR is computed on.
+
+    Returns ``(nodes, edges)`` with ``edges`` as ``(src, dst, w, t)``:
+    ``w`` the execution time of the producing firing and ``t`` the
+    *dependency distance* in iterations.  An expansion channel moving
+    ``c`` tokens per firing with ``delta * c`` initial tokens means the
+    consumer's firing of iteration ``i`` waits for the producer's
+    firing of iteration ``i - delta`` — the distance is
+    ``initial_tokens / c``, not the raw token count (using the raw
+    count under-constrains rate->1 channels and yields an MCR below
+    the true self-timed period).  Actors without a serialization ring
+    get the standard one-iteration self-loop encoding "next iteration's
+    firing waits for this one".
     """
-    dist = {node: 0.0 for node in nodes}
-    for _ in range(len(nodes) - 1):
-        changed = False
-        for src, dst, weight in edges:
-            w = weight[0] - lam * weight[1]
-            if dist[src] + w > dist[dst] + 1e-12:
-                dist[dst] = dist[src] + w
-                changed = True
-        if not changed:
-            return False
-    for src, dst, weight in edges:
-        w = weight[0] - lam * weight[1]
-        if dist[src] + w > dist[dst] + 1e-12:
-            return True
-    return False
-
-
-def max_cycle_ratio(
-    graph: CSDFGraph,
-    bindings: Mapping | None = None,
-    tolerance: float = 1e-6,
-) -> float:
-    """The MCR of the graph's HSDF expansion (0.0 for acyclic graphs
-    whose expansion has no token-bearing cycle, i.e. unbounded
-    single-iteration throughput; with serialization rings there is
-    always at least the per-actor cycle, so the result is the
-    bottleneck-actor bound or worse)."""
     hsdf = expand_to_hsdf(graph, bindings)
     nodes = list(hsdf.actors)
     edges = []
     for channel in hsdf.channels.values():
         exec_time = hsdf.actor(channel.src).exec_time(0)
-        edges.append((channel.src, channel.dst, (exec_time, float(channel.initial_tokens))))
-    # Self-firing constraint for actors without rings (q == 1): the next
-    # iteration's firing waits for this one — a self-loop with 1 token.
+        rate = int(channel.consumption.as_ints(None)[0])
+        distance = channel.initial_tokens / rate if rate else 0.0
+        edges.append((channel.src, channel.dst, exec_time, distance))
     ringed = {c.src for c in hsdf.channels.values() if c.name.startswith("ring_")}
     for name in nodes:
         if name not in ringed:
-            edges.append((name, name, (hsdf.actor(name).exec_time(0), 1.0)))
+            edges.append((name, name, hsdf.actor(name).exec_time(0), 1.0))
+    return nodes, edges
 
+
+def _check_deadlock_free(n_nodes: int, out_edges) -> None:
+    """Reject graphs with a token-free cycle of positive execution time.
+
+    All edge weights are non-negative, so a strongly connected
+    component of the zero-token subgraph containing an edge of positive
+    weight necessarily contains a positive-weight token-free cycle —
+    the graph deadlocks and the MCR is undefined.  Uses Tarjan's SCC
+    (iterative) on the token-free edges only.
+    """
+    zero_adj: list[list[int]] = [[] for _ in range(n_nodes)]
+    zero_weight: dict[tuple[int, int], float] = {}
+    for u in range(n_nodes):
+        for v, w, t in out_edges[u]:
+            if t == 0.0:
+                zero_adj[u].append(v)
+                key = (u, v)
+                zero_weight[key] = max(zero_weight.get(key, 0.0), w)
+    index = [0] * n_nodes
+    low = [0] * n_nodes
+    on_stack = [False] * n_nodes
+    comp = [-1] * n_nodes
+    counter = 1
+    stack: list[int] = []
+    comp_count = 0
+    for root in range(n_nodes):
+        if index[root]:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            for pos in range(edge_pos, len(zero_adj[node])):
+                succ = zero_adj[node][pos]
+                if not index[succ]:
+                    work[-1] = (node, pos + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ] and low[node] > index[succ]:
+                    low[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[parent] > low[node]:
+                    low[parent] = low[node]
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp[member] = comp_count
+                    if member == node:
+                        break
+                comp_count += 1
+    for (u, v), w in zero_weight.items():
+        in_cycle = comp[u] == comp[v] and (u != v or v in zero_adj[u])
+        if in_cycle and w > _EPS:
+            raise AnalysisError(
+                "cycle with zero tokens and positive execution time: the "
+                "graph deadlocks, MCR undefined"
+            )
+
+
+def _howard(nodes: list[str], edges) -> float:
+    """Maximum cycle ratio by Howard's policy iteration.
+
+    Works on any weighted event graph whose cycles all carry tokens
+    (callers run :func:`_check_deadlock_free` first).  Nodes that
+    cannot reach a cycle are trimmed; if nothing remains the graph is
+    acyclic and the ratio is 0.
+    """
+    n = len(nodes)
+    idx = {name: i for i, name in enumerate(nodes)}
+    out_edges: list[list[tuple[int, float, float]]] = [[] for _ in range(n)]
+    for src, dst, w, t in edges:
+        out_edges[idx[src]].append((idx[dst], w, t))
+
+    _check_deadlock_free(n, out_edges)
+
+    # Trim nodes with no outgoing edges (they are on no cycle); repeat
+    # until every remaining node keeps at least one successor.
+    alive = [bool(out_edges[u]) for u in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for u in range(n):
+            if not alive[u]:
+                continue
+            if not any(alive[v] for v, _, _ in out_edges[u]):
+                alive[u] = False
+                changed = True
+    live_nodes = [u for u in range(n) if alive[u]]
+    if not live_nodes:
+        return 0.0
+    succs: list[list[tuple[int, float, float]]] = [
+        [(v, w, t) for v, w, t in out_edges[u] if alive[v]] if alive[u] else []
+        for u in range(n)
+    ]
+
+    # Initial policy: the heaviest edge out of every live node.
+    policy: list[tuple[int, float, float] | None] = [None] * n
+    for u in live_nodes:
+        policy[u] = max(succs[u], key=lambda e: e[1])
+
+    ratio = [0.0] * n
+    value = [0.0] * n
+    max_iters = max(64, 4 * n)
+    for _ in range(max_iters):
+        # -- policy evaluation: every node follows its policy edge into
+        # exactly one cycle; compute cycle ratios and relative values.
+        visited = [0] * n  # 0 = new, 1 = in progress (this pass), 2 = done
+        order_stamp = [0] * n
+        for start in live_nodes:
+            if visited[start]:
+                continue
+            # Walk until a node seen in this walk or a finished node.
+            path = []
+            u = start
+            while not visited[u]:
+                visited[u] = 1
+                order_stamp[u] = len(path)
+                path.append(u)
+                u = policy[u][0]
+            if visited[u] == 1:
+                # Found a new cycle: path[order_stamp[u]:] is the cycle.
+                cycle = path[order_stamp[u]:]
+                w_sum = sum(policy[x][1] for x in cycle)
+                t_sum = sum(policy[x][2] for x in cycle)
+                if t_sum <= 0.0:
+                    if w_sum > _EPS:
+                        raise AnalysisError(
+                            "cycle with zero tokens and positive execution "
+                            "time: the graph deadlocks, MCR undefined"
+                        )
+                    lam = 0.0
+                else:
+                    lam = w_sum / t_sum
+                # Values around the cycle: fix the entry node at 0 and
+                # walk backwards (value[x] = w - lam*t + value[succ]).
+                ratio[u] = lam
+                value[u] = 0.0
+                for x in reversed(cycle[1:]):
+                    succ, w, t = policy[x]
+                    ratio[x] = lam
+                    value[x] = w - lam * t + value[succ]
+                for x in cycle:
+                    visited[x] = 2
+                # Tree part of the walk (path before the cycle).
+                for x in reversed(path[: order_stamp[u]]):
+                    succ, w, t = policy[x]
+                    ratio[x] = ratio[succ]
+                    value[x] = w - ratio[x] * t + value[succ]
+                    visited[x] = 2
+            else:
+                # Ran into an already-evaluated region.
+                for x in reversed(path):
+                    succ, w, t = policy[x]
+                    ratio[x] = ratio[succ]
+                    value[x] = w - ratio[x] * t + value[succ]
+                    visited[x] = 2
+
+        # -- policy improvement: prefer successors with a higher cycle
+        # ratio; among equals, a strictly better value.
+        improved = False
+        for u in live_nodes:
+            best = policy[u]
+            best_ratio = ratio[best[0]]
+            best_value = best[1] - best_ratio * best[2] + value[best[0]]
+            for edge in succs[u]:
+                v, w, t = edge
+                if ratio[v] > best_ratio + _EPS:
+                    best, best_ratio = edge, ratio[v]
+                    best_value = w - ratio[v] * t + value[v]
+                    improved = True
+                elif abs(ratio[v] - best_ratio) <= _EPS:
+                    candidate = w - best_ratio * t + value[v]
+                    if candidate > best_value + _EPS:
+                        best, best_value = edge, candidate
+                        improved = True
+            policy[u] = best
+        if not improved:
+            return max(ratio[u] for u in live_nodes)
+    return None  # signal non-convergence; caller falls back
+
+
+def mcr_reference(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """Legacy MCR solver: parametric binary search on the period
+    candidate ``lambda``, feasible iff the edge weights
+    ``exec(src) - lambda * tokens(e)`` admit no positive cycle (checked
+    with Bellman-Ford longest-path relaxation).
+
+    Kept verbatim as the independent oracle the differential test
+    harness cross-validates Howard's iteration against.  The result is
+    within ``tolerance`` of the true MCR.
+    """
+    nodes, edges = _hsdf_edges(graph, bindings)
     if not edges:
         return 0.0
+    hsdf = expand_to_hsdf(graph, bindings)
     lo = 0.0
     hi = sum(hsdf.actor(n).exec_time(0) for n in nodes) + 1.0
     if _has_positive_cycle(nodes, edges, hi):
@@ -89,6 +294,61 @@ def max_cycle_ratio(
         else:
             hi = mid
     return hi
+
+
+def _has_positive_cycle(nodes, edges, lam: float) -> bool:
+    """Positive-weight cycle detection for weights exec(src) - lam*tokens.
+
+    Bellman-Ford longest-path relaxation: a further relaxation after
+    |V| - 1 rounds means a positive cycle exists.
+    """
+    dist = {node: 0.0 for node in nodes}
+    for _ in range(len(nodes) - 1):
+        changed = False
+        for src, dst, weight, tokens in edges:
+            w = weight - lam * tokens
+            if dist[src] + w > dist[dst] + 1e-12:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    for src, dst, weight, tokens in edges:
+        w = weight - lam * tokens
+        if dist[src] + w > dist[dst] + 1e-12:
+            return True
+    return False
+
+
+def max_cycle_ratio(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """The MCR of the graph's HSDF expansion (0.0 for acyclic graphs
+    whose expansion has no token-bearing cycle, i.e. unbounded
+    single-iteration throughput; with serialization rings there is
+    always at least the per-actor cycle, so the result is the
+    bottleneck-actor bound or worse).
+
+    Computed with Howard's policy iteration (exact up to float
+    rounding); ``tolerance`` is kept for API compatibility and only
+    governs the binary-search fallback on the rare non-convergent
+    instance.  Results are memoized per graph version.
+    """
+    return cached(
+        graph, ("mcr", bindings_key(bindings)),
+        lambda: _max_cycle_ratio(graph, bindings, tolerance),
+    )
+
+
+def _max_cycle_ratio(graph: CSDFGraph, bindings: Mapping | None, tolerance: float) -> float:
+    nodes, edges = _hsdf_edges(graph, bindings)
+    if not edges:
+        return 0.0
+    result = _howard(nodes, edges)
+    if result is None:
+        return mcr_reference(graph, bindings, tolerance)
+    return result
 
 
 def throughput_bound(graph: CSDFGraph, bindings: Mapping | None = None) -> float:

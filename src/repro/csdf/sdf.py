@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..cache import bindings_key, cached
 from ..errors import GraphConstructionError
 from .analysis import concrete_repetition_vector
 from .graph import CSDFGraph
@@ -53,7 +54,17 @@ def expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None = None) -> CSDFGra
     HSDF actor fires exactly once per graph iteration; channels are
     split per (producer firing, consumer firing, iteration distance)
     with exact token counts.
+
+    The expansion is memoized per graph version and shared between the
+    MCR and scheduling analyses — treat the returned graph as frozen.
     """
+    return cached(
+        graph, ("hsdf", bindings_key(bindings)),
+        lambda: _expand_to_hsdf(graph, bindings),
+    )
+
+
+def _expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None) -> CSDFGraph:
     for name in graph.actors:
         if "#" in name:
             raise GraphConstructionError(

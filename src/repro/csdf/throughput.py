@@ -55,7 +55,13 @@ class TimedResult:
 
 
 class _TimedState:
-    """Token counts + rate tables for split-phase firing.
+    """Token counts + precomputed per-actor firing tables.
+
+    Channels are flattened to integer slots and every actor carries
+    read-only tuples of ``(slot, phases)`` pairs for its inputs and
+    outputs — the hot loop does list indexing and one modulo per
+    attached channel instead of rebuilding name-keyed dict lookups on
+    every event.
 
     With ``capacities``, writes block: an actor may only start when
     every output channel has room for this firing's production
@@ -63,64 +69,81 @@ class _TimedState:
     over-commit a buffer).
     """
 
+    __slots__ = ("channel_names", "tokens", "reserved", "caps",
+                 "inputs", "outputs", "capped_out", "_peaks")
+
     def __init__(self, graph: CSDFGraph, bindings: Mapping | None,
                  capacities: Mapping[str, int] | None = None):
-        self.tokens: dict[str, int] = {}
-        self.reserved: dict[str, int] = {}
-        self.peaks: dict[str, int] = {}
-        self.capacities = dict(capacities) if capacities else {}
-        self.cons: dict[str, tuple[int, ...]] = {}
-        self.prod: dict[str, tuple[int, ...]] = {}
-        self.inputs: dict[str, list[str]] = {name: [] for name in graph.actors}
-        self.outputs: dict[str, list[str]] = {name: [] for name in graph.actors}
-        for channel in graph.channels.values():
-            self.tokens[channel.name] = channel.initial_tokens
-            self.reserved[channel.name] = 0
-            self.peaks[channel.name] = channel.initial_tokens
-            self.cons[channel.name] = channel.consumption.as_ints(bindings)
-            self.prod[channel.name] = channel.production.as_ints(bindings)
-            self.inputs[channel.dst].append(channel.name)
-            self.outputs[channel.src].append(channel.name)
+        channels = list(graph.channels.values())
+        self.channel_names = [c.name for c in channels]
+        slot = {name: i for i, name in enumerate(self.channel_names)}
+        self.tokens = [c.initial_tokens for c in channels]
+        self.reserved = [0] * len(channels)
+        caps_map = dict(capacities) if capacities else {}
+        self.caps = [caps_map.get(name) for name in self.channel_names]
+
+        ins: dict[str, list] = {name: [] for name in graph.actors}
+        outs: dict[str, list] = {name: [] for name in graph.actors}
+        for channel in channels:
+            ins[channel.dst].append(
+                (slot[channel.name], channel.consumption.as_ints(bindings))
+            )
+            outs[channel.src].append(
+                (slot[channel.name], channel.production.as_ints(bindings))
+            )
+        #: per-actor firing tables: name -> tuple of (slot, phases)
+        self.inputs = {name: tuple(pairs) for name, pairs in ins.items()}
+        self.outputs = {name: tuple(pairs) for name, pairs in outs.items()}
+        #: capacity-checked outputs as (slot, prod_phases, cons_phases),
+        #: cons_phases non-None for self-loops (their own consumption
+        #: frees space before the firing produces).
+        self.capped_out = {}
+        for name in graph.actors:
+            in_slots = dict(ins[name])
+            self.capped_out[name] = tuple(
+                (s, phases, in_slots.get(s))
+                for s, phases in outs[name]
+                if self.caps[s] is not None
+            )
+        self._peaks = list(self.tokens)
 
     def can_start(self, actor: str, firing: int) -> bool:
-        for channel in self.inputs[actor]:
-            phases = self.cons[channel]
-            if self.tokens[channel] < phases[firing % len(phases)]:
+        tokens = self.tokens
+        for s, phases in self.inputs[actor]:
+            if tokens[s] < phases[firing % len(phases)]:
                 return False
-        for channel in self.outputs[actor]:
-            cap = self.capacities.get(channel)
-            if cap is None:
-                continue
-            phases = self.prod[channel]
+        for s, phases, cons_phases in self.capped_out[actor]:
             produced = phases[firing % len(phases)]
-            occupancy = self.tokens[channel] + self.reserved[channel]
-            if channel in self.inputs[actor]:
-                # Self-loop: this firing's own consumption frees space
-                # before it produces.
-                cons_phases = self.cons[channel]
+            occupancy = tokens[s] + self.reserved[s]
+            if cons_phases is not None:
                 occupancy -= cons_phases[firing % len(cons_phases)]
-            if occupancy + produced > cap:
+            if occupancy + produced > self.caps[s]:
                 return False
         return True
 
     def consume(self, actor: str, firing: int) -> None:
-        for channel in self.inputs[actor]:
-            phases = self.cons[channel]
-            self.tokens[channel] -= phases[firing % len(phases)]
-        for channel in self.outputs[actor]:
-            if channel in self.capacities:
-                phases = self.prod[channel]
-                self.reserved[channel] += phases[firing % len(phases)]
+        tokens = self.tokens
+        for s, phases in self.inputs[actor]:
+            tokens[s] -= phases[firing % len(phases)]
+        for s, phases, _ in self.capped_out[actor]:
+            self.reserved[s] += phases[firing % len(phases)]
 
     def produce(self, actor: str, firing: int) -> None:
-        for channel in self.outputs[actor]:
-            phases = self.prod[channel]
+        tokens = self.tokens
+        peaks = self._peaks
+        for s, phases in self.outputs[actor]:
             produced = phases[firing % len(phases)]
-            self.tokens[channel] += produced
-            if channel in self.capacities:
-                self.reserved[channel] -= produced
-            if self.tokens[channel] > self.peaks[channel]:
-                self.peaks[channel] = self.tokens[channel]
+            level = tokens[s] + produced
+            tokens[s] = level
+            if self.caps[s] is not None:
+                self.reserved[s] -= produced
+            if level > peaks[s]:
+                peaks[s] = level
+
+    @property
+    def peaks(self) -> dict[str, int]:
+        """Peak fill level per channel (name-keyed view)."""
+        return dict(zip(self.channel_names, self._peaks))
 
 
 def self_timed_execution(
@@ -150,6 +173,10 @@ def self_timed_execution(
     started = {name: 0 for name in targets}
     completed = {name: 0 for name in targets}
     busy: set[str] = set()
+    #: scan list for the ready check; actors leave once fully started
+    #: (same relative order as the repetition vector, so scheduling
+    #: decisions under a core budget are unchanged).
+    startable = list(targets)
 
     heap: list[tuple[float, int, str, int]] = []
     seq = 0
@@ -157,41 +184,62 @@ def self_timed_execution(
     running = 0
     iteration_ends: list[float] = []
     firings = 0
+    # Incremental iteration tracking: instead of min(completed/q) over
+    # all actors per event, count the actors still short of the next
+    # iteration boundary and advance the boundary when the count hits 0.
+    iteration_target = 1
+    short_of_target = sum(1 for a in q if completed[a] < q[a])
 
     def try_start() -> None:
         nonlocal seq, running
         progress = True
         while progress:
             progress = False
-            for name in targets:
-                if name in busy or started[name] >= targets[name]:
+            pos = 0
+            while pos < len(startable):
+                name = startable[pos]
+                n = started[name]
+                if n >= targets[name]:
+                    startable.pop(pos)
+                    continue
+                if name in busy:
+                    pos += 1
                     continue
                 if cores is not None and running >= cores:
                     return
-                n = started[name]
                 if not state.can_start(name, n):
+                    pos += 1
                     continue
                 state.consume(name, n)
                 times = exec_times[name]
                 duration = times[n % len(times)]
                 heapq.heappush(heap, (now + duration, seq, name, n))
                 seq += 1
-                started[name] += 1
+                started[name] = n + 1
                 busy.add(name)
                 running += 1
                 progress = True
+                pos += 1
 
     try_start()
     while heap:
         now, _, name, n = heapq.heappop(heap)
         state.produce(name, n)
-        completed[name] += 1
+        done = completed[name] + 1
+        completed[name] = done
         busy.discard(name)
         running -= 1
         firings += 1
-        iteration = min(completed[a] // q[a] for a in q)
-        while len(iteration_ends) < iteration:
-            iteration_ends.append(now)
+        if done == q[name] * iteration_target:
+            short_of_target -= 1
+            while short_of_target == 0:
+                iteration_ends.append(now)
+                iteration_target += 1
+                short_of_target = sum(
+                    1 for a in q if completed[a] < q[a] * iteration_target
+                )
+                if iteration_target > iterations:
+                    break
         try_start()
 
     if any(completed[name] < targets[name] for name in targets):

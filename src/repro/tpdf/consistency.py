@@ -20,6 +20,7 @@ from typing import Mapping
 
 import networkx as nx
 
+from ..cache import cached
 from ..csdf import analysis as csdf_analysis
 from ..errors import AnalysisError
 from ..symbolic import InconsistentRatesError, Poly
@@ -43,7 +44,16 @@ class ConsistencyReport:
 
 
 def check_consistency(graph: TPDFGraph) -> ConsistencyReport:
-    """Solve the symbolic balance equations of the full graph."""
+    """Solve the symbolic balance equations of the full graph.
+
+    Memoized per graph version: rate safety, liveness and the local
+    solutions all re-enter through here, so one boundedness run asks
+    for the same report four times.
+    """
+    return cached(graph, ("check_consistency",), lambda: _check_consistency(graph))
+
+
+def _check_consistency(graph: TPDFGraph) -> ConsistencyReport:
     undeclared = graph.undeclared_parameters()
     if undeclared:
         raise AnalysisError(

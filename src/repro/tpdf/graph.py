@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Union
 
 import networkx as nx
 
+from ..cache import bump_version, cached
 from ..csdf.actor import ExecTime
 from ..csdf.graph import CSDFGraph
 from ..errors import GraphConstructionError
@@ -93,6 +94,7 @@ class TPDFGraph:
                 f"parameter {param.name!r} redeclared with a different domain"
             )
         self._params[param.name] = param
+        bump_version(self)
         return param
 
     def add_kernel(
@@ -105,6 +107,7 @@ class TPDFGraph:
         self._check_fresh(name)
         kernel = Kernel(name, exec_time=exec_time, function=function, modes=modes)
         self._kernels[name] = kernel
+        bump_version(self)
         return kernel
 
     def add_control_actor(
@@ -116,6 +119,7 @@ class TPDFGraph:
         self._check_fresh(name)
         actor = ControlActor(name, exec_time=exec_time, decision=decision)
         self._controls[name] = actor
+        bump_version(self)
         return actor
 
     def register(self, node: Node) -> Node:
@@ -127,6 +131,7 @@ class TPDFGraph:
             self._controls[node.name] = node
         else:
             self._kernels[node.name] = node
+        bump_version(self)
         return node
 
     def _check_fresh(self, name: str) -> None:
@@ -200,6 +205,7 @@ class TPDFGraph:
             name, src_node, src_port, dst_node, dst_port, int(initial_tokens), is_control
         )
         self._channels[name] = channel
+        bump_version(self)
         return channel
 
     # -- access -----------------------------------------------------------
@@ -273,7 +279,16 @@ class TPDFGraph:
         rate sequences.  ``include_control=False`` drops control actors
         and control channels (used e.g. to compare against a pure-CSDF
         restructuring of the same application).
+
+        The abstraction is memoized per graph version and shared across
+        all analyses — treat the returned graph as frozen.
         """
+        return cached(
+            self, ("as_csdf", include_control),
+            lambda: self._build_csdf(include_control),
+        )
+
+    def _build_csdf(self, include_control: bool) -> CSDFGraph:
         csdf = CSDFGraph(f"{self.name}/csdf")
         for name in self.node_names():
             if not include_control and self.is_control_actor(name):

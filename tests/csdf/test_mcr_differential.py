@@ -1,0 +1,176 @@
+"""Differential harness for the throughput-analysis core.
+
+Cross-validates three independent computations of the steady-state
+iteration period on hundreds of random graphs and a hand-built corpus:
+
+1. **Howard's policy iteration** (`max_cycle_ratio`) — the fast path;
+2. **parametric binary search** (`mcr_reference`) — the legacy solver,
+   kept precisely to serve as this oracle;
+3. **converged self-timed execution** — the timed event-driven
+   simulation, whose steady period must equal the MCR (Reiter 1968).
+
+The third leg is what makes the harness sharp: it already caught a
+real modeling bug (iteration-crossing expansion channels with rate
+``c > 1`` must contribute dependency distance ``tokens / c``, not the
+raw token count).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import analysis_cache
+from repro.csdf import CSDFGraph, max_cycle_ratio, self_timed_execution
+from repro.csdf.mcr import mcr_reference
+from repro.errors import AnalysisError
+from repro.tpdf import random_consistent_graph
+
+#: The reference search stops at 1e-6; allow both solvers that slack.
+TOL = 2e-6
+
+#: (actors, extra_edges, back_edges) shapes of the random corpus.
+SHAPES = (
+    (3, 1, 0),
+    (4, 2, 1),
+    (5, 2, 0),
+    (5, 3, 2),
+    (6, 3, 1),
+    (6, 3, 2),
+    (7, 3, 0),
+    (8, 4, 2),
+)
+SEEDS_PER_SHAPE = 25  # 8 shapes x 25 seeds = 200 random graphs
+
+
+def _random_csdf(n: int, extra: int, cycles: int, seed: int) -> CSDFGraph:
+    return random_consistent_graph(
+        n, extra_edges=extra, n_cycles=cycles, seed=seed, with_control=False
+    ).as_csdf()
+
+
+class TestHowardVsReference:
+    """Leg 1 vs leg 2 over the full 200-graph random corpus."""
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}")
+    def test_agree_on_random_corpus(self, shape):
+        n, extra, cycles = shape
+        for seed in range(SEEDS_PER_SHAPE):
+            graph = _random_csdf(n, extra, cycles, seed)
+            fast = max_cycle_ratio(graph)
+            oracle = mcr_reference(graph)
+            assert fast == pytest.approx(oracle, abs=TOL), (
+                f"Howard {fast} != reference {oracle} on shape {shape} seed {seed}"
+            )
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(3, 8),
+        cycles=st.integers(0, 2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_agree_property(self, seed, n, cycles):
+        graph = _random_csdf(n, n // 2, cycles, seed)
+        assert max_cycle_ratio(graph) == pytest.approx(mcr_reference(graph), abs=TOL)
+
+
+class TestAgainstSelfTimedExecution:
+    """Leg 3: the converged event-driven period equals the MCR."""
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}")
+    def test_period_matches_mcr(self, shape):
+        n, extra, cycles = shape
+        for seed in range(10):
+            graph = _random_csdf(n, extra, cycles, seed)
+            mcr = max_cycle_ratio(graph)
+            period = self_timed_execution(graph, iterations=15).iteration_period
+            assert period == pytest.approx(mcr, abs=1e-9), (
+                f"self-timed period {period} != MCR {mcr} on shape {shape} seed {seed}"
+            )
+
+
+class TestHandBuiltCorpus:
+    def test_fig1(self, fig1):
+        assert max_cycle_ratio(fig1) == pytest.approx(3.0, abs=TOL)
+        assert mcr_reference(fig1) == pytest.approx(3.0, abs=TOL)
+
+    def test_bottleneck_actor_dominates(self):
+        """An acyclic pipeline is bounded by its slowest actor (the
+        per-actor serialization cycle)."""
+        g = CSDFGraph("pipe")
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=7.0)
+        g.add_actor("c", exec_time=2.0)
+        g.add_channel("ab", "a", "b")
+        g.add_channel("bc", "b", "c")
+        assert max_cycle_ratio(g) == pytest.approx(7.0, abs=TOL)
+
+    def test_multirate_backedge_distance(self):
+        """Regression for the dependency-distance bug: a rate-2 back
+        edge with 2 initial tokens is ONE iteration of slack (2 tokens
+        / 2 per firing), not two — the cycle a->b->a bounds the period
+        at exec(a) + exec(b) = 2, and the simulation confirms it."""
+        g = CSDFGraph("mr")
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("fwd", "a", "b", production=2, consumption=2)
+        g.add_channel("back", "b", "a", production=2, consumption=2,
+                      initial_tokens=2)
+        mcr = max_cycle_ratio(g)
+        assert mcr == pytest.approx(2.0, abs=TOL)
+        period = self_timed_execution(g, iterations=12).iteration_period
+        assert period == pytest.approx(mcr, abs=1e-9)
+
+    def test_cycle_with_more_slack_is_faster(self):
+        """Two tokens on the back edge let iterations overlap: the
+        cycle ratio halves."""
+        g = CSDFGraph("slack2")
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        g.add_channel("fwd", "a", "b")
+        g.add_channel("back", "b", "a", initial_tokens=2)
+        assert max_cycle_ratio(g) == pytest.approx(1.0, abs=TOL)
+
+    def test_deadlock_raises_in_both_solvers(self):
+        g = CSDFGraph("dead")
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("ab", "a", "b")
+        g.add_channel("ba", "b", "a")
+        with pytest.raises(AnalysisError):
+            max_cycle_ratio(g)
+        with pytest.raises(AnalysisError):
+            mcr_reference(g)
+
+    def test_empty_graph(self):
+        assert max_cycle_ratio(CSDFGraph("empty")) == 0.0
+
+    def test_csdf_phases(self):
+        """Cyclo-static rates: the paper's Fig. 1 shape with slow third
+        phase — solvers agree and match the simulation."""
+        g = CSDFGraph("phased")
+        g.add_actor("a", exec_time=[1.0, 3.0])
+        g.add_actor("b", exec_time=2.0)
+        g.add_channel("ab", "a", "b", production=[1, 2], consumption=3)
+        g.add_channel("ba", "b", "a", production=3, consumption=[1, 2],
+                      initial_tokens=3)
+        fast, oracle = max_cycle_ratio(g), mcr_reference(g)
+        assert fast == pytest.approx(oracle, abs=TOL)
+        period = self_timed_execution(g, iterations=15).iteration_period
+        assert period == pytest.approx(fast, abs=1e-9)
+
+
+class TestCaching:
+    def test_mcr_is_memoized_per_version(self, fig1):
+        first = max_cycle_ratio(fig1)
+        assert ("mcr", ()) in analysis_cache(fig1)
+        assert max_cycle_ratio(fig1) == first
+
+    def test_mutation_invalidates(self):
+        g = CSDFGraph("grow")
+        g.add_actor("a", exec_time=2.0)
+        g.add_channel("loop", "a", "a", initial_tokens=1)
+        assert max_cycle_ratio(g) == pytest.approx(2.0, abs=TOL)
+        g.add_actor("b", exec_time=5.0)
+        g.add_channel("ab", "a", "b")
+        g.add_channel("ba", "b", "a", initial_tokens=1)
+        assert max_cycle_ratio(g) == pytest.approx(7.0, abs=TOL)

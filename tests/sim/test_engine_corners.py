@@ -1,0 +1,232 @@
+"""Corner semantics of the discrete-event engine.
+
+Pins down three behaviours the coarse-grained tests skate over:
+
+* **discard-debt settlement** — a rejected input whose producer is
+  still running is flushed *on arrival* (Example 1's "remove remaining
+  tokens"), unless the kernel opts out with ``discard_late = False``;
+* **sleeping-queue wakeup ordering** — a HIGHEST_PRIORITY kernel with
+  no candidate input sleeps and wakes on the *first deposit event*:
+  simultaneous model-time completions resolve in event order, and
+  priority only arbitrates among inputs available together at wake-up;
+* **clock ticks landing exactly on a completion time** — the tick is
+  processed first (it was scheduled earlier), but a kernel sleeping on
+  that tick's control token still sees a same-timestamp arrival.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tpdf import ControlToken, Mode, TPDFGraph, clock, transaction
+
+
+def deadline_graph(with_fast: bool, period: float = 3.0,
+                   discard_late: bool = True):
+    """src seeds a slow (exec 3.0) and optionally a fast (exec 1.0)
+    branch feeding a priority-deadline transaction driven by a clock
+    with the given period; slow completes exactly on the first tick."""
+    g = TPDFGraph()
+    src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: "seed")
+    src.add_output("o_slow", 1)
+    slow = g.add_kernel("slow", exec_time=3.0, function=lambda n, c: "SLOW")
+    slow.add_input("in", 1)
+    slow.add_output("out", 1)
+    g.connect("src.o_slow", "slow.in")
+    names = ["slow_in"] + (["fast_in"] if with_fast else [])
+    prios = [1] + ([5] if with_fast else [])
+    tran = transaction(g, "tran", inputs=len(names), input_names=names,
+                       priorities=prios, action="priority_deadline",
+                       exec_time=0.0)
+    tran.meta["discard_late"] = discard_late
+    g.connect("slow.out", "tran.slow_in", name="e_slow")
+    if with_fast:
+        src.add_output("o_fast", 1)
+        fast = g.add_kernel("fast", exec_time=1.0, function=lambda n, c: "FAST")
+        fast.add_input("in", 1)
+        fast.add_output("out", 1)
+        g.connect("src.o_fast", "fast.in")
+        g.connect("fast.out", "tran.fast_in", name="e_fast")
+    ck = clock(g, "ck", period=period)
+    g.connect("ck.tick", "tran.ctrl")
+    got = []
+    snk = g.add_kernel("snk", exec_time=0.0,
+                       function=lambda n, c: got.append(c["in"][0]))
+    snk.add_input("in", 1)
+    g.connect("tran.out", "snk.in")
+    return g, got
+
+
+class TestDiscardDebt:
+    def test_late_arrival_flushed_on_deposit(self):
+        """The losing branch is still in flight when the transaction
+        commits: the discard becomes a debt and the token vanishes the
+        moment it arrives, leaving the channel empty."""
+        g, got = deadline_graph(with_fast=True)
+        sim = Simulator(g, record_values=True)
+        trace = sim.run(until=7.0, limits={"src": 1})
+        assert got == ["FAST"]
+        late = [d for d in trace.discards if d.channel == "e_slow"]
+        assert len(late) == 1
+        # The debt is *recorded* when the firing commits (tick time)...
+        assert late[0].count == 1 and late[0].time == 3.0
+        # ...and the arriving token was swallowed: nothing is queued.
+        assert sim.tokens_in("e_slow") == 0
+
+    def test_discard_late_false_keeps_future_tokens(self):
+        """A kernel declaring ``discard_late = False`` (the producer is
+        known to be suppressed upstream) must not register a debt: a
+        token arriving later stays available for the next firing."""
+        g, got = deadline_graph(with_fast=True, discard_late=False)
+        sim = Simulator(g, record_values=True)
+        trace = sim.run(until=7.0, limits={"src": 1})
+        # No debt is registered, so the slow token survives its late
+        # arrival and is committed by the NEXT tick's firing.
+        assert got == ["FAST", "SLOW"]
+        assert sim.tokens_in("e_slow") == 0
+        assert not [d for d in trace.discards if d.channel == "e_slow"]
+        assert [f.start for f in trace.firings_of("tran")] == [3.0, 6.0]
+
+    def test_present_tokens_flushed_immediately(self):
+        """A rejected input that already has its tokens queued loses
+        them at commit time (no debt involved)."""
+        g, got = deadline_graph(with_fast=True, period=5.0)
+        sim = Simulator(g, record_values=True)
+        trace = sim.run(until=9.0, limits={"src": 1})
+        # Both branches done (1.0 and 3.0) before the 5.0 tick: the
+        # high-priority fast branch wins, slow is flushed on the spot.
+        assert got == ["FAST"]
+        late = [d for d in trace.discards if d.channel == "e_slow"]
+        assert len(late) == 1 and late[0].time == 5.0
+        assert sim.tokens_in("e_slow") == 0
+
+
+class TestSleepingWakeupOrdering:
+    def _race_graph(self, low_time: float, high_time: float):
+        """Control token armed at t=0; two branches with priorities
+        1 (low) / 9 (high) complete at the given times."""
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("o1", 1)
+        src.add_output("o2", 1)
+        src.add_output("sig", 1)
+        low = g.add_kernel("low", exec_time=low_time,
+                           function=lambda n, c: "LOW")
+        low.add_input("in", 1)
+        low.add_output("out", 1)
+        high = g.add_kernel("high", exec_time=high_time,
+                            function=lambda n, c: "HIGH")
+        high.add_input("in", 1)
+        high.add_output("out", 1)
+        ctrl = g.add_control_actor(
+            "ctrl", decision=lambda n, i: ControlToken(Mode.HIGHEST_PRIORITY)
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        got = []
+        tran = transaction(g, "tran", inputs=2, input_names=["l", "h"],
+                           priorities=[1, 9], action="priority_deadline",
+                           exec_time=0.0)
+        snk = g.add_kernel("snk", exec_time=0.0,
+                           function=lambda n, c: got.append(c["in"][0]))
+        snk.add_input("in", 1)
+        g.connect("src.o1", "low.in")
+        g.connect("src.o2", "high.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("low.out", "tran.l", name="e_low")
+        g.connect("high.out", "tran.h", name="e_high")
+        g.connect("ctrl.out", "tran.ctrl")
+        g.connect("tran.out", "snk.in")
+        return g, got
+
+    def test_first_arrival_wakes_regardless_of_priority(self):
+        """Sleeping kernel: the low-priority branch finishing first is
+        consumed at its completion instant — priority never sees the
+        later arrival."""
+        g, got = self._race_graph(low_time=1.0, high_time=2.0)
+        Simulator(g).run(limits={"src": 1})
+        assert got == ["LOW"]
+
+    def test_simultaneous_arrivals_resolve_in_event_order(self):
+        """Equal completion *times* are still ordered events: the
+        branch whose completion was scheduled first (here: low, started
+        earlier) wakes the sleeper before the other deposit lands."""
+        g, got = self._race_graph(low_time=2.0, high_time=2.0)
+        trace = Simulator(g, record_values=True).run(limits={"src": 1})
+        assert got == ["LOW"]
+        # The high branch's same-instant token is debt-flushed.
+        drops = [d for d in trace.discards if d.channel == "e_high"]
+        assert len(drops) == 1 and drops[0].time == 2.0
+
+    def test_priority_arbitrates_among_queued_inputs(self):
+        """Both branches already queued when the control token arrives:
+        the kernel never sleeps and priority decides."""
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("o1", 1)
+        src.add_output("o2", 1)
+        src.add_output("sig", 1)
+        low = g.add_kernel("low", exec_time=1.0, function=lambda n, c: "LOW")
+        low.add_input("in", 1)
+        low.add_output("out", 1)
+        high = g.add_kernel("high", exec_time=2.0, function=lambda n, c: "HIGH")
+        high.add_input("in", 1)
+        high.add_output("out", 1)
+        slow_ctrl = g.add_control_actor(
+            "ctrl", exec_time=4.0,
+            decision=lambda n, i: ControlToken(Mode.HIGHEST_PRIORITY),
+        )
+        slow_ctrl.add_input("in", 1)
+        slow_ctrl.add_control_output("out", 1)
+        got = []
+        transaction(g, "tran", inputs=2, input_names=["l", "h"],
+                    priorities=[1, 9], action="priority_deadline",
+                    exec_time=0.0)
+        snk = g.add_kernel("snk", exec_time=0.0,
+                           function=lambda n, c: got.append(c["in"][0]))
+        snk.add_input("in", 1)
+        g.connect("src.o1", "low.in")
+        g.connect("src.o2", "high.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("low.out", "tran.l")
+        g.connect("high.out", "tran.h")
+        g.connect("ctrl.out", "tran.ctrl")
+        g.connect("tran.out", "snk.in")
+        Simulator(g).run(limits={"src": 1})
+        assert got == ["HIGH"]
+
+
+class TestTickOnExactDeadline:
+    def test_completion_exactly_at_tick_is_seen_by_sleeper(self):
+        """Only one branch, finishing exactly when the clock ticks: the
+        tick is processed first (scheduled earlier), the transaction
+        sleeps holding the control token, then wakes on the
+        same-timestamp deposit — the deadline result is NOT lost."""
+        g, got = deadline_graph(with_fast=False, period=3.0)
+        trace = Simulator(g, record_values=True).run(until=7.0, limits={"src": 1})
+        assert got == ["SLOW"]
+        assert not trace.discards
+        # The commit happened at the deadline instant itself.
+        firing = trace.firings_of("tran")[0]
+        assert firing.start == 3.0
+
+    def test_exact_tick_with_alternative_commits_immediately(self):
+        """With a faster branch already queued at the tick, the
+        transaction commits at the deadline without waiting for the
+        same-instant slow completion, which is then debt-flushed."""
+        g, got = deadline_graph(with_fast=True, period=3.0)
+        trace = Simulator(g, record_values=True).run(until=7.0, limits={"src": 1})
+        assert got == ["FAST"]
+        firing = trace.firings_of("tran")[0]
+        assert firing.start == 3.0
+        drops = [d for d in trace.discards if d.channel == "e_slow"]
+        assert len(drops) == 1 and drops[0].time == 3.0
+
+    def test_clock_keeps_ticking_after_deadline(self):
+        """Ticks continue at multiples of the period; with no further
+        data each later tick just queues a control token."""
+        g, got = deadline_graph(with_fast=False, period=3.0)
+        sim = Simulator(g, record_values=True)
+        trace = sim.run(until=9.5, limits={"src": 1})
+        ticks = trace.firings_of("ck")
+        assert [t.start for t in ticks] == [3.0, 6.0, 9.0]
+        assert got == ["SLOW"]
