@@ -17,6 +17,19 @@ repetition vector and HSDF expansion for every query (one per beta
 point, one per analysis kind) now derives each once per graph.  Used
 by the ``analyze`` CLI subcommand and the scalability/Fig. 8 benches.
 
+Graphs in a batch are independent, so the batch is also the unit of
+**parallelism**: with ``jobs`` the batch is sharded by graph identity
+(items of the same graph stay together so worker-side caches are
+shared), packed into chunks, and fanned out over a
+``ProcessPoolExecutor``.  Graphs cross the process boundary through
+the pickle-safe codec of :mod:`repro.io` (live graphs carry caches,
+callables and port back-references that must not be pickled); each
+worker decodes a graph once per batch, warms its caches, and reuses it
+for every chunk that references it.  Results come back index-tagged
+and are reassembled in input order with the caller's original graph
+objects re-attached — the parallel path is bit-identical to the
+sequential one (see ``tests/test_analysis_parallel.py``).
+
 Typical use::
 
     from repro.analysis import analyze, analyze_batch
@@ -26,11 +39,19 @@ Typical use::
 
     for report in analyze_batch([(g, {"p": 2}), (h, None)]):
         ...
+
+    # same results, 8 worker processes, ~25 items per task
+    reports = analyze_batch(sweep_items, jobs=8, chunk_size=25)
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Union
 
@@ -109,6 +130,40 @@ class GraphReport:
         if "liveness" in self.errors:
             reasons.append(f"liveness analysis failed: {self.errors['liveness']}")
         return reasons
+
+    def fingerprint(self) -> tuple:
+        """Deterministic value identity of the analysis outcome.
+
+        Covers every analysis-result field and excludes the two
+        process-dependent ones: the graph *object* (workers analyze a
+        decoded copy) and ``elapsed`` (wall clock).  The parallel
+        differential suite asserts parallel == sequential on exactly
+        this value — float fields included bit-for-bit, no tolerance.
+        """
+        timed = None
+        if self.timed is not None:
+            timed = (
+                self.timed.makespan,
+                self.timed.iterations,
+                self.timed.firings,
+                tuple(self.timed.iteration_ends),
+                tuple(sorted(self.timed.peaks.items())),
+            )
+        return (
+            self.name,
+            tuple(sorted(self.bindings.items())),
+            self.consistent,
+            tuple(sorted(self.repetition_symbolic.items())),
+            None if self.repetition is None else tuple(sorted(self.repetition.items())),
+            self.live,
+            self.safe,
+            self.bounded,
+            self.mcr,
+            None if self.buffers is None else tuple(sorted(self.buffers.items())),
+            timed,
+            tuple(sorted(self.skipped.items())),
+            tuple(sorted(self.errors.items())),
+        )
 
     def summary(self) -> str:
         """Multi-line human-readable digest (exactly what the CLI
@@ -260,7 +315,81 @@ def analyze(
     return report
 
 
-def analyze_batch(items: Iterable[BatchItem], **options) -> list[GraphReport]:
+def warm_graph(graph: AnyGraph) -> AnyGraph:
+    """Pre-populate the binding-independent caches of ``graph``.
+
+    Runs the CSDF abstraction and the symbolic balance solve (the two
+    intermediates every later stage keys off), caching negative
+    verdicts too.  Workers call this once per decoded graph so all
+    items that share the graph — across chunks of the same batch —
+    start from warm caches, mirroring what the sequential path gets
+    from analyzing the same live object repeatedly.
+    """
+    from .csdf.analysis import repetition_vector
+
+    try:
+        repetition_vector(_csdf_view(graph))
+    except _STAGE_ERRORS:
+        pass  # the negative result is memoized as well
+    return graph
+
+
+#: Per-worker decoded-graph cache: (batch token, shard rank) -> graph.
+#: Each batch gets a fresh uuid token because forked workers inherit
+#: this dict's current contents: entries created by in-process calls
+#: (tests, diagnostics) — or by a future persistent pool — must never
+#: collide with a new batch's ranks.  The FIFO bound keeps such
+#: inherited/accumulated entries from growing without limit.
+_WORKER_GRAPHS: "OrderedDict[tuple, AnyGraph]" = OrderedDict()
+_WORKER_GRAPH_LIMIT = 32
+
+
+def _worker_graph(key: tuple, payload: Mapping) -> AnyGraph:
+    """Decode (or fetch the already-decoded, warm) graph for ``key``."""
+    from .io import graph_from_payload
+
+    graph = _WORKER_GRAPHS.get(key)
+    if graph is None:
+        graph = warm_graph(graph_from_payload(payload))
+        _WORKER_GRAPHS[key] = graph
+        while len(_WORKER_GRAPHS) > _WORKER_GRAPH_LIMIT:
+            _WORKER_GRAPHS.popitem(last=False)
+    else:
+        _WORKER_GRAPHS.move_to_end(key)
+    return graph
+
+
+def _analyze_chunk(chunk: tuple, options: dict) -> list[tuple[int, GraphReport]]:
+    """Worker entry point: analyze one chunk of (index, key, bindings)
+    items against the chunk's payload table; returns index-tagged
+    reports with the graph detached (re-attached parent-side)."""
+    payloads, work = chunk
+    out = []
+    for index, key, bindings in work:
+        report = analyze(_worker_graph(key, payloads[key]), bindings, **options)
+        report.graph = None
+        out.append((index, report))
+    return out
+
+
+def _effective_jobs(jobs: int | None) -> int:
+    """``None``/1 -> sequential; 0 -> one worker per CPU; n -> n."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def analyze_batch(
+    items: Iterable[BatchItem],
+    *,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    **options,
+) -> list[GraphReport]:
     """Analyze many graphs (or (graph, bindings) pairs) in one call.
 
     Options are forwarded to :func:`analyze`.  Analyses of the same
@@ -268,12 +397,79 @@ def analyze_batch(items: Iterable[BatchItem], **options) -> list[GraphReport]:
     intermediate (symbolic repetition vector, consistency verdict) and
     all binding-keyed caches (HSDF expansion, MCR) via the per-graph
     cache, which is what makes parameter sweeps cheap.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` or ``1`` analyzes in-process
+        (sequentially, sharing live caches); ``0`` uses one worker per
+        CPU; ``n >= 2`` fans the batch out over a process pool.  The
+        result list is identical (same values, same order) either way;
+        parallel reports re-attach the caller's graph objects but are
+        computed on decoded copies, so worker-side cache warm-up never
+        mutates caller state.
+    chunk_size:
+        Items per worker task.  Defaults to ~4 tasks per worker, after
+        sharding by graph identity (items of the same graph are kept
+        contiguous so each worker decodes and warms a graph at most
+        once per batch).  Smaller chunks balance better; larger chunks
+        amortize decode/dispatch overhead.
     """
-    reports = []
+    pairs: list[tuple[AnyGraph, Mapping | None]] = []
     for item in items:
         if isinstance(item, tuple):
             graph, bindings = item
         else:
             graph, bindings = item, None
-        reports.append(analyze(graph, bindings, **options))
-    return reports
+        pairs.append((graph, bindings))
+
+    workers = _effective_jobs(jobs)
+    if workers <= 1 or len(pairs) <= 1:
+        return [analyze(graph, bindings, **options) for graph, bindings in pairs]
+    return _analyze_batch_parallel(pairs, workers, chunk_size, options)
+
+
+def _analyze_batch_parallel(
+    pairs: list[tuple[AnyGraph, Mapping | None]],
+    jobs: int,
+    chunk_size: int | None,
+    options: dict,
+) -> list[GraphReport]:
+    from .io import graph_to_payload
+
+    # -- shard: one stable key per distinct graph object ----------------
+    token = uuid.uuid4().hex
+    key_of: dict[int, tuple] = {}
+    payloads: dict[tuple, dict] = {}
+    item_keys: list[tuple] = []
+    for graph, _ in pairs:
+        key = key_of.get(id(graph))
+        if key is None:
+            key = (token, len(key_of))
+            key_of[id(graph)] = key
+            payloads[key] = graph_to_payload(graph)
+        item_keys.append(key)
+
+    # Items of the same shard (graph) stay contiguous; ties keep input
+    # order, and index tags make reassembly order-exact regardless.
+    order = sorted(range(len(pairs)), key=lambda i: (item_keys[i][1], i))
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(pairs) // (jobs * 4)))
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    chunks = []
+    for start in range(0, len(order), chunk_size):
+        indices = order[start:start + chunk_size]
+        work = [(i, item_keys[i], pairs[i][1]) for i in indices]
+        table = {key: payloads[key] for key in {item_keys[i] for i in indices}}
+        chunks.append((table, work))
+
+    results: list[GraphReport | None] = [None] * len(pairs)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        for piece in pool.map(_analyze_chunk, chunks, itertools.repeat(options)):
+            for index, report in piece:
+                report.graph = pairs[index][0]
+                results[index] = report
+    return results  # type: ignore[return-value]  # every slot is filled

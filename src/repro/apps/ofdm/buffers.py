@@ -19,6 +19,7 @@ closed forms are evaluated alongside for comparison.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 from ...csdf import minimal_buffer_schedule, total_buffer_size
@@ -95,6 +96,8 @@ def fig8_series(
     ns=(512, 1024),
     l: int = 1,
     m: int = 4,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
 ) -> list[Fig8Point]:
     """The full Fig. 8 sweep: beta in 10..100, N in {512, 1024}.
 
@@ -103,6 +106,11 @@ def fig8_series(
     the symbolic balance solve, repetition vectors and consistency
     verdicts are computed once per graph and reused across all
     ``(beta, N)`` valuations instead of once per point.
+
+    ``jobs``/``chunk_size`` fan the valuations out over the parallel
+    batch-analysis service (identical results, see ``analyze_batch``);
+    the two graphs shard to different workers and each worker warms a
+    graph's caches once for all its points.
     """
     from ...analysis import analyze_batch
 
@@ -115,12 +123,16 @@ def fig8_series(
 
     grid = [(beta, n) for n in ns for beta in betas]
     options = dict(with_liveness=False, with_mcr=False, with_throughput=False)
-    tpdf_reports = analyze_batch(
-        ((tpdf_csdf, bindings_for(beta, n, l, m)) for beta, n in grid), **options
+    reports = analyze_batch(
+        itertools.chain(
+            ((tpdf_csdf, bindings_for(beta, n, l, m)) for beta, n in grid),
+            ((csdf, bindings_for(beta, n, l, 4)) for beta, n in grid),
+        ),
+        jobs=jobs,
+        chunk_size=chunk_size,
+        **options,
     )
-    csdf_reports = analyze_batch(
-        ((csdf, bindings_for(beta, n, l, 4)) for beta, n in grid), **options
-    )
+    tpdf_reports, csdf_reports = reports[: len(grid)], reports[len(grid):]
     def measured(report, beta, n):
         if report.total_buffer is None:
             detail = "; ".join(

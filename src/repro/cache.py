@@ -20,14 +20,49 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Mapping
 
+from .errors import GraphConstructionError
+
 _CACHE_ATTR = "_analysis_cache"
 _VERSION_ATTR = "_analysis_version"
+_FROZEN_ATTR = "_analysis_frozen"
 
 
 def bump_version(graph: Any) -> None:
     """Invalidate every cached analysis of ``graph`` (called by the
     graph classes' construction methods)."""
+    ensure_mutable(graph)
     setattr(graph, _VERSION_ATTR, getattr(graph, _VERSION_ATTR, 0) + 1)
+
+
+def freeze(graph: Any) -> Any:
+    """Mark ``graph`` immutable: any later mutation (anything that
+    would bump the version) raises instead of silently invalidating
+    shared state.
+
+    Used on memoized analysis products (``as_csdf()``,
+    ``expand_to_hsdf()``): those objects are shared by every caller for
+    the parent graph's current version, so structural edits would
+    corrupt results for all of them.  Freezing turns that misuse into
+    an immediate :class:`~repro.errors.GraphConstructionError`.
+    Analysis caches keep working on frozen graphs — memoization is not
+    a mutation.
+    """
+    setattr(graph, _FROZEN_ATTR, True)
+    return graph
+
+
+def is_frozen(graph: Any) -> bool:
+    return bool(getattr(graph, _FROZEN_ATTR, False))
+
+
+def ensure_mutable(graph: Any) -> None:
+    """Raise when ``graph`` has been frozen (shared analysis product)."""
+    if is_frozen(graph):
+        raise GraphConstructionError(
+            f"graph {getattr(graph, 'name', graph)!r} is frozen: it is a "
+            f"memoized analysis product shared across callers; derive a "
+            f"mutable copy (e.g. bind()) instead of mutating it"
+        )
 
 
 def analysis_cache(graph: Any) -> dict:

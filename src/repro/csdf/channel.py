@@ -13,9 +13,16 @@ from .rates import RateLike, RateSequence
 
 
 class Channel:
-    """A directed FIFO channel between two actors."""
+    """A directed FIFO channel between two actors.
 
-    __slots__ = ("name", "src", "dst", "production", "consumption", "initial_tokens")
+    The rate sequences and the initial-token count feed every cached
+    analysis, so assigning them after the channel joined a graph bumps
+    that graph's analysis version (and raises on frozen graphs — the
+    shared memoized products of ``as_csdf()``/``expand_to_hsdf()``).
+    """
+
+    __slots__ = ("name", "src", "dst", "_production", "_consumption",
+                 "_initial_tokens", "_owner")
 
     def __init__(
         self,
@@ -26,14 +33,54 @@ class Channel:
         consumption: RateLike,
         initial_tokens: int = 0,
     ):
-        if initial_tokens < 0:
-            raise ValueError(f"channel {name!r}: negative initial tokens")
         self.name = name
         self.src = src
         self.dst = dst
-        self.production = RateSequence.of(production)
-        self.consumption = RateSequence.of(consumption)
-        self.initial_tokens = int(initial_tokens)
+        #: Owning graph; set by ``CSDFGraph.add_channel`` so in-place
+        #: edits propagate a cache-invalidation bump.
+        self._owner = None
+        self.production = production
+        self.consumption = consumption
+        self.initial_tokens = initial_tokens
+
+    def _touch(self) -> None:
+        """Bump the owning graph's version *before* the field changes:
+        on frozen graphs this raises, leaving the channel intact."""
+        if self._owner is not None:
+            from ..cache import bump_version
+
+            bump_version(self._owner)
+
+    @property
+    def production(self) -> RateSequence:
+        return self._production
+
+    @production.setter
+    def production(self, value: RateLike) -> None:
+        rates = RateSequence.of(value)
+        self._touch()
+        self._production = rates
+
+    @property
+    def consumption(self) -> RateSequence:
+        return self._consumption
+
+    @consumption.setter
+    def consumption(self, value: RateLike) -> None:
+        rates = RateSequence.of(value)
+        self._touch()
+        self._consumption = rates
+
+    @property
+    def initial_tokens(self) -> int:
+        return self._initial_tokens
+
+    @initial_tokens.setter
+    def initial_tokens(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"channel {self.name!r}: negative initial tokens")
+        self._touch()
+        self._initial_tokens = int(value)
 
     def is_selfloop(self) -> bool:
         return self.src == self.dst

@@ -13,7 +13,7 @@ from typing import Iterable, Mapping
 
 import networkx as nx
 
-from ..cache import bump_version
+from ..cache import bump_version, ensure_mutable, freeze, is_frozen
 from ..errors import GraphConstructionError
 from .actor import Actor, ExecTime
 from .channel import Channel
@@ -43,6 +43,7 @@ class CSDFGraph:
     # -- construction ---------------------------------------------------
     def add_actor(self, name: str, exec_time: ExecTime = 1.0, function=None) -> Actor:
         """Create and register an actor; returns it."""
+        ensure_mutable(self)
         if name in self._actors:
             raise GraphConstructionError(f"duplicate actor name {name!r}")
         actor = Actor(name, exec_time=exec_time, function=function)
@@ -63,6 +64,7 @@ class CSDFGraph:
 
         ``name=None`` auto-generates ``e<k>``.
         """
+        ensure_mutable(self)
         if name is None:
             name = f"e{len(self._channels) + 1}"
         if name in self._channels:
@@ -73,9 +75,20 @@ class CSDFGraph:
                     f"channel {name!r}: unknown actor {endpoint!r}"
                 )
         channel = Channel(name, src, dst, production, consumption, initial_tokens)
+        channel._owner = self
         self._channels[name] = channel
         bump_version(self)
         return channel
+
+    def freeze(self) -> "CSDFGraph":
+        """Reject all further structural mutation (see
+        :func:`repro.cache.freeze`); returns ``self`` for chaining."""
+        freeze(self)
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return is_frozen(self)
 
     # -- access -----------------------------------------------------------
     @property

@@ -56,7 +56,8 @@ def expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None = None) -> CSDFGra
     with exact token counts.
 
     The expansion is memoized per graph version and shared between the
-    MCR and scheduling analyses — treat the returned graph as frozen.
+    MCR and scheduling analyses — the returned graph is *frozen*:
+    ``add_actor``/``add_channel`` on it raise.
     """
     return cached(
         graph, ("hsdf", bindings_key(bindings)),
@@ -129,7 +130,7 @@ def _expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None) -> CSDFGraph:
                         consumption=count,
                         initial_tokens=delta * count,
                     )
-    return expanded
+    return expanded.freeze()
 
 
 def hsdf_is_faithful(graph: CSDFGraph, bindings: Mapping | None = None) -> bool:

@@ -288,16 +288,34 @@ def min_buffers_for_full_throughput(
     """Smallest per-channel capacities preserving unconstrained
     throughput (a classic buffer-sizing DSE point).
 
-    Strategy: measure the unconstrained steady-state period, start from
-    the unconstrained execution's peaks (which by construction achieve
-    it), then shrink each channel in turn by binary search to the
-    smallest capacity that keeps the period within ``tolerance``.
-    Greedy per-channel shrinking is not globally optimal (the joint
-    problem is NP-hard) but matches the standard practice the paper's
-    tool ecosystem uses, and the result is validated by re-execution.
+    Strategy: take the unconstrained steady-state period *analytically*
+    from Howard's MCR (Reiter: the converged self-timed period equals
+    the maximum cycle ratio, so no simulated warm-up estimate is
+    needed), start from the peaks of an unconstrained execution (which
+    by construction achieve it), then shrink each channel in turn by
+    binary search to the smallest capacity that keeps the period within
+    ``tolerance``.  Greedy per-channel shrinking is not globally
+    optimal (the joint problem is NP-hard) but matches the standard
+    practice the paper's tool ecosystem uses, and the result is
+    validated by re-execution.
+
+    The measured probe periods are still finite-horizon (``iterations``
+    long), so the analytic target is only adopted when the
+    unconstrained execution confirms it (measured period within
+    ``tolerance`` of the MCR).  Otherwise — horizon too short to
+    converge, or a steady state whose per-iteration deltas oscillate
+    around the MCR — the measured period stays the target, exactly the
+    pre-analytic behaviour: the search is never asked for a period the
+    probe executions cannot exhibit, and never *loosened* against a
+    probe that measures below the true average.
     """
+    from .mcr import max_cycle_ratio
+
     unconstrained = self_timed_execution(graph, bindings, iterations=iterations)
     target = unconstrained.iteration_period
+    mcr = max_cycle_ratio(graph, bindings)
+    if abs(target - mcr) <= tolerance:
+        target = mcr  # confirmed converged: use the exact analytic value
     capacities = dict(unconstrained.peaks)
 
     def period_with(caps: Mapping[str, int]) -> float:

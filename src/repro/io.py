@@ -9,6 +9,15 @@ integer constants — exactly the fragment rates use).
 Functions and decision callables are *not* serialized (they are code);
 deserialized graphs carry the structure and rates, ready for analysis
 or for re-attaching behaviour.
+
+The same dictionaries double as the **pickle-safe codec** of the
+parallel batch-analysis service (:func:`graph_to_payload` /
+:func:`graph_from_payload`): live graph objects carry analysis caches,
+port->node->graph back-references and arbitrary callables, none of
+which belong on a process-pool wire.  The payload strips all of that
+and the worker-side decode rebuilds a fresh graph whose *static
+analyses* (consistency, rate safety, liveness, MCR, buffers,
+self-timed throughput) are bit-identical to the original's.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 import json
 import re
 from fractions import Fraction
-from typing import Mapping
+from typing import Mapping, Union
 
 from .csdf.graph import CSDFGraph
 from .csdf.rates import RateSequence
@@ -25,6 +34,7 @@ from .symbolic import Param, Poly
 from .tpdf.builtins import ClockActor
 from .tpdf.graph import TPDFGraph
 from .tpdf.kernel import ControlActor, Kernel
+from .tpdf.modes import Mode
 from .tpdf.ports import PortKind
 
 _TOKEN = re.compile(r"\s*(?:(?P<num>\d+/\d+|\d+)|(?P<name>[A-Za-z_]\w*)"
@@ -134,6 +144,16 @@ def tpdf_to_dict(graph: TPDFGraph) -> dict:
         }
         if isinstance(node, ClockActor):
             entry["clock_period"] = node.period
+        if isinstance(node, Kernel):
+            entry["modes"] = [mode.value for mode in node.modes]
+            overrides = {
+                mode.value: {
+                    port: _rates_to_json(rates) for port, rates in table.items()
+                }
+                for mode, table in node._mode_rates.items()
+            }
+            if overrides:
+                entry["mode_rates"] = overrides
         nodes.append(entry)
     return {
         "model": "tpdf",
@@ -173,7 +193,8 @@ def tpdf_from_dict(data: Mapping) -> TPDFGraph:
             else:
                 node = graph.add_control_actor(entry["name"], exec_time=exec_times)
         else:
-            node = graph.add_kernel(entry["name"], exec_time=exec_times)
+            modes = tuple(Mode(m) for m in entry.get("modes", (Mode.WAIT_ALL.value,)))
+            node = graph.add_kernel(entry["name"], exec_time=exec_times, modes=modes)
         node.meta.update(entry.get("meta", {}))
         for port in entry["ports"]:
             kind = PortKind(port["kind"])
@@ -200,6 +221,12 @@ def tpdf_from_dict(data: Mapping) -> TPDFGraph:
                     raise GraphConstructionError(
                         f"control actor {entry['name']!r} cannot own a data output"
                     )
+        if isinstance(node, Kernel):
+            for mode_value, table in entry.get("mode_rates", {}).items():
+                node.set_mode_rates(
+                    Mode(mode_value),
+                    {port: _rates_from_json(rates) for port, rates in table.items()},
+                )
     for channel in data["channels"]:
         graph.connect(
             (channel["src"], channel["src_port"]),
@@ -267,3 +294,45 @@ def csdf_to_json(graph: CSDFGraph, indent: int = 2) -> str:
 
 def csdf_from_json(text: str) -> CSDFGraph:
     return csdf_from_dict(json.loads(text))
+
+
+# -- process-pool codec --------------------------------------------------
+
+AnyGraph = Union[CSDFGraph, TPDFGraph]
+
+
+def graph_to_payload(graph: AnyGraph) -> dict:
+    """Encode a graph for shipping to an analysis worker process.
+
+    Live graphs are not pickle-safe by contract: they accumulate
+    per-version analysis caches (holding arbitrarily large memoized
+    expansions), ports hold back-references to their node and graph
+    (added so rate edits invalidate caches), and actors may carry
+    closures/lambdas as behaviour.  The payload is the plain-dict
+    serialization instead — structure, rates, priorities, modes,
+    execution times — which pickles as primitive containers only and
+    preserves construction order, so every static analysis of the
+    decoded graph is bit-identical to the original's.
+
+    Behavioural attachments (``function``, ``decision``) are dropped;
+    the analyses never evaluate them.
+    """
+    if isinstance(graph, TPDFGraph):
+        return tpdf_to_dict(graph)
+    if isinstance(graph, CSDFGraph):
+        return csdf_to_dict(graph)
+    raise GraphConstructionError(f"cannot encode {type(graph).__name__} for workers")
+
+
+def graph_from_payload(payload: Mapping) -> AnyGraph:
+    """Rebuild a worker-side graph from :func:`graph_to_payload`.
+
+    The result is a fresh, mutable graph with empty analysis caches —
+    the worker warms them itself (see
+    :func:`repro.analysis.warm_graph`)."""
+    model = payload.get("model")
+    if model == "tpdf":
+        return tpdf_from_dict(payload)
+    if model == "csdf":
+        return csdf_from_dict(payload)
+    raise GraphConstructionError(f"unknown payload model {model!r}")

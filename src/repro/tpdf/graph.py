@@ -53,9 +53,15 @@ def _parse_ref(ref: PortRef) -> tuple[str, str]:
 
 
 class TPDFChannel:
-    """A channel between two ports (data or control)."""
+    """A channel between two ports (data or control).
 
-    __slots__ = ("name", "src", "src_port", "dst", "dst_port", "initial_tokens", "is_control")
+    ``initial_tokens`` feeds the liveness/boundedness analyses, so
+    assigning it after the channel joined a graph bumps that graph's
+    analysis version (the rate sequences live on the ports, which
+    propagate their own bumps)."""
+
+    __slots__ = ("name", "src", "src_port", "dst", "dst_port",
+                 "_initial_tokens", "is_control", "_owner")
 
     def __init__(self, name, src, src_port, dst, dst_port, initial_tokens, is_control):
         self.name = name
@@ -63,8 +69,23 @@ class TPDFChannel:
         self.src_port = src_port
         self.dst = dst
         self.dst_port = dst_port
+        self._owner = None
         self.initial_tokens = initial_tokens
         self.is_control = is_control
+
+    @property
+    def initial_tokens(self) -> int:
+        return self._initial_tokens
+
+    @initial_tokens.setter
+    def initial_tokens(self, value: int) -> None:
+        if value < 0:
+            raise GraphConstructionError(
+                f"channel {self.name!r}: negative initial tokens"
+            )
+        if self._owner is not None:
+            bump_version(self._owner)  # raises first on frozen graphs
+        self._initial_tokens = int(value)
 
     def __repr__(self) -> str:
         kind = "control" if self.is_control else "data"
@@ -106,6 +127,7 @@ class TPDFGraph:
     ) -> Kernel:
         self._check_fresh(name)
         kernel = Kernel(name, exec_time=exec_time, function=function, modes=modes)
+        kernel._graph = self
         self._kernels[name] = kernel
         bump_version(self)
         return kernel
@@ -118,6 +140,7 @@ class TPDFGraph:
     ) -> ControlActor:
         self._check_fresh(name)
         actor = ControlActor(name, exec_time=exec_time, decision=decision)
+        actor._graph = self
         self._controls[name] = actor
         bump_version(self)
         return actor
@@ -127,6 +150,7 @@ class TPDFGraph:
         if not isinstance(node, (ControlActor, Kernel)):
             raise GraphConstructionError(f"cannot register {node!r}")
         self._check_fresh(node.name)
+        node._graph = self
         if isinstance(node, ControlActor):
             self._controls[node.name] = node
         else:
@@ -204,6 +228,7 @@ class TPDFGraph:
         channel = TPDFChannel(
             name, src_node, src_port, dst_node, dst_port, int(initial_tokens), is_control
         )
+        channel._owner = self
         self._channels[name] = channel
         bump_version(self)
         return channel
@@ -281,7 +306,8 @@ class TPDFGraph:
         restructuring of the same application).
 
         The abstraction is memoized per graph version and shared across
-        all analyses — treat the returned graph as frozen.
+        all analyses — the returned graph is *frozen*:
+        ``add_actor``/``add_channel`` on it raise.
         """
         return cached(
             self, ("as_csdf", include_control),
@@ -312,7 +338,7 @@ class TPDFGraph:
                 consumption=consumption,
                 initial_tokens=channel.initial_tokens,
             )
-        return csdf
+        return csdf.freeze()
 
     # -- summaries ---------------------------------------------------------
     def __repr__(self) -> str:

@@ -47,6 +47,10 @@ class Node:
         self._ports: dict[str, Port] = {}
         #: Free-form annotations (builtin kind, clock period, vote arity...).
         self.meta: dict = {}
+        #: Owning graph; set when the node is registered so port-level
+        #: mutations (new ports, rate edits) invalidate the graph's
+        #: analysis caches.  Graph-level mutators bump on their own.
+        self._graph = None
 
     # -- ports -----------------------------------------------------------
     def _add_port(self, port: Port) -> Port:
@@ -55,7 +59,18 @@ class Node:
                 f"node {self.name!r}: duplicate port name {port.name!r}"
             )
         self._ports[port.name] = port
+        port._owner = self
+        self._touch()
         return port
+
+    def _touch(self) -> None:
+        """Bump the owning graph's analysis version (port added or a
+        port's rates edited): a node mutation changes ``tau`` and the
+        balance equations, so every memoized analysis is stale."""
+        if self._graph is not None:
+            from ..cache import bump_version
+
+            bump_version(self._graph)
 
     @property
     def ports(self) -> dict[str, Port]:
@@ -149,6 +164,7 @@ class Kernel(Node):
             self.port(port_name)  # raises on unknown ports
             table[port_name] = RateSequence.of(value)
         self._mode_rates[mode] = table
+        self._touch()
 
     def rate(self, port_name: str, firing: int = 0, mode: Mode | None = None):
         """``Rk(m, port, n)``: rate of the port for the given firing/mode."""

@@ -36,25 +36,45 @@ class Port:
     ``priority`` is the ``alpha`` of Definition 2: larger values win in
     ``HIGHEST_PRIORITY`` selections (the edge-detection case study
     orders Canny > Prewitt > Sobel > QuickMask this way).
+
+    Rates participate in every cached analysis (they decide the node's
+    cycle length ``tau`` and the balance equations), so assigning
+    ``port.rates`` after the port joined a graph bumps that graph's
+    analysis version — in-place rate edits can never serve stale
+    memoized results.
     """
 
-    __slots__ = ("name", "kind", "rates", "priority")
+    __slots__ = ("name", "kind", "_rates", "priority", "_owner")
 
     def __init__(self, name: str, kind: PortKind, rates: RateLike = 1, priority: int = 0):
         self.name = name
         self.kind = kind
-        self.rates = RateSequence.of(rates)
+        #: Owning node; set by ``Node._add_port`` so rate edits can
+        #: propagate a cache-invalidation bump to the owning graph.
+        self._owner = None
+        self.rates = rates
         self.priority = int(priority)
-        if kind is PortKind.CONTROL_IN:
+
+    @property
+    def rates(self) -> RateSequence:
+        return self._rates
+
+    @rates.setter
+    def rates(self, value: RateLike) -> None:
+        rates = RateSequence.of(value)
+        if self.kind is PortKind.CONTROL_IN:
             # Def. 2: Rk(m, c, n) in {0, 1} — a kernel reads at most one
             # control token per firing.  Control *outputs* are not
             # restricted (the Fig. 2 controller emits 2 tokens per firing).
-            for entry in self.rates:
+            for entry in rates:
                 if not entry.is_const() or entry.const_value() not in (0, 1):
                     raise ValueError(
-                        f"control port {name!r}: rates must be 0 or 1 per firing "
-                        f"(Def. 2), got {entry}"
+                        f"control port {self.name!r}: rates must be 0 or 1 per "
+                        f"firing (Def. 2), got {entry}"
                     )
+        if self._owner is not None:
+            self._owner._touch()  # raises first on frozen graphs
+        self._rates = rates
 
     def __repr__(self) -> str:
         return (

@@ -193,6 +193,10 @@ def restrict_to_selection(
         if node_name not in kept_nodes:
             continue
         node = template.node(node_name)
+        # Adopt the copied node: its invalidation back-reference must
+        # target the graph it now lives in, not the discarded template,
+        # or port-level mutations would bump the wrong version.
+        node._graph = clone
         if isinstance(node, ControlActor):
             clone._controls[node_name] = node  # reuse copied node objects
         else:

@@ -91,6 +91,86 @@ class TestMinBuffersForFullThroughput:
         assert unbounded_peak > caps["e"]
 
 
+class TestAnalyticTargetPeriod:
+    """The sizing target now comes analytically from Howard's MCR; the
+    previous implementation re-measured it by simulation.  Equivalence
+    on the Fig. 8 graphs pins that the swap changes nothing."""
+
+    @staticmethod
+    def fig8_graphs():
+        from repro.apps.ofdm import bindings_for, build_ofdm_csdf, build_ofdm_tpdf
+        from repro.apps.ofdm.qam import scheme_for_m
+        from repro.tpdf import restrict_to_selection
+
+        tpdf = build_ofdm_tpdf()
+        port = "qam" if scheme_for_m(4) == "qam16" else "qpsk"
+        restricted = restrict_to_selection(tpdf, "DUP", ["in", port])
+        restricted = restrict_to_selection(restricted, "TRAN", [port, "out"])
+        bindings = bindings_for(2, 16, 2, 4)
+        return [(restricted.as_csdf(), bindings), (build_ofdm_csdf(), bindings)]
+
+    def test_simulated_period_equals_mcr_on_fig8_graphs(self):
+        """The old target (measured unconstrained period) and the new
+        one (Howard's MCR) coincide on both Fig. 8 implementations."""
+        from repro.csdf import max_cycle_ratio
+
+        for graph, bindings in self.fig8_graphs():
+            simulated = self_timed_execution(
+                graph, bindings, iterations=6
+            ).iteration_period
+            assert simulated == pytest.approx(max_cycle_ratio(graph, bindings),
+                                              abs=1e-9)
+
+    def test_capacities_unchanged_by_analytic_target(self):
+        """Sizing against the MCR reproduces the capacities the
+        simulated target produced (reconstructed inline)."""
+        from repro.csdf import min_buffers_for_full_throughput
+        from repro.errors import DeadlockError
+
+        for graph, bindings in self.fig8_graphs():
+            caps = min_buffers_for_full_throughput(graph, bindings, iterations=4)
+            unconstrained = self_timed_execution(graph, bindings, iterations=4)
+            legacy = dict(unconstrained.peaks)
+            target = unconstrained.iteration_period  # the old, simulated target
+
+            def period_with(c):
+                try:
+                    return self_timed_execution(
+                        graph, bindings, iterations=4, capacities=c
+                    ).iteration_period
+                except DeadlockError:
+                    return float("inf")
+
+            for name in sorted(legacy):
+                lo, hi = 0, legacy[name]
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    probe = dict(legacy)
+                    probe[name] = mid
+                    if period_with(probe) <= target + 1e-6:
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                legacy[name] = hi
+            assert caps == legacy
+
+    def test_mcr_target_on_random_corpus(self):
+        """Property sweep: on converging random graphs the analytic
+        target yields capacities that achieve the MCR period."""
+        from repro.csdf import max_cycle_ratio, min_buffers_for_full_throughput
+        from repro.tpdf import random_consistent_graph
+
+        for seed in range(6):
+            g = random_consistent_graph(
+                4, extra_edges=1, n_cycles=1, seed=seed, with_control=False
+            ).as_csdf()
+            caps = min_buffers_for_full_throughput(g, iterations=8)
+            constrained = self_timed_execution(g, iterations=8, capacities=caps)
+            assert constrained.iteration_period == pytest.approx(
+                max_cycle_ratio(g), abs=1e-6
+            )
+
+
 class TestTradeoff:
     def test_monotone_throughput(self, fig1):
         points = buffer_throughput_tradeoff(fig1, scales=(1.0, 2.0, 4.0),

@@ -1,0 +1,292 @@
+"""Sequential-parity differential suite for the parallel batch-analysis
+service.
+
+``analyze_batch(jobs=n)`` ships graphs to worker processes through the
+pickle-safe codec, analyzes decoded copies, and reassembles the results
+by index.  Everything that could drift — codec round-trip fidelity,
+chunking, shard ordering, worker cache warm-up, error capture across
+the process boundary — is cross-validated here against the in-process
+sequential path on a 200-graph seeded random corpus plus targeted edge
+cases.  Comparison is by :meth:`GraphReport.fingerprint`, which covers
+every analysis field bit-for-bit (floats included, no tolerance) and
+excludes only the graph object identity and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    GraphReport,
+    _analyze_chunk,
+    _effective_jobs,
+    _worker_graph,
+    analyze,
+    analyze_batch,
+    warm_graph,
+)
+from repro.cache import analysis_cache
+from repro.csdf import CSDFGraph
+from repro.errors import GraphConstructionError
+from repro.io import graph_from_payload, graph_to_payload
+from repro.tpdf import TPDFGraph, random_consistent_graph
+
+#: (actors, extra_edges, back_edges, parametric, with_control) shapes;
+#: 8 shapes x 25 seeds = 200 random graphs.
+SHAPES = (
+    (3, 1, 0, False, False),
+    (4, 2, 1, False, False),
+    (5, 2, 0, False, True),
+    (5, 3, 2, False, False),
+    (6, 3, 1, False, True),
+    (6, 2, 0, True, False),
+    (7, 3, 0, True, True),
+    (8, 4, 2, False, False),
+)
+SEEDS_PER_SHAPE = 25
+
+
+def _corpus_items():
+    """The 200-graph corpus as analyze_batch items (parametric graphs
+    get a concrete valuation so the performance stages run)."""
+    items = []
+    for n, extra, cycles, parametric, control in SHAPES:
+        for seed in range(SEEDS_PER_SHAPE):
+            graph = random_consistent_graph(
+                n, extra_edges=extra, n_cycles=cycles, seed=seed,
+                parametric=parametric, with_control=control,
+            )
+            items.append((graph, {"p": 2} if parametric else None))
+    return items
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _corpus_items()
+
+
+@pytest.fixture(scope="module")
+def sequential_reports(corpus):
+    return analyze_batch(corpus, iterations=3)
+
+
+class TestSequentialParity:
+    """The acceptance criterion: bit-identical results on 200+ graphs."""
+
+    def test_corpus_is_at_least_200_graphs(self, corpus):
+        assert len(corpus) >= 200
+        assert len({id(graph) for graph, _ in corpus}) >= 200
+
+    def test_bit_identical_on_corpus(self, corpus, sequential_reports):
+        parallel = analyze_batch(corpus, jobs=2, iterations=3)
+        assert len(parallel) == len(sequential_reports)
+        for i, (seq, par) in enumerate(zip(sequential_reports, parallel)):
+            assert par.graph is corpus[i][0], "caller's graph object re-attached"
+            assert par.fingerprint() == seq.fingerprint(), (
+                f"parallel result diverged on corpus item {i} ({seq.name})"
+            )
+
+    def test_chunk_size_extremes(self, corpus, sequential_reports):
+        """chunk_size=1 (maximal dispatch) and one-giant-chunk both
+        reproduce the sequential results on a corpus slice."""
+        sample = corpus[::20]
+        expected = [sequential_reports[i].fingerprint()
+                    for i in range(0, len(corpus), 20)]
+        one_by_one = analyze_batch(sample, jobs=2, chunk_size=1, iterations=3)
+        giant = analyze_batch(sample, jobs=2, chunk_size=10_000, iterations=3)
+        assert [r.fingerprint() for r in one_by_one] == expected
+        assert [r.fingerprint() for r in giant] == expected
+
+    def test_more_jobs_than_items(self):
+        graphs = [random_consistent_graph(4, seed=s) for s in (0, 1)]
+        seq = analyze_batch(graphs)
+        par = analyze_batch(graphs, jobs=8)
+        assert [r.fingerprint() for r in par] == [r.fingerprint() for r in seq]
+
+    def test_input_order_preserved_across_shards(self):
+        """Items are sharded by graph and chunked out of input order;
+        the result list must still match the input ordering exactly."""
+        a = random_consistent_graph(4, seed=1, parametric=True)
+        b = random_consistent_graph(5, seed=2)
+        c = b.as_csdf()
+        items = [(a, {"p": 1}), b, (c, None), (a, {"p": 2}), b, (a, {"p": 4})]
+        seq = analyze_batch(items)
+        par = analyze_batch(items, jobs=3, chunk_size=2)
+        assert [r.name for r in par] == [r.name for r in seq]
+        assert [r.bindings for r in par] == [r.bindings for r in seq]
+        assert [r.fingerprint() for r in par] == [r.fingerprint() for r in seq]
+
+    def test_shared_graph_items_reattach_same_object(self):
+        graph = random_consistent_graph(4, seed=3, parametric=True)
+        reports = analyze_batch(
+            [(graph, {"p": v}) for v in (1, 2, 3, 4)], jobs=2, chunk_size=1
+        )
+        assert all(r.graph is graph for r in reports)
+
+    def test_inconsistent_graph_error_crosses_process_boundary(self):
+        bad = CSDFGraph("bad")
+        bad.add_actor("a")
+        bad.add_actor("b")
+        bad.add_channel("ab", "a", "b", production=2, consumption=3)
+        bad.add_channel("ab2", "a", "b", production=1, consumption=1)
+        good = random_consistent_graph(3, seed=0)
+        seq = analyze_batch([bad, good])
+        par = analyze_batch([bad, good], jobs=2, chunk_size=1)
+        assert not seq[0].consistent and "consistency" in seq[0].errors
+        assert [r.fingerprint() for r in par] == [r.fingerprint() for r in seq]
+
+    def test_deadlocked_graph_parity(self):
+        dead = CSDFGraph("dead")
+        dead.add_actor("a")
+        dead.add_actor("b")
+        dead.add_channel("ab", "a", "b")
+        dead.add_channel("ba", "b", "a")  # tokenless cycle
+        seq, = analyze_batch([dead])
+        par, = analyze_batch([dead, dead], jobs=2)[:1]
+        assert seq.live is False
+        assert par.fingerprint() == seq.fingerprint()
+
+    def test_options_forwarded_to_workers(self):
+        graph = random_consistent_graph(4, seed=5)
+        seq, = analyze_batch([graph], with_buffers=False, iterations=2)
+        par = analyze_batch([graph, graph], jobs=2, with_buffers=False,
+                            iterations=2)
+        assert seq.buffers is None
+        for r in par:
+            assert r.fingerprint() == seq.fingerprint()
+
+    def test_jobs_zero_means_auto(self):
+        graphs = [random_consistent_graph(3, seed=s) for s in (0, 1, 2)]
+        seq = analyze_batch(graphs)
+        par = analyze_batch(graphs, jobs=0)
+        assert [r.fingerprint() for r in par] == [r.fingerprint() for r in seq]
+
+    def test_bad_arguments_raise(self):
+        graph = random_consistent_graph(3, seed=0)
+        with pytest.raises(ValueError):
+            analyze_batch([graph, graph], jobs=-1)
+        with pytest.raises(ValueError):
+            analyze_batch([graph, graph], jobs=2, chunk_size=0)
+
+
+class TestCodec:
+    """The pickle-safe payload codec underpinning the worker hand-off."""
+
+    def test_payload_is_plain_data(self):
+        graph = random_consistent_graph(5, extra_edges=2, seed=7,
+                                        parametric=True, with_control=True)
+        payload = graph_to_payload(graph)
+
+        def plain(value):
+            if isinstance(value, dict):
+                return all(isinstance(k, str) and plain(v) for k, v in value.items())
+            if isinstance(value, (list, tuple)):
+                return all(plain(v) for v in value)
+            return value is None or isinstance(value, (str, int, float, bool))
+
+        assert plain(payload)
+
+    def test_roundtrip_preserves_analysis_results(self):
+        graph = random_consistent_graph(6, extra_edges=3, n_cycles=1, seed=11,
+                                        with_control=True)
+        clone = graph_from_payload(graph_to_payload(graph))
+        assert analyze(clone).fingerprint() == analyze(graph).fingerprint()
+
+    def test_roundtrip_strips_caches_and_callables(self):
+        graph = random_consistent_graph(4, seed=2)
+        for kernel in graph.kernels.values():
+            kernel.function = lambda *tokens: tokens  # unpicklable closure
+        analyze(graph)  # populate caches
+        assert analysis_cache(graph)
+        clone = graph_from_payload(graph_to_payload(graph))
+        assert not analysis_cache(clone)
+        assert all(k.function is None for k in clone.kernels.values())
+
+    def test_kernel_modes_roundtrip(self, fig2):
+        clone = graph_from_payload(graph_to_payload(fig2))
+        assert clone.kernels["F"].modes == fig2.kernels["F"].modes
+
+    def test_csdf_payload_roundtrip(self, fig1):
+        clone = graph_from_payload(graph_to_payload(fig1))
+        assert isinstance(clone, CSDFGraph)
+        assert analyze(clone).fingerprint() == analyze(fig1).fingerprint()
+
+    def test_frozen_memoized_view_is_encodable(self):
+        graph = random_consistent_graph(4, seed=6)
+        view = graph.as_csdf()
+        assert view.frozen
+        clone = graph_from_payload(graph_to_payload(view))
+        assert not clone.frozen, "decoded copies are fresh and mutable"
+        assert analyze(clone).fingerprint() == analyze(view).fingerprint()
+
+    def test_unknown_payload_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            graph_from_payload({"model": "hsdf?"})
+        with pytest.raises(GraphConstructionError):
+            graph_to_payload(object())  # type: ignore[arg-type]
+
+
+class TestWorkerMachinery:
+    def test_warm_graph_populates_shared_caches(self):
+        graph = random_consistent_graph(4, seed=8)
+        assert not analysis_cache(graph.as_csdf())
+        warm_graph(graph)
+        cache = analysis_cache(graph.as_csdf())
+        assert ("repetition_vector",) in cache
+
+    def test_warm_graph_caches_negative_verdicts(self):
+        bad = CSDFGraph("bad")
+        bad.add_actor("a")
+        bad.add_actor("b")
+        bad.add_channel("ab", "a", "b", production=2, consumption=3)
+        bad.add_channel("ab2", "a", "b", production=1, consumption=1)
+        warm_graph(bad)  # must not raise
+        assert ("base_solution",) in analysis_cache(bad)
+
+    def test_worker_graph_decodes_once_per_key(self):
+        graph = random_consistent_graph(3, seed=4)
+        payload = graph_to_payload(graph)
+        key = ("test-token-decode-once", 0)
+        first = _worker_graph(key, payload)
+        second = _worker_graph(key, payload)
+        assert first is second
+
+    def test_analyze_chunk_reports_are_index_tagged_and_detached(self):
+        graph = random_consistent_graph(3, seed=4)
+        payload = graph_to_payload(graph)
+        key = ("test-token-chunk", 0)
+        out = _analyze_chunk(({key: payload}, [(7, key, None), (3, key, None)]),
+                             {"iterations": 2})
+        assert [index for index, _ in out] == [7, 3]
+        assert all(isinstance(r, GraphReport) and r.graph is None for _, r in out)
+
+    def test_effective_jobs(self):
+        assert _effective_jobs(None) == 1
+        assert _effective_jobs(1) == 1
+        assert _effective_jobs(4) == 4
+        assert _effective_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            _effective_jobs(-2)
+
+
+class TestCLIJobs:
+    def _write_graphs(self, tmp_path):
+        from repro.io import tpdf_to_json
+
+        paths = []
+        for seed in (0, 1, 2):
+            graph = random_consistent_graph(4, extra_edges=1, seed=seed)
+            path = tmp_path / f"g{seed}.json"
+            path.write_text(tpdf_to_json(graph))
+            paths.append(str(path))
+        return paths
+
+    def test_cli_jobs_output_matches_sequential(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        paths = self._write_graphs(tmp_path)
+        assert main(["analyze", *paths]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["analyze", *paths, "--jobs", "2", "--chunk-size", "1"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == sequential

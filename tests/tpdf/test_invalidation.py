@@ -1,0 +1,158 @@
+"""Port-level mutations must invalidate the per-graph analysis caches.
+
+Regression suite for the stale-cache hole: the graph version used to
+bump on graph-level mutators only, so ``Kernel.add_output`` on an
+already-registered node or an in-place ``port.rates`` assignment would
+keep serving memoized results computed for the old rates/topology.
+Nodes now carry a back-reference to their graph and every port-level
+mutation bumps the version.
+"""
+
+import pytest
+
+from repro.cache import analysis_cache
+from repro.tpdf import TPDFGraph, check_consistency, repetition_vector
+from repro.tpdf.modes import Mode
+
+
+def pipeline() -> TPDFGraph:
+    g = TPDFGraph("pipe")
+    a = g.add_kernel("a")
+    a.add_output("out", 1)
+    b = g.add_kernel("b")
+    b.add_input("in", 2)
+    g.connect("a.out", "b.in", name="e1")
+    return g
+
+
+class TestPortAdditionInvalidates:
+    def test_add_output_on_connected_node_bumps_version(self):
+        """``Kernel.add_output`` on a registered node must invalidate
+        even before the new port is connected (the port might later
+        join a channel through a path that trusts the cache)."""
+        g = pipeline()
+        repetition_vector(g)
+        assert analysis_cache(g), "vector was memoized"
+        g.node("a").add_output("probe", [1, 1])
+        assert not analysis_cache(g), "port add on a connected node was invisible"
+
+    def test_add_input_refreshes_cached_csdf_view(self):
+        g = pipeline()
+        view = g.as_csdf()
+        g.node("b").add_input("side", [1, 0, 1])
+        assert g.as_csdf() is not view, "memoized abstraction was stale"
+
+    def test_stale_cache_regression_grown_topology(self):
+        """The original hole end to end: cache a consistency verdict,
+        grow the connected topology through kernel-side port adds, and
+        re-query — the verdict must reflect the new channel."""
+        g = pipeline()
+        assert check_consistency(g).consistent
+        assert str(repetition_vector(g)["a"]) == "2"
+        g.node("a").add_output("x", 1)
+        c = g.add_kernel("c")
+        c.add_input("in", 4)
+        g.connect("a.x", "c.in", name="e2")
+        q = repetition_vector(g)
+        assert str(q["a"]) == "4", "repetition vector served stale"
+        assert str(q["c"]) == "1"
+
+
+class TestRateEditInvalidates:
+    def test_port_rates_assignment_bumps_version(self):
+        g = pipeline()
+        q = repetition_vector(g)
+        assert str(q["b"]) == "1"
+        g.node("b").port("in").rates = 4  # consume 4 per firing instead of 2
+        q_after = repetition_vector(g)
+        assert str(q_after["a"]) == "4"
+        assert str(q_after["b"]) == "1"
+
+    def test_rates_setter_still_validates_control_ports(self):
+        g = TPDFGraph("ctl")
+        k = g.add_kernel("k")
+        port = k.add_control_port("ctrl", [1, 0])
+        with pytest.raises(ValueError):
+            port.rates = [2]
+        assert [str(r) for r in port.rates] == ["1", "0"], "bad edit rolled back"
+
+    def test_unattached_port_edit_needs_no_graph(self):
+        from repro.tpdf.ports import Port, PortKind
+
+        port = Port("free", PortKind.DATA_IN, 1)
+        port.rates = [1, 2]  # no owner, no graph: plain assignment works
+        assert len(port.rates) == 2
+
+    def test_mode_rate_override_bumps_version(self):
+        g = pipeline()
+        repetition_vector(g)
+        version_cache = analysis_cache(g)
+        assert version_cache
+        kernel = g.kernels["a"]
+        kernel.set_mode_rates(Mode.WAIT_ALL, {"out": [1, 1]})
+        assert not analysis_cache(g)
+
+
+class TestChannelEditsInvalidate:
+    def test_initial_tokens_assignment_bumps_version(self):
+        g = pipeline()
+        repetition_vector(g)
+        assert analysis_cache(g)
+        g.channel("e1").initial_tokens = 3
+        assert not analysis_cache(g), "initial-token edit was invisible"
+
+    def test_negative_initial_tokens_rejected(self):
+        from repro.errors import GraphConstructionError
+
+        g = pipeline()
+        with pytest.raises(GraphConstructionError):
+            g.channel("e1").initial_tokens = -1
+
+
+class TestTransformedGraphsAreWired:
+    def test_restricted_graph_port_edits_invalidate(self):
+        """Regression: ``restrict_to_selection`` adopts copied node
+        objects; their invalidation back-reference must target the
+        restricted graph, not the discarded copy template."""
+        from repro.apps.ofdm import build_ofdm_tpdf
+        from repro.tpdf import restrict_to_selection
+
+        restricted = restrict_to_selection(
+            build_ofdm_tpdf(), "DUP", ["in", "qpsk"]
+        )
+        view = restricted.as_csdf()
+        restricted.node("DUP").port("qpsk").rates = 2
+        assert restricted.as_csdf() is not view, (
+            "port edit on a restricted graph bumped the dead template"
+        )
+
+    def test_copied_graph_port_edits_invalidate(self):
+        """``copy_graph`` builds through the regular constructors, so
+        its nodes are wired to the clone by construction — pin it."""
+        from repro.tpdf import fig2_graph
+        from repro.tpdf.transform import copy_graph
+
+        clone = copy_graph(fig2_graph())
+        view = clone.as_csdf()
+        clone.node("B").port("to_d").rates = 2
+        assert clone.as_csdf() is not view
+
+
+class TestPrebuiltNodesAreWired:
+    def test_registered_node_ports_invalidate(self):
+        from repro.tpdf.kernel import Kernel
+
+        g = TPDFGraph("reg")
+        node = Kernel("pre")
+        node.add_output("o", 1)  # before registration: no graph to bump
+        g.register(node)
+        snk = g.add_kernel("snk")
+        snk.add_input("i", 1)
+        g.connect("pre.o", "snk.i")
+        repetition_vector(g)
+        assert analysis_cache(g)
+        node.add_output("late", [1, 1])
+        assert not analysis_cache(g)
+        # And an in-place rate edit on the *connected* port is seen too.
+        node.port("o").rates = [1, 1]
+        assert str(repetition_vector(g)["pre"]) == "2"
