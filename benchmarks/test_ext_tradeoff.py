@@ -83,3 +83,56 @@ def test_ext3_min_buffers_for_full_throughput(benchmark, report):
               f"{unconstrained.iteration_period:.2f} preserved",
     )
     report("ext3_min_buffers", table)
+
+
+def test_ext3_warm_started_buffer_search(benchmark, report):
+    """EXT3c — the symbolic-bound warm start of the per-channel binary
+    search: identical capacities, fewer probe executions where the
+    bound undercuts the unconstrained peak (imbalanced pipelines whose
+    fast producers run iterations ahead)."""
+    from repro.csdf import CSDFGraph
+
+    imbalanced = CSDFGraph("imbalanced")
+    imbalanced.add_actor("src", exec_time=1)
+    imbalanced.add_actor("mid", exec_time=2)
+    imbalanced.add_actor("snk", exec_time=16)
+    imbalanced.add_channel("a", "src", "mid", production=8, consumption=8)
+    imbalanced.add_channel("b", "mid", "snk", production=8, consumption=8)
+
+    cases = [
+        ("Fig. 2 (p=4)", fig2_graph().as_csdf(), {"p": 4}, 5),
+        ("OFDM (beta=2, N=32)", build_ofdm_tpdf().as_csdf(),
+         bindings_for(2, 32, 4, 4), 5),
+        ("imbalanced pipeline", imbalanced, None, 8),
+    ]
+
+    def sweep_all():
+        rows = []
+        for name, graph, bindings, iterations in cases:
+            warm_stats, cold_stats = {}, {}
+            warm = min_buffers_for_full_throughput(
+                graph, bindings, iterations=iterations, stats=warm_stats)
+            cold = min_buffers_for_full_throughput(
+                graph, bindings, iterations=iterations, warm_start=False,
+                stats=cold_stats)
+            assert warm == cold, f"{name}: warm-started search diverged"
+            rows.append((name, sum(warm.values()),
+                         warm_stats["probes"], cold_stats["probes"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    table = ascii_table(
+        ["graph", "min total buffer", "warm probes", "cold probes"],
+        [[name, total, warm_probes, cold_probes]
+         for name, total, warm_probes, cold_probes in rows],
+        title="EXT3c — symbolic-bound warm start of the buffer search "
+              "(capacities identical to the cold search)",
+    )
+    from repro.util import write_csv
+
+    write_csv(
+        "benchmarks/results/ext3_warm_buffers.csv",
+        ["graph", "min_total_buffer", "warm_probes", "cold_probes"],
+        rows,
+    )
+    report("ext3_warm_buffers", table)

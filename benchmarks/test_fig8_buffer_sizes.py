@@ -65,6 +65,77 @@ def test_fig8_single_point_cost(benchmark):
     assert point.tpdf_measured == point.tpdf_paper
 
 
+def test_fig8_parametric_mcr_replaces_sweep(benchmark, report):
+    """One parametric evaluation replaces the per-binding MCR sweep
+    over the Fig. 8 grid.
+
+    Both Fig. 8 implementations (mode-restricted TPDF and the CSDF
+    baseline) get their throughput bound as a piecewise-symbolic
+    function over the full evaluation domain (beta = 10..100,
+    N in 512..1024); every grid point must match the concrete Howard
+    solver bit-for-bit, and the wall-clock of sweep vs. single build is
+    recorded alongside the buffer numbers."""
+    import time
+
+    from repro.apps.ofdm import build_ofdm_csdf, build_ofdm_tpdf
+    from repro.apps.ofdm.qam import scheme_for_m
+    from repro.csdf import max_cycle_ratio, parametric_mcr
+    from repro.tpdf import restrict_to_selection
+
+    graph = build_ofdm_tpdf()
+    port = "qam" if scheme_for_m(4) == "qam16" else "qpsk"
+    restricted = restrict_to_selection(graph, "DUP", ["in", port])
+    restricted = restrict_to_selection(restricted, "TRAN", [port, "out"])
+    tpdf_csdf = restricted.as_csdf()
+    csdf = build_ofdm_csdf()
+
+    grid = [{"beta": beta, "N": n, "L": 1, "M": 4}
+            for n in (512, 1024) for beta in BETAS]
+    cases = [
+        ("TPDF (restricted)", tpdf_csdf,
+         {"beta": (10, 100), "N": (512, 1024), "L": (1, 1), "M": (4, 4)}),
+        ("CSDF baseline", csdf,
+         {"beta": (10, 100), "N": (512, 1024), "L": (1, 1)}),
+    ]
+
+    def compare():
+        rows = []
+        for name, g, domain in cases:
+            start = time.perf_counter()
+            concrete = [max_cycle_ratio(g, bindings) for bindings in grid]
+            sweep_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            piecewise = parametric_mcr(g, domain)
+            symbolic = [piecewise.evaluate_float(b) for b in grid]
+            parametric_s = time.perf_counter() - start
+
+            assert symbolic == concrete, f"{name}: piecewise != Howard"
+            rows.append((name, piecewise, sweep_s, parametric_s))
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    table = ascii_table(
+        ["implementation", "bindings", "regions", "sweep (ms)",
+         "parametric (ms)"],
+        [
+            [name, len(grid), len(pw.regions),
+             f"{sweep_s * 1000:.1f}", f"{parametric_s * 1000:.1f}"]
+            for name, pw, sweep_s, parametric_s in rows
+        ],
+        title="Fig. 8 — throughput bound over the evaluation grid: "
+              "per-binding Howard sweep vs. one piecewise build "
+              "(bit-for-bit equal)",
+    )
+    write_csv(
+        "benchmarks/results/fig8_parametric_mcr.csv",
+        ["implementation", "bindings", "regions", "sweep_s", "parametric_s"],
+        [[name, len(grid), len(pw.regions), sweep_s, parametric_s]
+         for name, pw, sweep_s, parametric_s in rows],
+    )
+    report("fig8_parametric_mcr", table)
+
+
 def test_fig8_parallel_sweep_parity(benchmark, report):
     """The sweep through the parallel batch-analysis service: the two
     implementations (TPDF restricted / CSDF baseline) shard to

@@ -4,7 +4,11 @@ Commands operate on graphs serialized by :mod:`repro.io`:
 
 ``analyze``
     run the full static chain (consistency, rate safety, liveness,
-    boundedness) and print the verdicts and repetition vector;
+    boundedness) and print the verdicts and repetition vector; with
+    ``--symbolic``/``--param p=1..8`` additionally the **parametric
+    MCR**: the throughput bound as a piecewise-symbolic function over
+    the parameter box (one computation instead of a per-``--bind``
+    sweep);
 ``lint``
     print structural warnings (exit status 1 if any);
 ``dot``
@@ -85,6 +89,15 @@ def cmd_analyze(args) -> int:
         raise SystemExit(f"--jobs must be >= 0, got {args.jobs}")
     if args.chunk_size is not None and args.chunk_size < 1:
         raise SystemExit(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    domain = None
+    if args.symbolic or args.param:
+        from .csdf.parametric import ParamDomain
+        from .errors import ReproError
+
+        try:
+            domain = ParamDomain.parse(args.param)
+        except ReproError as exc:
+            raise SystemExit(str(exc))
     graphs = [_as_tpdf(_load(path)) for path in args.graphs]
     exit_code = 0
     reports = analyze_batch(
@@ -92,6 +105,7 @@ def cmd_analyze(args) -> int:
         jobs=args.jobs,
         chunk_size=args.chunk_size,
         iterations=args.iterations,
+        parametric_domain=domain,
     )
     for index, report in enumerate(reports):
         if index:
@@ -204,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(results are identical either way)")
     p_analyze.add_argument("--chunk-size", type=int, default=None, metavar="K",
                            help="graphs per worker task (default: ~4 tasks per worker)")
+    p_analyze.add_argument("--symbolic", action="store_true",
+                           help="compute the parametric (symbolic) MCR: the "
+                                "throughput bound as a piecewise function over "
+                                "the --param domain instead of one --bind point")
+    p_analyze.add_argument("--param", action="append", default=[],
+                           metavar="NAME=LO..HI",
+                           help="parameter range for --symbolic (repeatable, "
+                                "e.g. --param p=1..8; NAME=V pins a value); "
+                                "implies --symbolic")
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_lint = sub.add_parser("lint", help="structural diagnostics")

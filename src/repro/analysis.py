@@ -30,18 +30,45 @@ and are reassembled in input order with the caller's original graph
 objects re-attached — the parallel path is bit-identical to the
 sequential one (see ``tests/test_analysis_parallel.py``).
 
+With a ``parametric_domain`` the chain additionally runs the
+**parametric (symbolic) MCR** stage (:mod:`repro.csdf.parametric`):
+instead of the throughput bound at one ``bindings`` point, the report
+carries a :class:`ParametricReport` holding the bound as a
+piecewise-symbolic function over a whole parameter box — one
+computation replacing a per-binding sweep.
+
 Typical use::
-
-    from repro.analysis import analyze, analyze_batch
-
-    report = analyze(graph, bindings={"p": 2})
-    print(report.summary())
-
-    for report in analyze_batch([(g, {"p": 2}), (h, None)]):
-        ...
 
     # same results, 8 worker processes, ~25 items per task
     reports = analyze_batch(sweep_items, jobs=8, chunk_size=25)
+
+Examples
+--------
+>>> from repro.analysis import analyze
+>>> from repro.csdf import CSDFGraph
+>>> g = CSDFGraph("pair")
+>>> _ = g.add_actor("a", exec_time=2)
+>>> _ = g.add_actor("b", exec_time=1)
+>>> _ = g.add_channel("ab", "a", "b")
+>>> report = analyze(g)
+>>> report.bounded, report.repetition, report.mcr
+(True, {'a': 1, 'b': 1}, 2.0)
+
+Symbolic throughput over a parameter box instead of one binding:
+
+>>> from repro.symbolic import Param
+>>> p = Param("p")
+>>> h = CSDFGraph("fanout")
+>>> _ = h.add_actor("src", exec_time=3)
+>>> _ = h.add_actor("snk", exec_time=2)
+>>> _ = h.add_channel("c", "src", "snk", production=p, consumption=1)
+>>> report = analyze(h, parametric_domain={"p": (1, 8)})
+>>> report.parametric.candidates
+['ring:src = 3', 'ring:snk = 2*p']
+>>> report.parametric.regions
+['p=1..1 -> ring:src', 'p=2..8 -> ring:snk']
+>>> report.parametric.mcr_at({"p": 4})
+8.0
 """
 
 from __future__ import annotations
@@ -98,6 +125,8 @@ class GraphReport:
     buffers: dict[str, int] | None = None
     #: timed self-timed execution (period, throughput, peaks)
     timed: TimedResult | None = None
+    #: parametric (symbolic) MCR stage, when a domain was requested
+    parametric: "ParametricReport | None" = None
     #: stage -> reason for stages that did not run
     skipped: dict[str, str] = field(default_factory=dict)
     #: stage -> error message for stages that raised
@@ -161,6 +190,7 @@ class GraphReport:
             self.mcr,
             None if self.buffers is None else tuple(sorted(self.buffers.items())),
             timed,
+            None if self.parametric is None else self.parametric.fingerprint(),
             tuple(sorted(self.skipped.items())),
             tuple(sorted(self.errors.items())),
         )
@@ -195,12 +225,114 @@ class GraphReport:
             lines.append(f"throughput:                     {self.throughput:.4f} iterations/time")
         if self.buffers is not None:
             lines.append(f"min single-core buffer total:   {self.total_buffer}")
+        if self.parametric is not None:
+            lines.extend(self.parametric.summary().splitlines())
         for stage, reason in self.skipped.items():
             lines.append(f"({stage} skipped: {reason})")
         for stage, message in self.errors.items():
             if stage != "consistency":
                 lines.append(f"({stage} FAILED: {message})")
         return "\n".join(lines)
+
+
+@dataclass
+class ParametricReport:
+    """Outcome of the parametric (symbolic) MCR stage.
+
+    Produced by :func:`analyze_parametric` (or by :func:`analyze` when
+    a ``parametric_domain`` is passed) and carried on
+    :attr:`GraphReport.parametric`.  Holds no graph reference — the
+    payload is plain symbolic data, so it crosses the parallel batch
+    service's process boundary untouched (the underlying
+    :class:`~repro.csdf.parametric.PiecewiseMCR` is pickle-safe and is
+    memoized per graph version like every other analysis product).
+    """
+
+    name: str
+    #: the requested integer box, ``{"p": (1, 8)}``
+    domain: dict[str, tuple[int, int]]
+    #: the piecewise-symbolic MCR (None when the stage failed)
+    piecewise: object | None = None
+    #: stage -> error message for failures (unsupported class, ...)
+    errors: dict[str, str] = field(default_factory=dict)
+    #: wall-clock cost of this stage, seconds
+    elapsed: float = 0.0
+
+    @property
+    def candidates(self) -> list[str]:
+        """Rendered symbolic candidates (``"ring:B = 2*p"``)."""
+        if self.piecewise is None:
+            return []
+        return [str(c) for c in self.piecewise.candidates]
+
+    @property
+    def regions(self) -> list[str]:
+        """Rendered dominance regions (``"p=2..8 -> ring:B"``)."""
+        if self.piecewise is None:
+            return []
+        return [
+            ", ".join(f"{n}={lo}..{hi}" for n, lo, hi in region.bounds)
+            + f" -> {self.piecewise.candidates[region.candidate].label}"
+            for region in self.piecewise.regions
+        ]
+
+    def mcr_at(self, bindings: Mapping) -> float:
+        """Evaluate the piecewise MCR at one valuation (float view)."""
+        if self.piecewise is None:
+            raise ReproError(
+                f"parametric MCR of {self.name!r} unavailable: "
+                + "; ".join(self.errors.values())
+            )
+        return self.piecewise.evaluate_float(bindings)
+
+    def fingerprint(self) -> tuple:
+        """Deterministic value identity (parallel == sequential)."""
+        return (
+            self.name,
+            tuple(sorted((n, lo, hi) for n, (lo, hi) in self.domain.items())),
+            None if self.piecewise is None else self.piecewise.fingerprint(),
+            tuple(sorted(self.errors.items())),
+        )
+
+    def summary(self) -> str:
+        """Multi-line digest (folded into ``GraphReport.summary``)."""
+        if self.piecewise is not None:
+            return self.piecewise.describe()
+        reasons = "; ".join(
+            f"{stage}: {message}" for stage, message in self.errors.items()
+        )
+        return f"(parametric MCR FAILED: {reasons})"
+
+
+def analyze_parametric(
+    graph: AnyGraph,
+    domain,
+    *,
+    max_boxes: int = 20_000,
+) -> ParametricReport:
+    """Run the parametric (symbolic) MCR stage over one graph.
+
+    ``domain`` is anything :meth:`~repro.csdf.parametric.ParamDomain.of`
+    accepts — a :class:`~repro.csdf.parametric.ParamDomain`, a mapping
+    ``{"p": (1, 8)}``, or CLI-style specs ``["p=1..8"]`` — and must
+    bind every parameter of the graph.  Failures (graph outside the
+    supported class, unbound parameters, deadlocking core) are recorded
+    in :attr:`ParametricReport.errors` instead of raising, mirroring
+    how :func:`analyze` treats its stages.
+    """
+    from .csdf.parametric import ParamDomain, parametric_mcr
+
+    start = time.perf_counter()
+    dom = ParamDomain.of(domain)
+    report = ParametricReport(name=graph.name, domain=dom.ranges)
+    try:
+        report.piecewise = parametric_mcr(
+            _csdf_view(graph), dom, max_boxes=max_boxes
+        )
+    except _STAGE_ERRORS as exc:
+        report.errors["parametric_mcr"] = str(exc)
+    report.elapsed = time.perf_counter() - start
+    return report
 
 
 def _csdf_view(graph: AnyGraph) -> CSDFGraph:
@@ -220,6 +352,7 @@ def analyze(
     with_mcr: bool = True,
     with_buffers: bool = True,
     with_throughput: bool = True,
+    parametric_domain=None,
 ) -> GraphReport:
     """Run the full analysis chain over one graph.
 
@@ -229,6 +362,11 @@ def analyze(
     as skipped instead of raising.  All intermediates are memoized on
     the graph, so re-analyzing (or analyzing per-stage elsewhere) costs
     nothing extra.
+
+    With ``parametric_domain`` (a parameter box, see
+    :func:`analyze_parametric`) the report additionally carries the
+    **parametric MCR** — the throughput bound as a piecewise-symbolic
+    function over the whole domain, replacing a per-binding sweep.
     """
     start = time.perf_counter()
     report = GraphReport(graph=graph, name=graph.name, bindings=dict(bindings or {}))
@@ -310,6 +448,10 @@ def analyze(
     elif concrete and report.live is False:
         for stage in ("mcr", "buffers", "throughput"):
             report.skipped.setdefault(stage, "graph deadlocks")
+
+    # -- parametric (symbolic) MCR over a requested domain ---------------
+    if parametric_domain is not None:
+        report.parametric = analyze_parametric(graph, parametric_domain)
 
     report.elapsed = time.perf_counter() - start
     return report

@@ -107,7 +107,36 @@ def cached(graph: Any, key: Hashable, factory: Callable[[], Any]) -> Any:
 
 
 def bindings_key(bindings: Mapping | None) -> tuple:
-    """Hashable view of a parameter valuation (order-insensitive)."""
+    """Hashable view of a parameter valuation (order-insensitive).
+
+    >>> bindings_key({"q": 2, "p": 1})
+    (('p', 1), ('q', 2))
+    >>> bindings_key(None)
+    ()
+    """
     if not bindings:
         return ()
     return tuple(sorted((str(name), value) for name, value in bindings.items()))
+
+
+def domain_key(domain) -> tuple:
+    """Hashable view of a parameter *domain* (order-insensitive).
+
+    Accepts a :class:`repro.csdf.parametric.ParamDomain` (anything with
+    a ``key()`` method) or a plain mapping of ``name -> (lo, hi)``;
+    used to key piecewise-MCR results per graph version, the same way
+    :func:`bindings_key` keys concrete results.
+
+    >>> domain_key({"q": (2, 4), "p": (1, 8)})
+    (('p', 1, 8), ('q', 2, 4))
+    >>> domain_key(None)
+    ()
+    """
+    if domain is None:
+        return ()
+    key = getattr(domain, "key", None)
+    if callable(key):
+        return key()
+    return tuple(sorted(
+        (str(name), int(lo), int(hi)) for name, (lo, hi) in dict(domain).items()
+    ))

@@ -48,6 +48,14 @@ from .symbuf import (
     symbolic_total_bound,
 )
 from .mcr import max_cycle_ratio, throughput_bound
+from .parametric import (
+    MCRCandidate,
+    ParamDomain,
+    PiecewiseMCR,
+    Region,
+    parametric_mcr,
+    verify_piecewise,
+)
 
 __all__ = [
     "Actor",
@@ -85,4 +93,10 @@ __all__ = [
     "bound_is_tight_for_single_appearance",
     "max_cycle_ratio",
     "throughput_bound",
+    "ParamDomain",
+    "MCRCandidate",
+    "Region",
+    "PiecewiseMCR",
+    "parametric_mcr",
+    "verify_piecewise",
 ]

@@ -24,7 +24,25 @@ Two solvers are provided:
   the differential test suite (``tests/csdf/test_mcr_differential.py``).
 
 Tests cross-validate both against each other and against the converged
-``self_timed_execution`` period.
+``self_timed_execution`` period.  For the throughput bound over a whole
+*parameter domain* (instead of one binding at a time) see
+:mod:`repro.csdf.parametric`, which reuses this module's Howard core
+via :func:`howard_critical_cycle` to certify its cyclic-core
+candidates.
+
+Examples
+--------
+>>> from repro.csdf import CSDFGraph
+>>> from repro.csdf.mcr import max_cycle_ratio, throughput_bound
+>>> g = CSDFGraph("loop")
+>>> _ = g.add_actor("a", exec_time=2)
+>>> _ = g.add_actor("b", exec_time=1)
+>>> _ = g.add_channel("ab", "a", "b")
+>>> _ = g.add_channel("ba", "b", "a", initial_tokens=2)
+>>> max_cycle_ratio(g)  # cycle (2+1)/2 vs. the serialization rings 2, 1
+2.0
+>>> throughput_bound(g)
+0.5
 """
 
 from __future__ import annotations
@@ -140,13 +158,67 @@ def _check_deadlock_free(n_nodes: int, out_edges) -> None:
             )
 
 
-def _howard(nodes: list[str], edges) -> float:
+def howard_critical_cycle(nodes: list[str], edges):
+    """Howard's iteration plus the critical cycle that attains the MCR.
+
+    Returns ``(mcr, cycle_edges)`` with ``cycle_edges`` the list of
+    ``(src, dst, weight, distance)`` edges of one cycle whose ratio
+    equals the MCR (empty for an acyclic/ratio-0 graph), or ``None``
+    when the iteration did not converge.  Used by
+    :mod:`repro.csdf.parametric` to turn the float verdict into an
+    exact rational certificate (the cycle's weights and distances are
+    re-summed exactly).
+    """
+    solved = _howard_solve(nodes, edges)
+    if solved is None:
+        return None
+    ratio, value, policy, live_nodes, idx = solved
+    del value
+    if not live_nodes:
+        return 0.0, []
+    best = max(live_nodes, key=lambda u: ratio[u])
+    # Walk the (converged) policy from the argmax node: the walk enters
+    # a policy cycle whose ratio is exactly ratio[best] — the MCR.
+    seen: dict[int, int] = {}
+    path: list[int] = []
+    u = best
+    while u not in seen:
+        seen[u] = len(path)
+        path.append(u)
+        u = policy[u][0]
+    cycle = path[seen[u]:]
+    names = {i: name for name, i in idx.items()}
+    cycle_edges = []
+    for x in cycle:
+        succ, w, t = policy[x]
+        cycle_edges.append((names[x], names[succ], w, t))
+    return max(ratio[u] for u in live_nodes), cycle_edges
+
+
+def _howard(nodes: list[str], edges) -> float | None:
     """Maximum cycle ratio by Howard's policy iteration.
 
     Works on any weighted event graph whose cycles all carry tokens
     (callers run :func:`_check_deadlock_free` first).  Nodes that
     cannot reach a cycle are trimmed; if nothing remains the graph is
-    acyclic and the ratio is 0.
+    acyclic and the ratio is 0.  Returns ``None`` on non-convergence
+    (caller falls back to the binary search).
+    """
+    solved = _howard_solve(nodes, edges)
+    if solved is None:
+        return None
+    ratio, _value, _policy, live_nodes, _idx = solved
+    if not live_nodes:
+        return 0.0
+    return max(ratio[u] for u in live_nodes)
+
+
+def _howard_solve(nodes: list[str], edges):
+    """The shared Howard iteration.
+
+    Returns ``(ratio, value, policy, live_nodes, idx)`` after
+    convergence (``live_nodes`` empty for acyclic graphs) or ``None``
+    when the iteration hit its sweep budget without stabilizing.
     """
     n = len(nodes)
     idx = {name: i for i, name in enumerate(nodes)}
@@ -170,7 +242,7 @@ def _howard(nodes: list[str], edges) -> float:
                 changed = True
     live_nodes = [u for u in range(n) if alive[u]]
     if not live_nodes:
-        return 0.0
+        return [0.0] * n, [0.0] * n, [None] * n, [], idx
     succs: list[list[tuple[int, float, float]]] = [
         [(v, w, t) for v, w, t in out_edges[u] if alive[v]] if alive[u] else []
         for u in range(n)
@@ -258,7 +330,7 @@ def _howard(nodes: list[str], edges) -> float:
                         improved = True
             policy[u] = best
         if not improved:
-            return max(ratio[u] for u in live_nodes)
+            return ratio, value, policy, live_nodes, idx
     return None  # signal non-convergence; caller falls back
 
 

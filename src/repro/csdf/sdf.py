@@ -46,6 +46,47 @@ def firing_name(actor: str, firing: int) -> str:
     return f"{actor}#{firing}"
 
 
+def channel_firing_flows(channel, q_src: int, q_dst: int,
+                         bindings: Mapping | None = None):
+    """Exact token flows of one channel between individual firings.
+
+    Yields ``(k, m, delta, count)``: producer firing ``k`` (1-based)
+    hands ``count`` tokens to consumer firing ``m`` of ``delta``
+    iterations later — the interval-overlap construction documented in
+    the module header, parameterized by the repetition counts so both
+    the full HSDF expansion and the parametric engine's cyclic-core
+    builder (:mod:`repro.csdf.parametric`, which passes the *global*
+    counts restricted to the core) share one implementation.
+    """
+    production = channel.production.bind(bindings or {})
+    consumption = channel.consumption.bind(bindings or {})
+    d = channel.initial_tokens
+    produced_cum = [int(production.cumulative(k).const_value())
+                    for k in range(q_src + 1)]
+    consumed_cum = [int(consumption.cumulative(m).const_value())
+                    for m in range(q_dst + 1)]
+    total = produced_cum[-1]
+    if total != consumed_cum[-1]:
+        raise GraphConstructionError(
+            f"channel {channel.name!r} moves {produced_cum[-1]} vs "
+            f"{consumed_cum[-1]} tokens per iteration: not consistent"
+        )
+    if total == 0:
+        return
+    max_delta = (d + total) // total + 1
+    for k in range(1, q_src + 1):
+        p_lo, p_hi = produced_cum[k - 1], produced_cum[k]
+        if p_lo == p_hi:
+            continue
+        for delta in range(0, max_delta + 1):
+            base = delta * total - d
+            for m in range(1, q_dst + 1):
+                c_lo, c_hi = base + consumed_cum[m - 1], base + consumed_cum[m]
+                count = min(p_hi, c_hi) - max(p_lo, c_lo)
+                if count > 0:
+                    yield k, m, delta, count
+
+
 def expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None = None) -> CSDFGraph:
     """Expand a concrete CSDF graph into homogeneous SDF.
 
@@ -94,42 +135,18 @@ def _expand_to_hsdf(graph: CSDFGraph, bindings: Mapping | None) -> CSDFGraph:
                 )
 
     for channel in graph.channels.values():
-        production = channel.production.bind(bindings or {})
-        consumption = channel.consumption.bind(bindings or {})
-        d = channel.initial_tokens
-        q_src, q_dst = q[channel.src], q[channel.dst]
-        produced_cum = [int(production.cumulative(k).const_value())
-                        for k in range(q_src + 1)]
-        consumed_cum = [int(consumption.cumulative(m).const_value())
-                        for m in range(q_dst + 1)]
-        total = produced_cum[-1]
-        if total != consumed_cum[-1]:
-            raise GraphConstructionError(
-                f"channel {channel.name!r} moves {produced_cum[-1]} vs "
-                f"{consumed_cum[-1]} tokens per iteration: not consistent"
+        flows = channel_firing_flows(
+            channel, q[channel.src], q[channel.dst], bindings
+        )
+        for k, m, delta, count in flows:
+            expanded.add_channel(
+                f"{channel.name}_{k}_{m}_d{delta}",
+                firing_name(channel.src, k),
+                firing_name(channel.dst, m),
+                production=count,
+                consumption=count,
+                initial_tokens=delta * count,
             )
-        if total == 0:
-            continue
-        max_delta = (d + total) // total + 1
-        for k in range(1, q_src + 1):
-            p_lo, p_hi = produced_cum[k - 1], produced_cum[k]
-            if p_lo == p_hi:
-                continue
-            for delta in range(0, max_delta + 1):
-                base = delta * total - d
-                for m in range(1, q_dst + 1):
-                    c_lo, c_hi = base + consumed_cum[m - 1], base + consumed_cum[m]
-                    count = min(p_hi, c_hi) - max(p_lo, c_lo)
-                    if count <= 0:
-                        continue
-                    expanded.add_channel(
-                        f"{channel.name}_{k}_{m}_d{delta}",
-                        firing_name(channel.src, k),
-                        firing_name(channel.dst, m),
-                        production=count,
-                        consumption=count,
-                        initial_tokens=delta * count,
-                    )
     return expanded.freeze()
 
 

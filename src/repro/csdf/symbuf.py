@@ -15,6 +15,29 @@ exactly.
 
 The result is a polynomial in the graph parameters, directly comparable
 to the paper's formulas (the EXT4 bench asserts polynomial equality).
+
+Beyond reporting, the bounds feed two consumers: the ``buffers`` CLI
+subcommand (symbolic mode), and the **warm start** of the per-channel
+binary search in
+:func:`repro.csdf.throughput.min_buffers_for_full_throughput` — the
+bound evaluated at a binding caps the search range far below the
+unconstrained execution peak on imbalanced pipelines.
+
+Examples
+--------
+>>> from repro.csdf import CSDFGraph
+>>> from repro.csdf.symbuf import symbolic_channel_bounds, symbolic_total_bound
+>>> from repro.symbolic import Param
+>>> p = Param("p")
+>>> g = CSDFGraph("pair")
+>>> _ = g.add_actor("a")
+>>> _ = g.add_actor("b")
+>>> _ = g.add_channel("ab", "a", "b", production=p, consumption=1,
+...                   initial_tokens=2)
+>>> str(symbolic_channel_bounds(g)["ab"])
+'p + 2'
+>>> str(symbolic_total_bound(g))
+'p + 2'
 """
 
 from __future__ import annotations

@@ -38,6 +38,15 @@ class DeadlockError(AnalysisError):
         self.partial_schedule = partial_schedule or []
 
 
+class ParametricMCRError(AnalysisError):
+    """The parametric MCR engine cannot cover the requested graph/domain.
+
+    Raised when a graph falls outside the supported class (a directed
+    cycle whose structure depends on the parameters), when the domain
+    does not bind every graph parameter, or when a binding handed to a
+    piecewise result lies outside the domain it was computed for."""
+
+
 class RateSafetyError(AnalysisError):
     """A TPDF graph violates the rate-safety criterion (Def. 5)."""
 

@@ -39,6 +39,39 @@ def fig1_graph() -> CSDFGraph:
     return g
 
 
+def parametric_radio_graph() -> CSDFGraph:
+    """A two-parameter software-radio front-end (parametric MCR demo).
+
+    ``b`` is the demodulator block size, ``c`` the number of concurrent
+    channels.  The antenna emits ``b*c`` samples per activation, the
+    FIR stage filters one channel's block per firing, the demodulator
+    processes one symbol at a time, and an AGC loop (self-loop state
+    token) regulates the front-end once per activation:
+
+    * ``q = [ANT: 1, AGC: 1, FIR: c, DEM: b*c, SNK: 1]``
+    * MCR(b, c) = max(6, 3*c, b*c) — the AGC loop bounds small
+      configurations, the FIR ring medium ones, and the demodulator's
+      serialized symbol work dominates for ``b >= 3``.
+
+    Used by ``examples/parametric_throughput.py``, the parametric-MCR
+    differential suite and the EXT5 benchmark.
+    """
+    b, c = Param("b"), Param("c")
+    g = CSDFGraph("radio2p")
+    g.add_actor("ANT", exec_time=4)
+    g.add_actor("AGC", exec_time=6)
+    g.add_actor("FIR", exec_time=3)
+    g.add_actor("DEM", exec_time=1)
+    g.add_actor("SNK", exec_time=2)
+    g.add_channel("rf", "ANT", "FIR", production=b * c, consumption=b)
+    g.add_channel("agc_in", "ANT", "AGC", production=1, consumption=1)
+    g.add_channel("agc_state", "AGC", "AGC", production=1, consumption=1,
+                  initial_tokens=1)
+    g.add_channel("sym", "FIR", "DEM", production=b, consumption=1)
+    g.add_channel("bits", "DEM", "SNK", production=1, consumption=b * c)
+    return g
+
+
 def fig3_graph() -> TPDFGraph:
     """Fig. 3 (left): B select-duplicates between branches D and E.
 

@@ -18,6 +18,11 @@ which belong on a process-pool wire.  The payload strips all of that
 and the worker-side decode rebuilds a fresh graph whose *static
 analyses* (consistency, rate safety, liveness, MCR, buffers,
 self-timed throughput) are bit-identical to the original's.
+
+Parametric-MCR artefacts have their own JSON view
+(:func:`domain_to_dict`, :func:`piecewise_to_dict` and inverses):
+piecewise results are persisted by the EXT5 benchmark and round-trip
+value-identically (fingerprints match).
 """
 
 from __future__ import annotations
@@ -336,3 +341,80 @@ def graph_from_payload(payload: Mapping) -> AnyGraph:
     if model == "csdf":
         return csdf_from_dict(payload)
     raise GraphConstructionError(f"unknown payload model {model!r}")
+
+
+# -- parametric MCR artefacts --------------------------------------------
+
+def domain_to_dict(domain) -> dict:
+    """JSON-ready view of a :class:`~repro.csdf.parametric.ParamDomain`:
+    ``{"p": [1, 8]}`` (ranges are inclusive)."""
+    return {name: [lo, hi] for name, (lo, hi) in domain.ranges.items()}
+
+
+def domain_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.csdf.parametric.ParamDomain` from
+    :func:`domain_to_dict` output."""
+    from .csdf.parametric import ParamDomain
+
+    return ParamDomain({name: (lo, hi) for name, (lo, hi) in data.items()})
+
+
+def piecewise_to_dict(piecewise) -> dict:
+    """JSON-ready view of a :class:`~repro.csdf.parametric.PiecewiseMCR`.
+
+    Symbolic ratios serialize as rendered numerator/denominator
+    polynomial strings (the :func:`parse_poly` fragment), regions as
+    explicit inclusive boxes with a candidate index — the shape the
+    benchmark artefacts record and :func:`piecewise_from_dict` restores.
+    """
+    return {
+        "graph": piecewise.graph_name,
+        "domain": domain_to_dict(piecewise.domain),
+        "q": {name: str(poly) for name, poly in piecewise._q.items()},
+        "candidates": [
+            {
+                "label": c.label,
+                "kind": c.kind,
+                "num": str(c.ratio.num),
+                "den": str(c.ratio.den),
+            }
+            for c in piecewise.candidates
+        ],
+        "regions": [
+            {
+                "bounds": {name: [lo, hi] for name, lo, hi in r.bounds},
+                "candidate": r.candidate,
+            }
+            for r in piecewise.regions
+        ],
+    }
+
+
+def piecewise_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.csdf.parametric.PiecewiseMCR` from
+    :func:`piecewise_to_dict` output (value-identical: fingerprints of
+    the round-tripped object match the original's)."""
+    from .csdf.parametric import MCRCandidate, PiecewiseMCR, Region
+    from .symbolic import Rat
+
+    candidates = [
+        MCRCandidate(
+            entry["label"], entry["kind"],
+            Rat(parse_poly(entry["num"]), parse_poly(entry["den"])),
+        )
+        for entry in data["candidates"]
+    ]
+    regions = [
+        Region(
+            tuple((name, lo, hi) for name, (lo, hi) in entry["bounds"].items()),
+            entry["candidate"],
+        )
+        for entry in data["regions"]
+    ]
+    return PiecewiseMCR(
+        data["graph"],
+        domain_from_dict(data["domain"]),
+        candidates,
+        regions,
+        {name: parse_poly(text) for name, text in data["q"].items()},
+    )

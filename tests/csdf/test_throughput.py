@@ -112,3 +112,62 @@ class TestErrors:
         g.add_channel("e", "a", "b", Poly.var("p"), 1)
         result = self_timed_execution(g, bindings={"p": 3})
         assert result.firings == 4
+
+
+class TestWarmStartedBufferSearch:
+    """The symbolic-bound warm start of ``min_buffers_for_full_throughput``
+    must be a pure accelerator: identical capacities to the cold
+    search, fewer probe executions where the bound bites."""
+
+    def graphs(self):
+        from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+        from repro.tpdf import fig2_graph
+
+        imbalanced = CSDFGraph("imbalanced")
+        imbalanced.add_actor("src", exec_time=1)
+        imbalanced.add_actor("mid", exec_time=2)
+        imbalanced.add_actor("snk", exec_time=16)
+        imbalanced.add_channel("a", "src", "mid", production=8, consumption=8)
+        imbalanced.add_channel("b", "mid", "snk", production=8, consumption=8)
+        return [
+            (fig2_graph().as_csdf(), {"p": 4}),
+            (build_ofdm_tpdf().as_csdf(), bindings_for(2, 16, 4, 4)),
+            (imbalanced, None),
+        ]
+
+    def test_warm_equals_cold(self):
+        from repro.csdf import min_buffers_for_full_throughput
+
+        for graph, bindings in self.graphs():
+            warm = min_buffers_for_full_throughput(
+                graph, bindings, iterations=5)
+            cold = min_buffers_for_full_throughput(
+                graph, bindings, iterations=5, warm_start=False)
+            assert warm == cold, graph.name
+
+    def test_warm_start_saves_probes_on_imbalanced_pipeline(self):
+        """A fast producer runs iterations ahead, so the unconstrained
+        peak (the cold search ceiling) far exceeds one iteration's
+        traffic (the symbolic bound)."""
+        from repro.csdf import min_buffers_for_full_throughput
+
+        graph, bindings = self.graphs()[-1]
+        warm_stats, cold_stats = {}, {}
+        warm = min_buffers_for_full_throughput(
+            graph, bindings, iterations=8, stats=warm_stats)
+        cold = min_buffers_for_full_throughput(
+            graph, bindings, iterations=8, warm_start=False, stats=cold_stats)
+        assert warm == cold
+        assert warm_stats["probes"] < cold_stats["probes"]
+        assert warm_stats["probes_saved"] > 0
+
+    def test_result_still_sustains_full_throughput(self):
+        from repro.csdf import min_buffers_for_full_throughput
+
+        graph, bindings = self.graphs()[-1]
+        caps = min_buffers_for_full_throughput(graph, bindings, iterations=8)
+        unconstrained = self_timed_execution(graph, bindings, iterations=8)
+        constrained = self_timed_execution(
+            graph, bindings, iterations=8, capacities=caps)
+        assert constrained.iteration_period == pytest.approx(
+            unconstrained.iteration_period, abs=1e-9)

@@ -35,6 +35,29 @@ class TestAnalyze:
         out = capsys.readouterr().out
         assert "q[a1] = 3" in out
 
+    def test_symbolic_parametric_mcr(self, fig2_json, capsys):
+        assert main(["analyze", fig2_json, "--symbolic",
+                     "--param", "p=1..8"]) == 0
+        out = capsys.readouterr().out
+        assert "parametric MCR" in out
+        assert "ring:B = 2*p" in out
+        assert "p=1..8 -> ring:B" in out
+
+    def test_param_implies_symbolic(self, fig2_json, capsys):
+        assert main(["analyze", fig2_json, "--param", "p=2..4"]) == 0
+        assert "parametric MCR" in capsys.readouterr().out
+
+    def test_symbolic_missing_range_reports_error(self, fig2_json, capsys):
+        # p never bound: the stage records the failure instead of crashing.
+        assert main(["analyze", fig2_json, "--symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "parametric MCR FAILED" in out
+        assert "does not bind" in out
+
+    def test_bad_param_spec_exits(self, fig2_json):
+        with pytest.raises(SystemExit):
+            main(["analyze", fig2_json, "--param", "p=low..high"])
+
     def test_unbounded_graph_exits_one(self, tmp_path, capsys):
         g = TPDFGraph("bad")
         a = g.add_kernel("a")
