@@ -89,7 +89,15 @@ def test_ext3_warm_started_buffer_search(benchmark, report):
     """EXT3c — the symbolic-bound warm start of the per-channel binary
     search: identical capacities, fewer probe executions where the
     bound undercuts the unconstrained peak (imbalanced pipelines whose
-    fast producers run iterations ahead)."""
+    fast producers run iterations ahead).
+
+    The table also records *failing* warm probes: on the OFDM graphs
+    the one-iteration symbolic bound undercuts the pipelining slack
+    some channels need, so the probe at the bound fails — since the
+    warm-start narrowing fix, each failure raises the search floor to
+    ``bound + 1`` (monotone capacity/period curve) instead of being
+    discarded, and the saved binary-search steps show up in the
+    ``probes saved`` column."""
     from repro.csdf import CSDFGraph
 
     imbalanced = CSDFGraph("imbalanced")
@@ -101,6 +109,8 @@ def test_ext3_warm_started_buffer_search(benchmark, report):
 
     cases = [
         ("Fig. 2 (p=4)", fig2_graph().as_csdf(), {"p": 4}, 5),
+        ("OFDM (beta=2, N=16)", build_ofdm_tpdf().as_csdf(),
+         bindings_for(2, 16, 4, 4), 5),
         ("OFDM (beta=2, N=32)", build_ofdm_tpdf().as_csdf(),
          bindings_for(2, 32, 4, 4), 5),
         ("imbalanced pipeline", imbalanced, None, 8),
@@ -117,22 +127,31 @@ def test_ext3_warm_started_buffer_search(benchmark, report):
                 stats=cold_stats)
             assert warm == cold, f"{name}: warm-started search diverged"
             rows.append((name, sum(warm.values()),
-                         warm_stats["probes"], cold_stats["probes"]))
+                         warm_stats["probes"], cold_stats["probes"],
+                         warm_stats["warm_failed"],
+                         warm_stats["probes_saved"]))
+        # The failed-probe narrowing must be exercised by the corpus
+        # (the OFDM rows) and must never make the warm search probe
+        # more than the cold one.
+        assert any(failed > 0 for *_, failed, _saved in rows)
+        assert all(wp <= cp for _, _, wp, cp, _, _ in rows)
         return rows
 
     rows = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
     table = ascii_table(
-        ["graph", "min total buffer", "warm probes", "cold probes"],
-        [[name, total, warm_probes, cold_probes]
-         for name, total, warm_probes, cold_probes in rows],
+        ["graph", "min total buffer", "warm probes", "cold probes",
+         "failed warm probes (floor-narrowed)", "est. steps narrowed"],
+        [list(row) for row in rows],
         title="EXT3c — symbolic-bound warm start of the buffer search "
-              "(capacities identical to the cold search)",
+              "(capacities identical to the cold search; measured "
+              "saving = cold - warm probes)",
     )
     from repro.util import write_csv
 
     write_csv(
         "benchmarks/results/ext3_warm_buffers.csv",
-        ["graph", "min_total_buffer", "warm_probes", "cold_probes"],
+        ["graph", "min_total_buffer", "warm_probes", "cold_probes",
+         "warm_failed", "est_steps_narrowed"],
         rows,
     )
     report("ext3_warm_buffers", table)

@@ -180,19 +180,43 @@ def cmd_buffers(args) -> int:
 def cmd_throughput(args) -> int:
     from .csdf.graph import CSDFGraph
     from .csdf.mcr import max_cycle_ratio
-    from .csdf.throughput import self_timed_execution
+    from .csdf.throughput import (
+        self_timed_execution,
+        self_timed_execution_reference,
+    )
 
     graph = _load(args.graph)
     csdf = graph if isinstance(graph, CSDFGraph) else graph.as_csdf()
     bindings = _parse_bindings(args.bind)
     mcr = max_cycle_ratio(csdf, bindings or None)
+    stats: dict = {}
     result = self_timed_execution(
-        csdf, bindings or None, iterations=args.iterations
+        csdf, bindings or None, iterations=args.iterations, stats=stats
     )
     print(f"max cycle ratio (period bound): {mcr:.4f}")
     print(f"self-timed steady period:       {result.iteration_period:.4f}")
     print(f"throughput:                     {result.throughput:.4f} iterations/time")
     print(f"makespan ({args.iterations} iterations):      {result.makespan:.4f}")
+    if args.reference_loop:
+        # Cross-check the dependency-driven event core against the
+        # retained full-scan reference loop (the differential oracle).
+        ref_stats: dict = {}
+        reference = self_timed_execution_reference(
+            csdf, bindings or None, iterations=args.iterations,
+            stats=ref_stats,
+        )
+        same = (
+            reference.makespan == result.makespan
+            and reference.iteration_ends == result.iteration_ends
+            and reference.peaks == result.peaks
+            and reference.firings == result.firings
+        )
+        print(f"reference loop parity:          "
+              f"{'identical' if same else 'DIVERGED'}")
+        print(f"ready-check actor visits:       {stats['ready_visits']} "
+              f"(reference: {ref_stats['ready_visits']})")
+        if not same:
+            return 1
     return 0
 
 
@@ -254,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_thr = sub.add_parser("throughput", help="MCR + self-timed period")
     p_thr.add_argument("graph")
     p_thr.add_argument("--iterations", type=int, default=5)
+    p_thr.add_argument("--reference-loop", action="store_true",
+                       help="cross-check the event core against the "
+                            "legacy full-scan loop and report "
+                            "ready-check visit counts")
     p_thr.add_argument("--bind", action="append", default=[],
                        metavar="NAME=VALUE")
     p_thr.set_defaults(func=cmd_throughput)

@@ -10,7 +10,10 @@ with every intermediate shared through the per-graph caches of
 * **MCR** — the throughput bound, by Howard's policy iteration;
 * **buffer sizing** — peaks of a buffer-minimizing iteration;
 * **self-timed throughput** — steady-state period of the timed
-  event-driven execution.
+  event-driven execution, on the dependency-driven event core of
+  :mod:`repro.csdf.eventloop` (only actors adjacent to changed
+  channels are re-examined per event; differentially pinned against
+  the retained full-scan reference loop).
 
 The point of the batch shape: a sweep that used to re-derive the
 repetition vector and HSDF expansion for every query (one per beta

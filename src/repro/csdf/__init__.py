@@ -33,12 +33,14 @@ from .buffers import (
     schedule_buffer_sizes,
     total_buffer_size,
 )
+from .eventloop import EventQueue, ReadyWorklist
 from .throughput import (
     TimedResult,
     buffer_throughput_tradeoff,
     iteration_latency,
     min_buffers_for_full_throughput,
     self_timed_execution,
+    self_timed_execution_reference,
     throughput_vs_cores,
 )
 from .sdf import expand_to_hsdf, hsdf_is_faithful, is_sdf
@@ -83,6 +85,9 @@ __all__ = [
     "buffer_throughput_tradeoff",
     "min_buffers_for_full_throughput",
     "self_timed_execution",
+    "self_timed_execution_reference",
+    "EventQueue",
+    "ReadyWorklist",
     "iteration_latency",
     "throughput_vs_cores",
     "expand_to_hsdf",

@@ -25,6 +25,16 @@ Semantics implemented (with the paper reference):
   have a processing unit available before the others");
 * clock actors tick autonomously every ``period`` (watchdog timers).
 
+The ready check is **dependency-driven** (the event core of
+:mod:`repro.csdf.eventloop`): after each event only the nodes whose
+readiness may have changed — consumers of channels that received
+tokens, the completed node itself, and core-budget waiters when a
+worker core frees — are re-examined, in the exact scan order of the
+legacy full rescan.  The legacy loop is retained under
+``ready_core="reference"`` as the differential oracle
+(``tests/sim/test_eventloop_differential.py`` pins trace equality bit
+for bit).
+
 Data values are real Python objects; attach a ``function`` to a kernel
 to compute outputs from inputs (the OFDM and edge-detection case
 studies run their actual numpy DSP through this hook).  Execution
@@ -34,10 +44,10 @@ from ``kernel.meta["time_fn"]``.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Any, Mapping
 
+from ..csdf.eventloop import EventQueue, ReadyWorklist
 from ..errors import SimulationError
 from ..tpdf.builtins import ClockActor
 from ..tpdf.graph import TPDFChannel, TPDFGraph
@@ -47,12 +57,15 @@ from .trace import DiscardRecord, FiringRecord, Trace
 
 
 class _ChannelState:
-    __slots__ = ("channel", "queue", "discard_debt")
+    __slots__ = ("channel", "queue", "discard_debt", "dst_pos")
 
     def __init__(self, channel: TPDFChannel):
         self.channel = channel
         self.queue: deque = deque(None for _ in range(channel.initial_tokens))
         self.discard_debt = 0
+        #: scan position of the consumer (set by the Simulator; the
+        #: wakeup seed target when tokens arrive on this channel)
+        self.dst_pos = -1
 
 
 class Simulator:
@@ -73,6 +86,11 @@ class Simulator:
     control_priority:
         Start ready control actors before ready kernels (the paper's
         rule; disabled by the scheduler ablation).
+    ready_core:
+        ``"wakeup"`` (default) uses the dependency-driven worklist;
+        ``"reference"`` keeps the legacy full rescan of every node
+        after every event — the differential oracle.  Both produce
+        bit-identical traces.
     """
 
     def __init__(
@@ -82,12 +100,22 @@ class Simulator:
         cores: int | None = None,
         record_values: bool = False,
         control_priority: bool = True,
+        ready_core: str = "wakeup",
     ):
+        if ready_core not in ("wakeup", "reference"):
+            raise ValueError(
+                f"ready_core must be 'wakeup' or 'reference', got {ready_core!r}"
+            )
         self.graph = graph
         self.bindings = dict(bindings or {})
         self.cores = cores
         self.record_values = record_values
         self.control_priority = control_priority
+        self.ready_core = ready_core
+        #: ready-check cost counters: ``visits`` = nodes examined by
+        #: the ready scan (the number the ext6 bench compares across
+        #: cores), ``events`` = completed events.
+        self.ready_stats = {"visits": 0, "events": 0}
         self.trace = Trace()
         self.now = 0.0
 
@@ -115,12 +143,24 @@ class Simulator:
         self._mode_rate_cache: dict[tuple, tuple[int, ...]] = {}
         self._busy: set[str] = set()
         self._limits: dict[str, int] = {}
-        self._events: list = []
-        self._seq = 0
+        self._events = EventQueue()
         if control_priority:
             self._order = list(graph.controls) + list(graph.kernels)
         else:
             self._order = list(graph.kernels) + list(graph.controls)
+
+        # Dependency-driven wakeup state: scan positions, node objects
+        # by position (the hot path indexes instead of graph.node()),
+        # the pending-ready worklist, and the core-budget wait set.
+        self._pos = {name: i for i, name in enumerate(self._order)}
+        self._nodes = [graph.node(name) for name in self._order]
+        self._wakeup = ready_core == "wakeup"
+        self._worklist = ReadyWorklist(len(self._order))
+        self._workers = 0
+        self._core_blocked: list[int] = []
+        self._core_blocked_flag = bytearray(len(self._order))
+        for state in self._channels.values():
+            state.dst_pos = self._pos[state.channel.dst]
 
     # -- small helpers ------------------------------------------------------
     def _rate(self, node: str, port: str, firing: int) -> int:
@@ -144,8 +184,7 @@ class Simulator:
         return self._rate(kernel.name, port, firing)
 
     def _push_event(self, time: float, kind: str, payload) -> None:
-        heapq.heappush(self._events, (time, self._seq, kind, payload))
-        self._seq += 1
+        self._events.push(time, (kind, payload))
 
     def tokens_in(self, channel: str) -> int:
         return len(self._channels[channel].queue)
@@ -163,6 +202,10 @@ class Simulator:
         occupancy = len(state.queue)
         if occupancy > self.trace.peaks[state.channel.name]:
             self.trace.peaks[state.channel.name] = occupancy
+        if self._wakeup:
+            # Wakeup invariant: tokens arrived, so the consumer's
+            # readiness may have changed.
+            self._worklist.seed(state.dst_pos)
 
     def _flush(self, state: _ChannelState, count: int, node: str, port: str,
                late_debt: bool = True) -> None:
@@ -222,7 +265,19 @@ class Simulator:
         token: ControlToken | None = None
         needs_control = False
         if control_state is not None:
-            needs_control = self._rate(name, kernel.control_port().name, n) == 1
+            control_rate = self._rate(name, kernel.control_port().name, n)
+            if control_rate > 1:
+                # A multi-token control phase has no defined semantics
+                # (which of the tokens selects the mode?); refuse
+                # loudly instead of silently firing in WAIT_ALL with
+                # the tokens left behind.
+                raise SimulationError(
+                    f"kernel {name!r} control port "
+                    f"{kernel.control_port().name!r} has rate "
+                    f"{control_rate} at firing {n}; only rates 0 "
+                    f"(inactive phase) and 1 are supported"
+                )
+            needs_control = control_rate == 1
             if needs_control:
                 if not control_state.queue:
                     return None
@@ -283,10 +338,21 @@ class Simulator:
         return limit is not None and self._fired[name] >= limit
 
     def _start_ready(self) -> None:
+        if self._wakeup:
+            self._start_ready_wakeup()
+        else:
+            self._start_ready_reference()
+
+    def _start_ready_reference(self) -> None:
+        """Legacy ready check: full rescan of every node after every
+        event.  Kept as the differential oracle for the wakeup core —
+        its scan order is the tie-break contract both must honour."""
+        visits = 0
         progress = True
         while progress:
             progress = False
             for name in self._order:
+                visits += 1
                 if name in self._busy or self._limit_reached(name):
                     continue
                 node = self.graph.node(name)
@@ -307,6 +373,47 @@ class Simulator:
                     if plan is not None:
                         self._begin_kernel(node, *plan)
                         progress = True
+        self.ready_stats["visits"] += visits
+
+    def _start_ready_wakeup(self) -> None:
+        """Dependency-driven ready check: examine only the worklist
+        candidates (nodes adjacent to changed channels, completed
+        nodes, and core waiters), in legacy scan order."""
+        worklist = self._worklist
+        nodes = self._nodes
+        order = self._order
+        busy = self._busy
+        visits = 0
+        while worklist.begin_scan():
+            progress = False
+            pos = worklist.pop()
+            while pos >= 0:
+                visits += 1
+                name = order[pos]
+                if name in busy or self._limit_reached(name):
+                    pos = worklist.pop()
+                    continue
+                node = nodes[pos]
+                if isinstance(node, ControlActor):
+                    if self._control_ready(node):
+                        self._begin_control(node)
+                        progress = True
+                elif self.cores is not None and self._workers >= self.cores:
+                    # Waiting for a worker core, not for tokens: park
+                    # until a kernel completion frees one.
+                    if not self._core_blocked_flag[pos]:
+                        self._core_blocked_flag[pos] = 1
+                        self._core_blocked.append(pos)
+                else:
+                    plan = self._kernel_plan(node)
+                    if plan is not None:
+                        self._begin_kernel(node, *plan)
+                        progress = True
+                pos = worklist.pop()
+            worklist.end_scan()
+            if not progress:
+                break
+        self.ready_stats["visits"] += visits
 
     def _begin_control(self, actor: ControlActor) -> None:
         name = actor.name
@@ -351,6 +458,7 @@ class Simulator:
             float(time_fn(n, consumed)) if callable(time_fn) else kernel.exec_time(n)
         )
         self._busy.add(name)
+        self._workers += 1
         self._push_event(
             self.now + duration, "kernel_done",
             (kernel, n, self.now, token, consumed),
@@ -369,6 +477,8 @@ class Simulator:
             self._deposit(state, values)
         self._busy.discard(name)
         self._fired[name] = n + 1
+        if self._wakeup:
+            self._worklist.seed(self._pos[name])
         self.trace.firings.append(
             FiringRecord(
                 node=name, index=n, start=start, end=self.now, mode=token,
@@ -385,6 +495,17 @@ class Simulator:
             self._deposit(self._out[name][port], values)
         self._busy.discard(name)
         self._fired[name] = n + 1
+        self._workers -= 1
+        if self._wakeup:
+            worklist = self._worklist
+            worklist.seed(self._pos[name])
+            if self._core_blocked:
+                # A worker core was released: every kernel parked on
+                # the budget becomes a candidate again.
+                for pos in self._core_blocked:
+                    self._core_blocked_flag[pos] = 0
+                    worklist.seed(pos)
+                self._core_blocked.clear()
         self.trace.firings.append(
             FiringRecord(
                 node=name, index=n, start=start, end=self.now, mode=token,
@@ -516,14 +637,18 @@ class Simulator:
             if isinstance(node, ClockActor):
                 self._schedule_clock(node, horizon)
 
+        if self._wakeup:
+            # Fresh horizon/limits: every node is a candidate again.
+            self._worklist.seed_all(len(self._order))
         self._start_ready()
         fired_total = 0
         while self._events:
-            time, _, kind, payload = heapq.heappop(self._events)
+            time, _, (kind, payload) = self._events.pop()
             if time > horizon:
                 self.now = horizon
                 break
             self.now = time
+            self.ready_stats["events"] += 1
             if kind == "kernel_done":
                 self._complete_kernel(payload[0], payload[1], payload[2], payload[3], payload[4])
             elif kind == "control_done":

@@ -52,6 +52,31 @@ class Trace:
     #: peak occupancy per channel (includes initial tokens)
     peaks: dict[str, int] = field(default_factory=dict)
 
+    def fingerprint(self) -> str:
+        """Deterministic digest of the whole trace — firing order,
+        exact event times, modes, discards, and channel peaks.
+
+        Two simulator runs are bit-for-bit equivalent iff their
+        fingerprints match; the event-loop differential suite uses
+        this to pin the dependency-driven ready check against the
+        legacy full-rescan reference."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for record in self.firings:
+            digest.update(
+                f"F|{record.node}|{record.index}|{record.start!r}|"
+                f"{record.end!r}|{record.mode!r}\n".encode()
+            )
+        for discard in self.discards:
+            digest.update(
+                f"D|{discard.channel}|{discard.port}|{discard.node}|"
+                f"{discard.count}|{discard.time!r}\n".encode()
+            )
+        for channel, peak in self.peaks.items():
+            digest.update(f"P|{channel}|{peak}\n".encode())
+        return digest.hexdigest()
+
     def firings_of(self, node: str) -> list[FiringRecord]:
         return [record for record in self.firings if record.node == node]
 

@@ -1,0 +1,138 @@
+"""Unit tests for the shared event-loop core (EventQueue +
+ReadyWorklist) — the tie-break contract both executors build on."""
+
+import pytest
+
+from repro.csdf.eventloop import EventQueue, ReadyWorklist
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_equal_times_pop_in_push_order(self):
+        """The FIFO tie-break the legacy (time, seq) heap tuples had —
+        simultaneous completions must resolve identically."""
+        q = EventQueue()
+        for index in range(10):
+            q.push(5.0, index)
+        assert [q.pop()[2] for _ in range(10)] == list(range(10))
+
+    def test_cancel_is_lazy_and_skipped_on_pop(self):
+        q = EventQueue()
+        keep = q.push(1.0, "keep")
+        drop = q.push(0.5, "drop")
+        assert len(q) == 2
+        q.cancel(drop)
+        assert len(q) == 1
+        time, seq, payload = q.pop()
+        assert (time, payload) == (1.0, "keep")
+        assert seq == keep
+        assert not q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+def drain_positions(wl, decide):
+    """Drive a drain with the canonical pass loop; ``decide(pos)``
+    returns True when the position 'starts' (progress)."""
+    visited = []
+    while wl.begin_scan():
+        progress = False
+        pos = wl.pop()
+        while pos >= 0:
+            visited.append(pos)
+            if decide(pos):
+                progress = True
+            pos = wl.pop()
+        wl.end_scan()
+        if not progress:
+            break
+    return visited
+
+
+class TestReadyWorklist:
+    def test_positions_pop_in_increasing_order(self):
+        wl = ReadyWorklist(8)
+        for pos in (5, 1, 7, 3):
+            wl.seed(pos)
+        assert drain_positions(wl, lambda pos: False) == [1, 3, 5, 7]
+
+    def test_seed_is_idempotent_per_pass(self):
+        wl = ReadyWorklist(4)
+        wl.seed(2)
+        wl.seed(2)
+        assert drain_positions(wl, lambda pos: False) == [2]
+
+    def test_seed_behind_cursor_joins_next_pass(self):
+        """The legacy rescan: a start that enables an *earlier*
+        position defers it to the next forward scan."""
+        wl = ReadyWorklist(4)
+        wl.seed(1)
+        wl.seed(2)
+        order = []
+
+        def decide(pos):
+            order.append(pos)
+            if pos == 2:
+                wl.seed(0)  # behind the cursor -> next pass
+                return True
+            return False
+
+        drain_positions(wl, decide)
+        assert order == [1, 2, 0]
+
+    def test_seed_ahead_of_cursor_joins_current_pass(self):
+        """The legacy forward cursor reaches later positions in the
+        same scan, so an enable-ahead is examined immediately."""
+        wl = ReadyWorklist(4)
+        wl.seed(0)
+        order = []
+
+        def decide(pos):
+            order.append(pos)
+            if pos == 0:
+                wl.seed(3)  # ahead of the cursor -> this pass
+                return True
+            return False
+
+        drain_positions(wl, decide)
+        assert order == [0, 3]
+
+    def test_no_progress_pass_ends_drain(self):
+        wl = ReadyWorklist(3)
+        wl.seed(0)
+        wl.seed(1)
+        visited = drain_positions(wl, lambda pos: False)
+        assert visited == [0, 1]
+        assert not wl
+
+    def test_suspend_preserves_unexamined_candidates(self):
+        """Core-budget exhaustion: the drain stops mid-pass and the
+        next drain resumes with the suspended candidate plus everything
+        not yet examined, in position order."""
+        wl = ReadyWorklist(6)
+        for pos in (1, 3, 5):
+            wl.seed(pos)
+        assert wl.begin_scan()
+        assert wl.pop() == 1
+        stopped_at = wl.pop()
+        assert stopped_at == 3
+        wl.suspend(stopped_at)  # budget hit while examining 3
+        # External seeding between drains (a completion event).
+        wl.seed(0)
+        assert drain_positions(wl, lambda pos: False) == [0, 3, 5]
+
+    def test_bool_reflects_pending_work(self):
+        wl = ReadyWorklist(2)
+        assert not wl
+        wl.seed(1)
+        assert wl
+        drain_positions(wl, lambda pos: False)
+        assert not wl

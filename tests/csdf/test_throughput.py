@@ -171,3 +171,73 @@ class TestWarmStartedBufferSearch:
             graph, bindings, iterations=8, capacities=caps)
         assert constrained.iteration_period == pytest.approx(
             unconstrained.iteration_period, abs=1e-9)
+
+    def test_failed_warm_probe_narrows_the_search(self):
+        """Bugfix regression: a *failing* warm probe used to be
+        discarded, leaving the search range at ``0..peak``.  The OFDM
+        demodulator has channels whose symbolic bound (one iteration's
+        traffic) is below the pipelining slack the steady state needs,
+        so its warm probes genuinely fail — the fix turns each failure
+        into a floor (``lo = warm + 1``), recorded by the
+        ``warm_failed`` / ``probes_saved`` counters, with capacities
+        still identical to the cold search."""
+        from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+        from repro.csdf import min_buffers_for_full_throughput
+
+        graph = build_ofdm_tpdf().as_csdf()
+        bindings = bindings_for(2, 16, 4, 4)
+        warm_stats, cold_stats = {}, {}
+        warm = min_buffers_for_full_throughput(
+            graph, bindings, iterations=5, stats=warm_stats)
+        cold = min_buffers_for_full_throughput(
+            graph, bindings, iterations=5, warm_start=False, stats=cold_stats)
+        assert warm == cold
+        assert warm_stats["warm_failed"] > 0
+        assert warm_stats["probes_saved"] > 0
+        # The narrowing pays for the failed probes: the warm search
+        # never does worse than the cold one overall.
+        assert warm_stats["probes"] <= cold_stats["probes"]
+
+    def test_warm_bounds_are_clamped_to_one(self):
+        """Bugfix regression: a symbolic bound can evaluate to 0 at a
+        degenerate binding (no initial tokens, zero traffic).  An
+        unclamped warm bound of 0 would make the first probe a
+        capacity-0 execution — guaranteed deadlock on any channel that
+        carries traffic — so bounds are clamped to >= 1."""
+        from repro.csdf.throughput import _symbolic_warm_bounds
+        from repro.symbolic import Poly
+
+        p = Poly.var("p")
+        g = CSDFGraph("degenerate")
+        g.add_actor("a", exec_time=1.0)
+        g.add_actor("b", exec_time=1.0)
+        # At p = 0 this channel's rates — and its symbolic bound p —
+        # evaluate to 0.
+        g.add_channel("zero", "a", "b", production=p, consumption=p)
+        g.add_channel("unit", "a", "b", production=1, consumption=1)
+        bounds = _symbolic_warm_bounds(g, {"p": 0})
+        assert bounds["zero"] == 1
+        assert all(bound >= 1 for bound in bounds.values())
+
+    def test_steady_window_period_rejects_aliasing_capacity(self):
+        """Bugfix regression: the last-two-ends delta aliases on
+        capacity-bounded steady states whose iteration deltas cycle.
+        On the OFDM graph, ``e_con_tran`` at capacity 2 runs a
+        ``1, 1, 3`` delta pattern (true period 5/3) that the old
+        estimator measured as 1.0 at the default horizon — a false
+        acceptance.  The steady-window estimate rejects it."""
+        from repro.csdf.throughput import _steady_period
+        from repro.apps.ofdm import bindings_for, build_ofdm_tpdf
+        from repro.csdf import min_buffers_for_full_throughput
+
+        graph = build_ofdm_tpdf().as_csdf()
+        bindings = bindings_for(2, 16, 4, 4)
+        caps = min_buffers_for_full_throughput(graph, bindings, iterations=5)
+        # The accepted sizing really sustains the target over a long
+        # horizon (mean period == the unconstrained one), which the
+        # falsely accepted smaller capacity did not.
+        long_constrained = self_timed_execution(
+            graph, bindings, iterations=16, capacities=caps)
+        long_free = self_timed_execution(graph, bindings, iterations=16)
+        assert _steady_period(long_constrained) == pytest.approx(
+            _steady_period(long_free), abs=1e-9)

@@ -135,6 +135,73 @@ class TestDiscardPolicy:
         assert sim.tokens_in("e_slow") > 0
 
 
+class TestControlPortRates:
+    """Regression for the silent multi-rate control-port bug: a control
+    phase rate >= 2 used to be treated as 'no control this firing'
+    (the check was ``rate == 1``), firing in WAIT_ALL and leaving the
+    control tokens behind.  The engine now raises a clear error.
+
+    The ``Port.rates`` setter already rejects rates outside {0, 1}
+    (Def. 2), so the >= 2 state can only arrive through code that
+    bypasses the setter (direct ``_rates`` writes, hand-built ports,
+    future codec paths) — the engine must refuse it rather than
+    silently misfire (defense in depth)."""
+
+    @staticmethod
+    def build(control_rates):
+        g = TPDFGraph()
+        src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+        src.add_output("out", 1)
+        src.add_output("sig", 1)
+        ctrl = g.add_control_actor(
+            "ctrl", decision=lambda n, inputs: ControlToken(Mode.WAIT_ALL)
+        )
+        ctrl.add_input("in", 1)
+        ctrl.add_control_output("out", 1)
+        proc = g.add_kernel("proc", exec_time=0.0)
+        proc.add_input("in", 1)
+        port = proc.add_control_port("c", 1)
+        if any(r > 1 for r in control_rates):
+            # Bypass the Def. 2 setter validation to model a corrupted
+            # / hand-built port reaching the engine.
+            from repro.csdf.rates import RateSequence
+
+            port._rates = RateSequence.of(control_rates)
+        else:
+            port.rates = control_rates
+        g.connect("src.out", "proc.in")
+        g.connect("src.sig", "ctrl.in")
+        g.connect("ctrl.out", "proc.c", name="e_ctrl")
+        return g
+
+    def test_rate_two_control_phase_raises(self):
+        from repro.errors import SimulationError
+
+        g = self.build([1, 2])
+        with pytest.raises(SimulationError, match="control port .* rate 2"):
+            # Firing 0 (rate 1) is fine; examining firing 1 (rate 2)
+            # must refuse loudly instead of silently skipping control.
+            Simulator(g).run(limits={"src": 3})
+
+    def test_reference_core_raises_identically(self):
+        from repro.errors import SimulationError
+
+        g = self.build([1, 2])
+        with pytest.raises(SimulationError, match="control port .* rate 2"):
+            Simulator(g, ready_core="reference").run(limits={"src": 3})
+
+    def test_zero_rate_phases_still_skip_control(self):
+        """Phase rate 0 remains a documented 'no control token this
+        firing' phase — only rates >= 2 are rejected."""
+        g = self.build([1, 0])
+        sim = Simulator(g)
+        sim.run(limits={"src": 4})
+        # Firings alternate controlled/uncontrolled; the controller
+        # keeps producing, so tokens pile up on the control channel on
+        # the uncontrolled phases but execution completes.
+        assert sim.trace.count("proc") == 4
+
+
 class TestScenarioSwitching:
     def test_runtime_scheme_switching_exact(self):
         from repro.apps.ofdm import run_ofdm_scenarios

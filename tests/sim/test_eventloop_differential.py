@@ -1,0 +1,310 @@
+"""Differential harness for the dependency-driven event-loop core.
+
+Both discrete-event loops were rebuilt on the wakeup worklist of
+:mod:`repro.csdf.eventloop` (an actor is re-examined iff an adjacent
+channel changed); the legacy full-rescan loops are retained as oracles
+(the ``mcr_reference`` pattern):
+
+* :func:`repro.csdf.throughput.self_timed_execution_reference` for the
+  timed CSDF executor;
+* ``Simulator(..., ready_core="reference")`` for the value-carrying
+  TPDF simulator.
+
+Equality is **bit for bit**: every float time, every firing order
+decision (the scan-order tie-break governs sequence numbers and
+therefore simultaneous-event ordering), every peak, every discard.
+The corpus covers 200+ seeded random graphs, the gallery/Fig. 8
+graphs, core budgets, capacity-constrained runs, and deadlock parity
+(same ``blocked`` sets).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csdf import (
+    CSDFGraph,
+    self_timed_execution,
+    self_timed_execution_reference,
+)
+from repro.errors import DeadlockError
+from repro.sim import Simulator
+from repro.tpdf import (
+    ControlToken,
+    Mode,
+    fig2_graph,
+    random_consistent_graph,
+    select_one,
+)
+
+#: (actors, extra_edges, back_edges) shapes of the random corpus —
+#: the same grid the MCR differential harness sweeps.
+SHAPES = (
+    (3, 1, 0),
+    (4, 2, 1),
+    (5, 2, 0),
+    (5, 3, 2),
+    (6, 3, 1),
+    (6, 3, 2),
+    (7, 3, 0),
+    (8, 4, 2),
+)
+SEEDS_PER_SHAPE = 25  # 8 shapes x 25 seeds = 200 random graphs
+
+CORE_BUDGETS = (None, 1, 2, 8)
+
+
+def _random_csdf(n: int, extra: int, cycles: int, seed: int) -> CSDFGraph:
+    return random_consistent_graph(
+        n, extra_edges=extra, n_cycles=cycles, seed=seed, with_control=False
+    ).as_csdf()
+
+
+def _result_key(graph, **kwargs):
+    """Exact observable outcome of one executor run: either the full
+    TimedResult contents or the deadlock blocked-set."""
+    executor = kwargs.pop("executor")
+    try:
+        r = executor(graph, **kwargs)
+    except DeadlockError as exc:
+        return ("deadlock", tuple(exc.blocked))
+    return (
+        r.makespan,
+        r.iterations,
+        r.firings,
+        tuple(r.iteration_ends),
+        tuple(r.peaks.items()),  # insertion order included
+    )
+
+
+def _assert_parity(graph, **kwargs):
+    new = _result_key(graph, executor=self_timed_execution, **kwargs)
+    ref = _result_key(graph, executor=self_timed_execution_reference, **kwargs)
+    assert new == ref
+
+
+def _tight_capacities(graph, iterations):
+    """Capacities one below the unconstrained peaks (clamped to >= 1):
+    exercises blocking writes, reservation wakeups and — on cyclic
+    graphs — deadlocks."""
+    peaks = self_timed_execution_reference(
+        graph, iterations=iterations
+    ).peaks
+    return {name: max(1, peak - 1) for name, peak in peaks.items()}
+
+
+class TestTimedExecutorParity:
+    """New core == reference on the random corpus x cores x capacities."""
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}")
+    def test_random_corpus_unconstrained(self, shape):
+        n, extra, cycles = shape
+        for seed in range(SEEDS_PER_SHAPE):
+            graph = _random_csdf(n, extra, cycles, seed)
+            for cores in CORE_BUDGETS:
+                _assert_parity(graph, iterations=3, cores=cores)
+
+    @pytest.mark.parametrize("shape", SHAPES, ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}")
+    def test_random_corpus_capacity_constrained(self, shape):
+        n, extra, cycles = shape
+        for seed in range(10):
+            graph = _random_csdf(n, extra, cycles, seed)
+            capacities = _tight_capacities(graph, iterations=3)
+            for cores in (None, 2):
+                _assert_parity(
+                    graph, iterations=3, cores=cores, capacities=capacities
+                )
+
+    def test_deadlock_parity_includes_blocked_sets(self):
+        """Both loops stall identically — same exception, same blocked
+        actors — on a tokenless cycle and on undersized buffers."""
+        cycle = CSDFGraph("dead")
+        cycle.add_actor("a")
+        cycle.add_actor("b")
+        cycle.add_channel("ab", "a", "b")
+        cycle.add_channel("ba", "b", "a")
+        key_new = _result_key(cycle, executor=self_timed_execution)
+        key_ref = _result_key(cycle, executor=self_timed_execution_reference)
+        assert key_new == key_ref
+        assert key_new[0] == "deadlock" and set(key_new[1]) == {"a", "b"}
+
+        undersized = CSDFGraph("small")
+        undersized.add_actor("a")
+        undersized.add_actor("b")
+        undersized.add_channel("e", "a", "b", 3, 3)
+        for executor in (self_timed_execution, self_timed_execution_reference):
+            with pytest.raises(DeadlockError) as exc:
+                executor(undersized, capacities={"e": 2})
+            assert exc.value.blocked == ["a", "b"]
+
+    def test_gallery_and_fig8_graphs(self, fig1):
+        from repro.apps.ofdm import bindings_for, build_ofdm_csdf, build_ofdm_tpdf
+        from repro.gallery import parametric_radio_graph
+
+        cases = [
+            (fig1, None),
+            (fig2_graph().as_csdf(), {"p": 1}),
+            (fig2_graph().as_csdf(), {"p": 4}),
+            (parametric_radio_graph(), {"b": 2, "c": 3}),
+            (build_ofdm_tpdf().as_csdf(), bindings_for(2, 16, 4, 4)),
+            (build_ofdm_csdf(), bindings_for(2, 32, 2, 4)),
+        ]
+        for graph, bindings in cases:
+            for cores in CORE_BUDGETS:
+                _assert_parity(graph, bindings=bindings, iterations=4,
+                               cores=cores)
+            capacities = _tight_capacities(graph, iterations=4) if bindings is None else None
+            if capacities is None:
+                peaks = self_timed_execution_reference(
+                    graph, bindings, iterations=4
+                ).peaks
+                capacities = {k: max(1, v - 1) for k, v in peaks.items()}
+            _assert_parity(graph, bindings=bindings, iterations=4,
+                           capacities=capacities)
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(3, 8),
+        cycles=st.integers(0, 2),
+        cores=st.sampled_from(CORE_BUDGETS),
+        constrain=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_parity_property(self, seed, n, cycles, cores, constrain):
+        graph = _random_csdf(n, n // 2, cycles, seed)
+        capacities = _tight_capacities(graph, iterations=3) if constrain else None
+        _assert_parity(graph, iterations=3, cores=cores, capacities=capacities)
+
+    def test_wakeup_visits_fewer_actors(self):
+        """The point of the refactor: the dependency-driven ready check
+        examines far fewer actors than the full rescan (>= 2x on the
+        corpus shapes) while producing identical results."""
+        total_new = total_ref = 0
+        for seed in range(10):
+            graph = _random_csdf(8, 4, 2, seed)
+            new_stats, ref_stats = {}, {}
+            self_timed_execution(graph, iterations=4, stats=new_stats)
+            self_timed_execution_reference(graph, iterations=4, stats=ref_stats)
+            assert new_stats["events"] == ref_stats["events"]
+            total_new += new_stats["ready_visits"]
+            total_ref += ref_stats["ready_visits"]
+        assert total_new * 2 <= total_ref
+
+
+def _sim_fingerprint(graph, ready_core, cores=None, limits=None, until=None,
+                     record_values=False, bindings=None):
+    sim = Simulator(graph, bindings=bindings, cores=cores,
+                    ready_core=ready_core, record_values=record_values)
+    trace = sim.run(until=until, limits=limits, max_firings=20_000)
+    return trace.fingerprint()
+
+
+def _assert_sim_parity(graph, **kwargs):
+    new = _sim_fingerprint(graph, "wakeup", **kwargs)
+    ref = _sim_fingerprint(graph, "reference", **kwargs)
+    assert new == ref
+
+
+class TestSimulatorParity:
+    """Trace fingerprints (firing order, times, modes, discards, peaks)
+    match bit for bit between the wakeup and reference ready checks."""
+
+    @pytest.mark.parametrize("with_control", (False, True),
+                             ids=("plain", "controlled"))
+    def test_random_graphs(self, with_control):
+        for seed in range(25):
+            graph = random_consistent_graph(
+                5, extra_edges=2, n_cycles=1, seed=seed,
+                with_control=with_control,
+            )
+            source = next(iter(graph.kernels))
+            for cores in (None, 1, 2):
+                _assert_sim_parity(graph, cores=cores, limits={source: 4})
+
+    def test_fig2_graph(self, fig2):
+        source = next(iter(fig2.kernels))
+        for cores in (None, 1, 3):
+            _assert_sim_parity(fig2, cores=cores, limits={source: 4},
+                               bindings={"p": 2})
+
+    def test_mode_machinery(self):
+        """Selections, rejections (discard debts) and priorities flow
+        through the wakeup core unchanged."""
+        for decision in (
+            lambda n, inputs: select_one("from_left"),
+            lambda n, inputs: ControlToken(Mode.WAIT_ALL),
+            lambda n, inputs: ControlToken(Mode.HIGHEST_PRIORITY),
+        ):
+            new = _controlled_fingerprint(decision, "wakeup")
+            ref = _controlled_fingerprint(decision, "reference")
+            assert new == ref
+
+    def test_clock_driven_graph(self):
+        from repro.tpdf import TPDFGraph, clock
+
+        def build():
+            g = TPDFGraph("clocked")
+            src = g.add_kernel("src", exec_time=1.0, function=lambda n, c: n)
+            src.add_output("out", 1)
+            snk = g.add_kernel("snk", exec_time=0.5)
+            snk.add_input("in", 1, priority=1)
+            snk.add_control_port("ctrl", 1)
+            clock(g, "clk", period=2.0)
+            g.connect("src.out", "snk.in", name="data")
+            g.connect("clk.tick", "snk.ctrl", name="ticks")
+            return g
+
+        new = _sim_fingerprint(build(), "wakeup", limits={"src": 5}, until=20.0)
+        ref = _sim_fingerprint(build(), "reference", limits={"src": 5}, until=20.0)
+        assert new == ref
+
+    def test_visit_reduction_on_wide_graph(self):
+        graph = random_consistent_graph(
+            20, extra_edges=10, n_cycles=2, seed=3, with_control=False
+        )
+        source = next(iter(graph.kernels))
+        sims = {}
+        for core in ("wakeup", "reference"):
+            sim = Simulator(graph, ready_core=core)
+            sim.run(limits={source: 6}, max_firings=50_000)
+            sims[core] = sim
+        assert (sims["wakeup"].ready_stats["events"]
+                == sims["reference"].ready_stats["events"])
+        assert (sims["wakeup"].ready_stats["visits"] * 2
+                <= sims["reference"].ready_stats["visits"])
+
+    def test_invalid_ready_core_rejected(self, fig2):
+        with pytest.raises(ValueError):
+            Simulator(fig2, ready_core="bogus")
+
+
+def _controlled_fingerprint(decision, ready_core):
+    """The select/reject scenario of the engine mode tests: src feeds
+    two branches, a control actor picks at the sink."""
+    from repro.tpdf import TPDFGraph
+
+    g = TPDFGraph()
+    src = g.add_kernel("src", exec_time=0.0, function=lambda n, c: n)
+    src.add_output("o1", 1)
+    src.add_output("o2", 1)
+    src.add_output("sig", 1)
+    left = g.add_kernel("left", exec_time=1.0)
+    left.add_input("in", 1)
+    left.add_output("out", 1)
+    right = g.add_kernel("right", exec_time=2.0)
+    right.add_input("in", 1)
+    right.add_output("out", 1)
+    ctrl = g.add_control_actor("ctrl", decision=decision)
+    ctrl.add_input("in", 1)
+    ctrl.add_control_output("out", 1)
+    sink = g.add_kernel("sink", exec_time=0.0)
+    sink.add_input("from_left", 1, priority=1)
+    sink.add_input("from_right", 1, priority=2)
+    sink.add_control_port("ctrl", 1)
+    g.connect("src.o1", "left.in")
+    g.connect("src.o2", "right.in")
+    g.connect("src.sig", "ctrl.in")
+    g.connect("left.out", "sink.from_left", name="e_left")
+    g.connect("right.out", "sink.from_right", name="e_right")
+    g.connect("ctrl.out", "sink.ctrl")
+    return _sim_fingerprint(g, ready_core, limits={"src": 3})
