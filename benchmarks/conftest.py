@@ -6,17 +6,28 @@ the ``report`` fixture; a terminal-summary hook prints everything at
 the end of the run (so ``pytest benchmarks/ --benchmark-only`` output
 contains the paper's rows/series verbatim).  Tables are also written to
 ``benchmarks/results/`` as text and CSV.
+
+Event-loop benches additionally register **machine-readable** rows
+through the ``record_bench`` fixture.  The terminal-summary hook folds
+them into ``benchmarks/results/BENCH_eventloop.json`` (schema:
+``bench id -> {actors, backend, wall_ms, ready_visits}``), merging
+with rows already on disk so partial bench runs never erase the other
+benches' numbers.  CI uploads the file every run, giving the perf
+trajectory a PR-over-PR record instead of prose-only tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_eventloop.json"
 
 _sections: list[tuple[str, str]] = []
+_bench_rows: dict[str, dict] = {}
 
 
 @pytest.fixture
@@ -33,7 +44,42 @@ def report():
     return _report
 
 
+@pytest.fixture
+def record_bench():
+    """``record_bench(bench_id, actors=, backend=, wall_ms=,
+    ready_visits=)``: queue one machine-readable event-loop bench row
+    for ``BENCH_eventloop.json``."""
+
+    def _record(bench_id: str, *, actors: int, backend: str,
+                wall_ms: float, ready_visits: int) -> None:
+        _bench_rows[bench_id] = {
+            "actors": int(actors),
+            "backend": str(backend),
+            "wall_ms": round(float(wall_ms), 3),
+            "ready_visits": int(ready_visits),
+        }
+
+    return _record
+
+
+def _write_bench_json() -> None:
+    if not _bench_rows:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    merged: dict[str, dict] = {}
+    if BENCH_JSON.exists():
+        try:
+            merged = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(_bench_rows)
+    BENCH_JSON.write_text(
+        json.dumps(dict(sorted(merged.items())), indent=2) + "\n"
+    )
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    _write_bench_json()
     if not _sections:
         return
     terminalreporter.section("paper artefacts (regenerated)")

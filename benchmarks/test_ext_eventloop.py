@@ -18,12 +18,17 @@ runners make small-ratio timing assertions flaky).
 """
 
 import time
+from functools import partial
 from pathlib import Path
 
 from repro.csdf import self_timed_execution, self_timed_execution_reference
 from repro.sim import Simulator
 from repro.tpdf import random_consistent_graph
 from repro.util import ascii_table, write_csv
+
+#: EXT6 compares the *wakeup* core against the full rescan; the
+#: arrays-vs-wakeup comparison is EXT7 (test_ext_arraystate.py).
+_wakeup_execution = partial(self_timed_execution, backend="wakeup")
 
 SIZES = (10, 20, 40, 80)
 ITERATIONS = 6
@@ -39,9 +44,9 @@ def _timed_rows():
             n_actors, extra_edges=n_actors // 2, n_cycles=2, seed=7,
             with_control=False,
         ).as_csdf()
-        self_timed_execution(graph, iterations=1)  # warm analysis caches
+        _wakeup_execution(graph, iterations=1)  # warm analysis caches
         cells = {}
-        for label, executor in (("wakeup", self_timed_execution),
+        for label, executor in (("wakeup", _wakeup_execution),
                                 ("rescan", self_timed_execution_reference)):
             stats = {}
             start = time.perf_counter()
@@ -98,16 +103,29 @@ def _simulator_rows():
     return rows
 
 
-def test_ext6_eventloop_cost(benchmark, report):
+def test_ext6_eventloop_cost(benchmark, report, record_bench):
     benchmark.pedantic(
         self_timed_execution,
         args=(random_consistent_graph(
             40, extra_edges=20, n_cycles=2, seed=7, with_control=False,
         ).as_csdf(),),
-        kwargs=dict(iterations=ITERATIONS),
+        kwargs=dict(iterations=ITERATIONS, backend="wakeup"),
         rounds=1, iterations=1,
     )
     rows = _timed_rows() + _simulator_rows()
+    for row in rows:
+        loop = ("executor" if row["loop"] == "self_timed_execution"
+                else "simulator")
+        record_bench(
+            f"ext6_{loop}_n{row['actors']}_wakeup",
+            actors=row["actors"], backend="wakeup",
+            wall_ms=row["wall_new_ms"], ready_visits=row["visits_new"],
+        )
+        record_bench(
+            f"ext6_{loop}_n{row['actors']}_rescan",
+            actors=row["actors"], backend="reference",
+            wall_ms=row["wall_ref_ms"], ready_visits=row["visits_ref"],
+        )
 
     table_rows = []
     csv_rows = []

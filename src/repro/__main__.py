@@ -106,6 +106,7 @@ def cmd_analyze(args) -> int:
         chunk_size=args.chunk_size,
         iterations=args.iterations,
         parametric_domain=domain,
+        backend=args.backend,
     )
     for index, report in enumerate(reports):
         if index:
@@ -191,8 +192,10 @@ def cmd_throughput(args) -> int:
     mcr = max_cycle_ratio(csdf, bindings or None)
     stats: dict = {}
     result = self_timed_execution(
-        csdf, bindings or None, iterations=args.iterations, stats=stats
+        csdf, bindings or None, iterations=args.iterations, stats=stats,
+        backend=args.backend,
     )
+    print(f"backend:                        {args.backend}")
     print(f"max cycle ratio (period bound): {mcr:.4f}")
     print(f"self-timed steady period:       {result.iteration_period:.4f}")
     print(f"throughput:                     {result.throughput:.4f} iterations/time")
@@ -251,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="parameter range for --symbolic (repeatable, "
                                 "e.g. --param p=1..8; NAME=V pins a value); "
                                 "implies --symbolic")
+    p_analyze.add_argument("--backend", choices=("arrays", "wakeup", "reference"),
+                           default="arrays",
+                           help="execution core for the self-timed throughput "
+                                "stage (bit-identical results; arrays is the "
+                                "fast struct-of-arrays backend)")
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_lint = sub.add_parser("lint", help="structural diagnostics")
@@ -278,8 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_thr = sub.add_parser("throughput", help="MCR + self-timed period")
     p_thr.add_argument("graph")
     p_thr.add_argument("--iterations", type=int, default=5)
+    p_thr.add_argument("--backend", choices=("arrays", "wakeup", "reference"),
+                       default="arrays",
+                       help="execution core (bit-identical results; arrays "
+                            "is the fast struct-of-arrays backend)")
     p_thr.add_argument("--reference-loop", action="store_true",
-                       help="cross-check the event core against the "
+                       help="cross-check the selected backend against the "
                             "legacy full-scan loop and report "
                             "ready-check visit counts")
     p_thr.add_argument("--bind", action="append", default=[],

@@ -356,6 +356,7 @@ def analyze(
     with_buffers: bool = True,
     with_throughput: bool = True,
     parametric_domain=None,
+    backend: str = "arrays",
 ) -> GraphReport:
     """Run the full analysis chain over one graph.
 
@@ -365,6 +366,12 @@ def analyze(
     as skipped instead of raising.  All intermediates are memoized on
     the graph, so re-analyzing (or analyzing per-stage elsewhere) costs
     nothing extra.
+
+    ``backend`` selects the execution core of the self-timed
+    throughput stage (``"arrays"``, ``"wakeup"`` or ``"reference"``,
+    see :func:`repro.csdf.throughput.self_timed_execution`); all three
+    produce bit-identical reports, so this is a cost knob, not a
+    semantics knob.
 
     With ``parametric_domain`` (a parameter box, see
     :func:`analyze_parametric`) the report additionally carries the
@@ -445,7 +452,9 @@ def analyze(
                 report.errors["buffers"] = str(exc)
         if with_throughput:
             try:
-                report.timed = self_timed_execution(csdf, bindings, iterations=iterations)
+                report.timed = self_timed_execution(
+                    csdf, bindings, iterations=iterations, backend=backend
+                )
             except _STAGE_ERRORS as exc:
                 report.errors["throughput"] = str(exc)
     elif concrete and report.live is False:

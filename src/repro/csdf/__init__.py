@@ -34,7 +34,10 @@ from .buffers import (
     total_buffer_size,
 )
 from .eventloop import EventQueue, ReadyWorklist
+from .calqueue import CalendarQueue
+from .statearrays import ArrayState, array_state, self_timed_execution_arrays
 from .throughput import (
+    BACKENDS,
     TimedResult,
     buffer_throughput_tradeoff,
     iteration_latency,
@@ -86,8 +89,13 @@ __all__ = [
     "min_buffers_for_full_throughput",
     "self_timed_execution",
     "self_timed_execution_reference",
+    "self_timed_execution_arrays",
+    "BACKENDS",
     "EventQueue",
     "ReadyWorklist",
+    "CalendarQueue",
+    "ArrayState",
+    "array_state",
     "iteration_latency",
     "throughput_vs_cores",
     "expand_to_hsdf",

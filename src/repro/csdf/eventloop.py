@@ -13,10 +13,14 @@ two data structures that replace it:
     An indexed binary heap of timed events with stable FIFO tie-break
     (events at equal times pop in push order — exactly the
     ``(time, seq)`` tuple ordering the legacy loops got from
-    ``heapq``) and O(1) lazy cancellation.  The current loops only
-    push and pop (no firing is ever revoked); ``cancel`` is the
-    reserved indexing capability for schedulers that preempt or
-    re-time queued events, and costs the hot path one emptiness check.
+    ``heapq``) and O(1) lazy cancellation.  The executors only push
+    and pop (no firing is ever revoked); ``cancel`` is the indexing
+    capability schedulers that preempt or re-time queued events build
+    on — the calendar queue (:mod:`repro.csdf.calqueue`) shares the
+    same contract.  Cancellation is *validated*: cancelling an
+    already-popped (or already-cancelled, or never-issued) event
+    raises ``ValueError`` deterministically instead of silently
+    corrupting the length accounting.
 
 :class:`ReadyWorklist`
     A pending-ready worklist over integer actor positions.  The loops
@@ -66,48 +70,70 @@ class EventQueue:
     ``(time, seq)`` — payloads are never compared).  ``push`` returns
     the event's sequence number, which :meth:`cancel` lazily deletes in
     O(1) (dead entries are skipped on pop).
+
+    The queue keeps an exact live count, so ``len`` and truthiness
+    never drift, and :meth:`cancel` *validates* its argument:
+    cancelling a sequence number that is not currently queued —
+    already popped, already cancelled, or never issued — raises
+    ``ValueError`` instead of leaving a phantom entry that would
+    silently under-count the queue.  Validation is paid by the rare
+    operation (cancel scans the heap for its target), not the hot
+    path: push and pop stay bare ``heappush``/``heappop`` plus an
+    integer counter, with the dead set consulted only when non-empty —
+    the same discipline as the calendar queue's heap mode.
     """
 
-    __slots__ = ("_heap", "_seq", "_dead")
+    __slots__ = ("_heap", "_seq", "_count", "_dead")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
+        self._count = 0
         self._dead: set[int] = set()
 
     def push(self, time: float, payload: Any) -> int:
         seq = self._seq
         self._seq = seq + 1
+        self._count += 1
         heappush(self._heap, (time, seq, payload))
         return seq
 
     def cancel(self, seq: int) -> None:
-        """Lazily delete the event with sequence number ``seq``.
+        """Lazily delete the still-queued event with sequence ``seq``.
 
-        ``seq`` must be a still-queued event: cancelling one that was
-        already popped (or cancelled) would leave a phantom in the
-        dead set and under-count :meth:`__len__`.  Sequence numbers
-        that were never issued are ignored.
+        Raises ``ValueError`` if ``seq`` is not live (already popped,
+        already cancelled, or never issued) — a deterministic error
+        instead of the phantom dead-set entry that used to corrupt
+        :meth:`__len__`/:meth:`__bool__`.  Cancellation is the rare
+        operation, so it carries the validation cost: one scan of the
+        queued entries.
         """
-        if 0 <= seq < self._seq:
-            self._dead.add(seq)
+        if seq in self._dead or not any(
+            entry[1] == seq for entry in self._heap
+        ):
+            raise ValueError(
+                f"cannot cancel event {seq}: not queued (already "
+                f"popped, already cancelled, or never issued)"
+            )
+        self._dead.add(seq)
+        self._count -= 1
 
     def pop(self) -> tuple[float, int, Any]:
         """Remove and return the earliest live ``(time, seq, payload)``."""
-        heap, dead = self._heap, self._dead
-        while True:
-            time, seq, payload = heappop(heap)
-            if not dead or seq not in dead:
-                return time, seq, payload
-            dead.discard(seq)
+        entry = heappop(self._heap)  # IndexError on empty, per contract
+        dead = self._dead
+        if dead:
+            while entry[1] in dead:
+                dead.remove(entry[1])
+                entry = heappop(self._heap)
+        self._count -= 1
+        return entry
 
     def __len__(self) -> int:
-        return max(0, len(self._heap) - len(self._dead))
+        return self._count
 
     def __bool__(self) -> bool:
-        if not self._dead:
-            return bool(self._heap)
-        return len(self._heap) > len(self._dead)
+        return self._count > 0
 
 
 class ReadyWorklist:

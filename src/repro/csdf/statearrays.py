@@ -1,0 +1,509 @@
+"""Array-state (struct-of-arrays) backend for the timed CSDF executor.
+
+The wakeup core of :mod:`repro.csdf.eventloop` already visits only the
+actors adjacent to changed channels, but every visit still walks the
+actor's firing tables in Python — and every execution rebuilds those
+tables from the graph, which a ``min_buffers_for_full_throughput``
+search pays hundreds of times over (one ``period_with`` probe per
+binary-search step).  This module removes both costs:
+
+:class:`ArrayState`
+    A struct-of-arrays **template**: channel tokens / capacities /
+    rate phases and actor adjacency flattened into numpy arrays (one
+    slot per channel, CSR-style per-actor edge tables), built **once
+    per (graph version, bindings)** and memoized through
+    :mod:`repro.cache`.  A probe run clones a few flat arrays instead
+    of re-deriving rates — the setup cost that used to be ~20% of a
+    run drops to array copies.
+
+:func:`ArrayState.ready_mask`
+    The vectorized ready check: the firing rule for **all** actors is
+    evaluated in one numpy gather/compare over the channel arrays
+    (tokens vs. the consumption phase of each consumer's next firing,
+    occupancy vs. capacity for the producers) instead of per-actor
+    Python loops.  The executor uses it to seed the initial worklist
+    in one shot; the differential tests use it to cross-check the
+    incremental readiness counters below after arbitrary prefixes.
+
+:func:`self_timed_execution_arrays`
+    The event loop itself.  Between events readiness is maintained
+    *incrementally*: every channel keeps the satisfaction bit of its
+    two firing-rule constraints (tokens ≥ next consumption;
+    occupancy + next production ≤ capacity), and each actor counts its
+    unsatisfied constraints.  A token mutation updates exactly the
+    bits of the touched channel, and an actor enters the worklist
+    precisely when its count hits zero — the per-candidate ready check
+    collapses to one integer comparison.  Events are scheduled through
+    the calendar queue of :mod:`repro.csdf.calqueue` (same
+    ``(time, seq)`` FIFO contract as ``EventQueue``, heap fallback at
+    small queue sizes).
+
+Bit-for-bit contract
+--------------------
+The backend reproduces the wakeup and reference loops exactly —
+identical ``TimedResult`` (every float), identical deadlock blocked
+sets — because it starts the same firings in the same order: a
+candidate is seeded at the very moment the wakeup invariant would
+re-examine it and find it ready, with the same scan-order pass
+discipline (ahead-of-cursor seeds join the current pass, behind-cursor
+seeds the next one, core-budget exhaustion suspends the drain with all
+unexamined candidates kept).  Candidates the wakeup loop would examine
+and *skip* (unready, busy, or done) are simply never queued, which is
+why the recorded ``ready_visits`` drop to roughly the number of
+firings.  ``tests/sim/test_eventloop_differential.py`` pins all three
+backends against each other on the 200-graph corpus × core budgets ×
+capacity constraints.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Mapping
+
+import numpy as np
+
+from ..cache import bindings_key, cached
+from ..errors import DeadlockError
+from .analysis import concrete_repetition_vector
+from .calqueue import CalendarQueue
+from .graph import CSDFGraph
+
+__all__ = ["ArrayState", "array_state", "self_timed_execution_arrays"]
+
+#: Capacity sentinel in the caps array: "unbounded".
+_UNCAPPED = -1
+
+#: Actor count from which an unbounded-cores run schedules its events
+#: through :class:`~repro.csdf.calqueue.CalendarQueue` — below this
+#: the in-flight population (at most one firing per actor, capped by
+#: the core budget) cannot cross the queue's own calendar threshold,
+#: so the run uses the C heap directly with the same FIFO contract.
+_CALENDAR_ACTORS = 128
+
+
+class ArrayState:
+    """Struct-of-arrays template for one (graph, bindings) pair.
+
+    Everything here is immutable and shared across runs (the template
+    is memoized per graph version); per-run state is cloned from the
+    flat arrays by :func:`self_timed_execution_arrays`.
+
+    Channel-indexed arrays (one slot per channel, graph order):
+
+    ``tokens0``      initial token counts
+    ``chan_src`` / ``chan_dst``   producer / consumer scan positions
+    ``cons0`` / ``prod0``         rate of the slot's first firing
+    ``cons_base/len`` + ``cons_flat`` (and the ``prod`` twins)
+                     CSR phase tables: the rate of firing ``k`` on
+                     slot ``s`` is ``flat[base[s] + k % len[s]]``
+
+    Actor-indexed structures (repetition-vector scan order):
+
+    ``qv``           repetition counts
+    ``in_edges`` / ``out_edges``
+                     per-actor ``(slot, phases|None, const_rate)``
+                     triples — the scalar mirrors of the CSR tables
+                     the hot loop walks (``phases`` is ``None`` for
+                     single-phase rates, skipping the modulo)
+    ``exec_const`` / ``exec_phases``
+                     execution times (constant fast path)
+    """
+
+    __slots__ = ("order", "n", "nchan", "channel_names", "qv", "qv_np",
+                 "tokens0", "chan_src", "chan_dst", "cons0", "prod0",
+                 "cons_base", "cons_len", "cons_flat",
+                 "prod_base", "prod_len", "prod_flat",
+                 "in_edges", "out_edges", "exec_const", "exec_phases",
+                 "self_loop")
+
+    def __init__(self, graph: CSDFGraph, bindings: Mapping | None):
+        q = concrete_repetition_vector(graph, bindings)
+        self.order = list(q)
+        apos = {name: i for i, name in enumerate(self.order)}
+        self.n = len(self.order)
+        self.qv = [q[name] for name in self.order]
+        self.qv_np = np.asarray(self.qv, dtype=np.int64)
+
+        channels = list(graph.channels.values())
+        self.nchan = len(channels)
+        self.channel_names = [c.name for c in channels]
+        self.tokens0 = np.asarray([c.initial_tokens for c in channels],
+                                  dtype=np.int64)
+        self.chan_src = np.asarray([apos[c.src] for c in channels],
+                                   dtype=np.int64)
+        self.chan_dst = np.asarray([apos[c.dst] for c in channels],
+                                   dtype=np.int64)
+        self.self_loop = self.chan_src == self.chan_dst
+
+        cons = [c.consumption.as_ints(bindings) for c in channels]
+        prod = [c.production.as_ints(bindings) for c in channels]
+        self.cons_base, self.cons_len, self.cons_flat = _csr_phases(cons)
+        self.prod_base, self.prod_len, self.prod_flat = _csr_phases(prod)
+        self.cons0 = np.asarray([p[0] for p in cons] or [], dtype=np.int64)
+        self.prod0 = np.asarray([p[0] for p in prod] or [], dtype=np.int64)
+
+        in_edges: list[list] = [[] for _ in range(self.n)]
+        out_edges: list[list] = [[] for _ in range(self.n)]
+        for slot, channel in enumerate(channels):
+            in_edges[apos[channel.dst]].append(_edge(slot, cons[slot]))
+            out_edges[apos[channel.src]].append(_edge(slot, prod[slot]))
+        self.in_edges = [tuple(e) for e in in_edges]
+        self.out_edges = [tuple(e) for e in out_edges]
+
+        times = [graph.actor(name).exec_times for name in self.order]
+        self.exec_phases = [tuple(t) for t in times]
+        self.exec_const = [t[0] if len(t) == 1 else None
+                           for t in self.exec_phases]
+
+    # -- vectorized firing rule -----------------------------------------
+    def _phase_gather(self, base, length, flat, firing_of_slot):
+        if not len(base):
+            return np.zeros(0, dtype=np.int64)
+        return flat[base + firing_of_slot % length]
+
+    def ready_mask(
+        self,
+        tokens: np.ndarray,
+        started: np.ndarray,
+        reserved: np.ndarray | None = None,
+        caps: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Data-readiness of **every** actor in one gather/compare.
+
+        ``tokens``/``reserved`` are channel-indexed, ``started`` is
+        actor-indexed (the firing each actor would start next).  The
+        result is exactly ``can_start`` of the scalar loops evaluated
+        for all positions at once: tokens cover each input slot's next
+        consumption, and — with ``caps`` (``-1`` = unbounded) —
+        occupancy plus the next production fits every capped output
+        slot, self-loop consumption credited first.
+        """
+        ready = np.ones(self.n, dtype=bool)
+        if not self.nchan:
+            return ready
+        need = self._phase_gather(self.cons_base, self.cons_len,
+                                  self.cons_flat, started[self.chan_dst])
+        ready[self.chan_dst[tokens < need]] = False
+        if caps is not None:
+            capped = caps != _UNCAPPED
+            if capped.any():
+                produce = self._phase_gather(
+                    self.prod_base, self.prod_len, self.prod_flat,
+                    started[self.chan_src])
+                occupancy = tokens.astype(np.int64, copy=True)
+                if reserved is not None:
+                    occupancy += reserved
+                occupancy[self.self_loop] -= need[self.self_loop]
+                blocked = capped & (occupancy + produce > caps)
+                ready[self.chan_src[blocked]] = False
+        return ready
+
+
+def _csr_phases(phase_lists):
+    """Flatten per-channel phase tuples into (base, len, flat) arrays."""
+    base, length, flat = [], [], []
+    for phases in phase_lists:
+        base.append(len(flat))
+        length.append(len(phases))
+        flat.extend(phases)
+    return (np.asarray(base, dtype=np.int64),
+            np.asarray(length, dtype=np.int64),
+            np.asarray(flat, dtype=np.int64))
+
+
+def _edge(slot, phases):
+    """Scalar edge mirror: constant rates drop the phase tuple."""
+    if len(phases) == 1:
+        return (slot, None, phases[0])
+    return (slot, tuple(phases), phases[0])
+
+
+def array_state(graph: CSDFGraph, bindings: Mapping | None) -> ArrayState:
+    """The memoized :class:`ArrayState` template of ``graph`` at
+    ``bindings`` (cached per graph version, like every other analysis
+    product)."""
+    key = ("statearrays", bindings_key(bindings))
+    return cached(graph, key, lambda: ArrayState(graph, bindings))
+
+
+def self_timed_execution_arrays(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    iterations: int = 1,
+    cores: int | None = None,
+    capacities: Mapping[str, int] | None = None,
+    stats: dict | None = None,
+):
+    """Array-state self-timed execution (see the module docstring).
+
+    Drop-in for :func:`repro.csdf.throughput.self_timed_execution`
+    with identical results; normally reached through its
+    ``backend="arrays"`` selector.
+    """
+    from .throughput import TimedResult
+
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    state = array_state(graph, bindings)
+    n = state.n
+    nchan = state.nchan
+    order = state.order
+    qv = state.qv
+    in_edges = state.in_edges
+    out_edges = state.out_edges
+    exec_const = state.exec_const
+    exec_phases = state.exec_phases
+    chan_src = state.chan_src.tolist()
+    chan_dst = state.chan_dst.tolist()
+    self_loop = state.self_loop.tolist()
+    targets = [count * iterations for count in qv]
+
+    # -- per-run state cloned from the template arrays -------------------
+    tokens = state.tokens0.tolist()
+    peaks = state.tokens0.tolist()
+    need_in = state.cons0.tolist()       # consumption of dst's next firing
+    started = [0] * n
+    completed = [0] * n
+    busy = bytearray(n)
+
+    # Channel constraint bits, initialized by one vectorized compare.
+    in_sat_np = state.tokens0 >= state.cons0
+    in_sat = bytearray(in_sat_np.tobytes())
+    missing_np = np.zeros(n, dtype=np.int64)
+    if nchan:
+        np.add.at(missing_np, state.chan_dst[~in_sat_np], 1)
+
+    has_caps = False
+    caps = [None] * nchan
+    reserved = [0] * nchan
+    cap_need = [0] * nchan               # production of src's next firing
+    cap_sat = bytearray(b"\x01" * nchan)
+    capped_out: list[tuple] = [()] * n
+    if capacities:
+        caps_np = np.full(nchan, _UNCAPPED, dtype=np.int64)
+        caps_map = dict(capacities)
+        for slot, name in enumerate(state.channel_names):
+            value = caps_map.get(name)
+            if value is not None:
+                caps_np[slot] = value
+        capped_mask = caps_np != _UNCAPPED
+        has_caps = bool(capped_mask.any())
+        if has_caps:
+            caps = [None if c == _UNCAPPED else c for c in caps_np.tolist()]
+            cap_need = state.prod0.tolist()
+            occupancy = state.tokens0.astype(np.int64, copy=True)
+            occupancy[state.self_loop] -= state.cons0[state.self_loop]
+            cap_sat_np = ~capped_mask | (occupancy + state.prod0 <= caps_np)
+            cap_sat = bytearray(cap_sat_np.tobytes())
+            np.add.at(missing_np, state.chan_src[~cap_sat_np], 1)
+            capped_out = [
+                tuple(e for e in out_edges[pos] if caps[e[0]] is not None)
+                for pos in range(n)
+            ]
+    missing = missing_np.tolist()
+
+    # Event scheduling: the CalendarQueue's own policy runs buckets
+    # only past its calendar threshold, so its heap mode would add one
+    # method call per event for nothing on small runs.  Hoist that
+    # decision to run level: only an execution whose in-flight
+    # population can cross the threshold (unbounded cores, enough
+    # actors) instantiates the calendar queue; every other run
+    # schedules straight on the C heap with the same ``(time, seq)``
+    # FIFO contract — bit-identical pop order either way.
+    use_cal = cores is None and n >= _CALENDAR_ACTORS
+    if use_cal:
+        events = CalendarQueue()
+        push_event = events.push
+        pop_event = events.pop
+    else:
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+    now = 0.0
+    running = 0
+    visits = 0
+    firings = 0
+    iteration_ends: list[float] = []
+    iteration_target = 1
+    short_of_target = sum(1 for i in range(n) if completed[i] < qv[i])
+
+    # Worklist: `queue` holds the candidates of the next pass, `pending`
+    # marks queued positions (either list).  Initial seeding is the one
+    # place a whole pass is evaluated at once — the vectorized mask.
+    pending = bytearray(n)
+    ready0 = state.ready_mask(
+        state.tokens0, np.zeros(n, dtype=np.int64),
+        caps=None if not has_caps else caps_np)
+    queue = [int(pos) for pos in np.flatnonzero(
+        ready0 & (np.asarray(targets, dtype=np.int64) > 0))]
+    for pos in queue:
+        pending[pos] = 1
+
+    while True:
+        # ---- drain: start every ready candidate, in scan order ----
+        while queue:
+            if len(queue) > 1:
+                queue.sort()
+            cur = queue
+            queue = []
+            progress = False
+            suspended = False
+            i = 0
+            ncur = len(cur)
+            while i < ncur:
+                pos = cur[i]
+                i += 1
+                visits += 1
+                if started[pos] >= targets[pos] or busy[pos]:
+                    pending[pos] = 0
+                    continue
+                if cores is not None and running >= cores:
+                    # Core budget exhausted: suspend the drain, keeping
+                    # this candidate and every unexamined one queued.
+                    queue = cur[i - 1:] + queue
+                    suspended = True
+                    break
+                pending[pos] = 0
+                if missing[pos]:
+                    continue  # went stale since it was seeded
+                # ---- start firing `nfir` of `pos` ----
+                nfir = started[pos]
+                started[pos] = nfir + 1
+                busy[pos] = 1
+                running += 1
+                left = 0
+                for s, phases, cval in in_edges[pos]:
+                    if phases is None:
+                        take = cval
+                        need = cval
+                    else:
+                        ln = len(phases)
+                        take = phases[nfir % ln]
+                        need = phases[(nfir + 1) % ln]
+                        need_in[s] = need
+                    level = tokens[s] - take
+                    tokens[s] = level
+                    # Each input slot is touched exactly once here, so
+                    # this actor's next-firing satisfaction bit can be
+                    # settled in the same pass over its inputs.
+                    sat = level >= need
+                    in_sat[s] = sat
+                    if not sat:
+                        left += 1
+                    if has_caps and caps[s] is not None and not cap_sat[s]:
+                        # Headroom freed on a capped input: its producer
+                        # may have become startable (mid-pass wake).
+                        producer = chan_src[s]
+                        if producer != pos and (
+                            level + reserved[s] + cap_need[s] <= caps[s]
+                        ):
+                            cap_sat[s] = 1
+                            remaining = missing[producer] - 1
+                            missing[producer] = remaining
+                            if (remaining == 0 and not busy[producer]
+                                    and started[producer] < targets[producer]
+                                    and not pending[producer]):
+                                pending[producer] = 1
+                                if producer > pos:
+                                    insort(cur, producer, i)
+                                    ncur += 1
+                                else:
+                                    queue.append(producer)
+                if capped_out[pos]:
+                    # Reserve this firing's production, then re-judge
+                    # the capacity bits against the *next* firing
+                    # (phases advanced, tokens/reserved moved).
+                    for s, phases, pval in capped_out[pos]:
+                        if phases is None:
+                            give = pval
+                        else:
+                            ln = len(phases)
+                            give = phases[nfir % ln]
+                            cap_need[s] = phases[(nfir + 1) % ln]
+                        reserved[s] += give
+                    for s, _phases, _pval in capped_out[pos]:
+                        occ = tokens[s] + reserved[s] + cap_need[s]
+                        if self_loop[s]:
+                            occ -= need_in[s]
+                        sat = occ <= caps[s]
+                        cap_sat[s] = sat
+                        if not sat:
+                            left += 1
+                missing[pos] = left
+                duration = exec_const[pos]
+                if duration is None:
+                    phases = exec_phases[pos]
+                    duration = phases[nfir % len(phases)]
+                if use_cal:
+                    push_event(now + duration, pos)
+                else:
+                    heappush(heap, (now + duration, seq, pos))
+                    seq += 1
+                progress = True
+            if suspended or not progress:
+                break
+
+        # ---- next completion event ----
+        try:
+            if use_cal:
+                now, _, pos = pop_event()
+            else:
+                now, _, pos = heappop(heap)
+        except IndexError:
+            break  # quiescent: no live events left
+        nfir = completed[pos]
+        for s, phases, pval in out_edges[pos]:
+            give = pval if phases is None else phases[nfir % len(phases)]
+            level = tokens[s] + give
+            tokens[s] = level
+            if has_caps and caps[s] is not None:
+                reserved[s] -= give  # occupancy unchanged: cap bit holds
+            if level > peaks[s]:
+                peaks[s] = level
+            if not in_sat[s] and level >= need_in[s]:
+                in_sat[s] = 1
+                consumer = chan_dst[s]
+                left = missing[consumer] - 1
+                missing[consumer] = left
+                if (left == 0 and not busy[consumer]
+                        and started[consumer] < targets[consumer]
+                        and not pending[consumer]):
+                    pending[consumer] = 1
+                    queue.append(consumer)
+        done = nfir + 1
+        completed[pos] = done
+        busy[pos] = 0
+        running -= 1
+        firings += 1
+        if (missing[pos] == 0 and started[pos] < targets[pos]
+                and not pending[pos]):
+            pending[pos] = 1
+            queue.append(pos)
+        if done == qv[pos] * iteration_target:
+            short_of_target -= 1
+            while short_of_target == 0:
+                iteration_ends.append(now)
+                iteration_target += 1
+                short_of_target = sum(
+                    1 for i in range(n)
+                    if completed[i] < qv[i] * iteration_target
+                )
+                if iteration_target > iterations:
+                    break
+
+    if stats is not None:
+        stats["ready_visits"] = visits
+        stats["events"] = firings
+    if any(completed[i] < targets[i] for i in range(n)):
+        blocked = [order[i] for i in range(n) if completed[i] < targets[i]]
+        raise DeadlockError(
+            f"self-timed execution stalled after {firings} firings",
+            blocked=blocked,
+        )
+    return TimedResult(
+        makespan=now,
+        iterations=iterations,
+        firings=firings,
+        iteration_ends=iteration_ends,
+        peaks=dict(zip(state.channel_names, peaks)),
+    )

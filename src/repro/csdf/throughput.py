@@ -233,6 +233,10 @@ class _IndexedState(_TimedState):
                 peaks[s] = level
 
 
+#: Execution backends of :func:`self_timed_execution`, fastest first.
+BACKENDS = ("arrays", "wakeup", "reference")
+
+
 def self_timed_execution(
     graph: CSDFGraph,
     bindings: Mapping | None = None,
@@ -240,6 +244,7 @@ def self_timed_execution(
     cores: int | None = None,
     capacities: Mapping[str, int] | None = None,
     stats: dict | None = None,
+    backend: str = "arrays",
 ) -> TimedResult:
     """Fire actors as soon as tokens and cores allow, for ``iterations``
     full iterations of the repetition vector.
@@ -249,18 +254,49 @@ def self_timed_execution(
     buffers serialize producers and consumers, stretching the
     steady-state period.
 
-    The ready check is dependency-driven (see
-    :mod:`repro.csdf.eventloop`): after each completion event only the
-    actors adjacent to changed channels are re-examined, with the scan
-    order — and therefore every scheduling decision under a core
-    budget — identical to the legacy full-scan loop retained as
-    :func:`self_timed_execution_reference`.  ``stats``, when given a
-    dict, receives ``ready_visits`` (actors examined by the ready
-    check) and ``events`` counters.
+    ``backend`` selects one of three bit-identical execution cores
+    (every float of the result, every deadlock blocked-set, and every
+    scheduling decision under a core budget agree — pinned by
+    ``tests/sim/test_eventloop_differential.py``):
+
+    ``"arrays"`` (default)
+        The array-state backend of :mod:`repro.csdf.statearrays`:
+        struct-of-arrays state cloned from a memoized numpy template,
+        incremental constraint counters instead of per-visit firing
+        tables, and the calendar-queue event scheduler of
+        :mod:`repro.csdf.calqueue`.
+    ``"wakeup"``
+        The dependency-driven worklist core of
+        :mod:`repro.csdf.eventloop`: after each completion event only
+        the actors adjacent to changed channels are re-examined.
+    ``"reference"``
+        The legacy full-rescan loop
+        (:func:`self_timed_execution_reference`) — the differential
+        oracle.
+
+    ``stats``, when given a dict, receives ``ready_visits`` (actors
+    examined by the ready check) and ``events`` counters.
 
     Raises :class:`~repro.errors.DeadlockError` if the execution stalls
     before completing (e.g. a tokenless cycle or undersized buffers).
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(map(repr, BACKENDS))}, "
+            f"got {backend!r}"
+        )
+    if backend == "arrays":
+        from .statearrays import self_timed_execution_arrays
+
+        return self_timed_execution_arrays(
+            graph, bindings, iterations=iterations, cores=cores,
+            capacities=capacities, stats=stats,
+        )
+    if backend == "reference":
+        return self_timed_execution_reference(
+            graph, bindings, iterations=iterations, cores=cores,
+            capacities=capacities, stats=stats,
+        )
     if iterations < 1:
         raise ValueError("need at least one iteration")
     q = concrete_repetition_vector(graph, bindings)
@@ -510,6 +546,13 @@ def throughput_vs_cores(
     }
 
 
+#: Fewest executed iterations a buffer-search probe may use: below
+#: this, ``_steady_period`` has no steady window to average over and
+#: the estimate degenerates to the aliasing-prone last-delta — exactly
+#: the estimator that used to accept undersized capacities.
+_MIN_PROBE_ITERATIONS = 4
+
+
 def min_buffers_for_full_throughput(
     graph: CSDFGraph,
     bindings: Mapping | None = None,
@@ -517,6 +560,7 @@ def min_buffers_for_full_throughput(
     tolerance: float = 1e-6,
     warm_start: bool = True,
     stats: dict | None = None,
+    backend: str = "arrays",
 ) -> dict[str, int]:
     """Smallest per-channel capacities preserving unconstrained
     throughput (a classic buffer-sizing DSE point).
@@ -533,9 +577,11 @@ def min_buffers_for_full_throughput(
     validated by re-execution.
 
     The measured probe periods are still finite-horizon (``iterations``
-    long), so the analytic target is only adopted when the
-    unconstrained execution confirms it (measured period within
-    ``tolerance`` of the MCR).  Otherwise — horizon too short to
+    long, floored at ``_MIN_PROBE_ITERATIONS`` so every estimate has a
+    steady window to average over), so the analytic target is only
+    adopted when the unconstrained execution confirms it (measured
+    period within ``tolerance`` of the MCR, *relative* to the period
+    scale so large-exec-time graphs converge too).  Otherwise — horizon too short to
     converge, or a steady state whose per-iteration deltas oscillate
     around the MCR — the measured period stays the target, exactly the
     pre-analytic behaviour: the search is never asked for a period the
@@ -571,15 +617,44 @@ def min_buffers_for_full_throughput(
     ``warm_failed`` counters plus ``probes_saved``, a ``bit_length``
     *estimate* of the binary-search steps the narrowing removed (the
     measured saving is ``cold probes - warm probes``, which the EXT3c
-    bench reports side by side).
+    bench reports side by side) — plus ``target``,
+    ``target_is_analytic`` and the effective ``iterations``.
+
+    ``backend`` selects the execution core for the unconstrained run
+    and every probe (all cores are bit-identical; the default
+    ``"arrays"`` keeps the whole search on the struct-of-arrays state,
+    cloning each probe from one memoized template).
     """
     from .mcr import max_cycle_ratio
 
-    unconstrained = self_timed_execution(graph, bindings, iterations=iterations)
+    # Horizon guard: with fewer than three iteration ends the steady
+    # window of ``_steady_period`` is empty and both the target and the
+    # probe verdicts degenerate to the last-two-ends delta — the
+    # aliasing-prone estimator this search was explicitly cured of.
+    # Short requests are executed at the minimum sound horizon instead
+    # (more iterations never bias the estimate, they only steady it).
+    iterations = max(iterations, _MIN_PROBE_ITERATIONS)
+
+    unconstrained = self_timed_execution(
+        graph, bindings, iterations=iterations, backend=backend
+    )
     target = _steady_period(unconstrained)
     mcr = max_cycle_ratio(graph, bindings)
-    if abs(target - mcr) <= tolerance:
+    # Convergence is judged *relative* to the period scale: an absolute
+    # 1e-6 is below float resolution once periods reach ~1e10 and, far
+    # earlier, is routinely missed from accumulation noise alone on
+    # graphs with large exec times (scaled EXT2 rows) — which silently
+    # left the noisy measured estimate as the search target instead of
+    # the exact analytic MCR.
+    target_is_analytic = abs(target - mcr) <= tolerance * max(1.0, abs(mcr))
+    if target_is_analytic:
         target = mcr  # confirmed converged: use the exact analytic value
+    # Probe acceptance gets the same scale treatment: a probe whose
+    # true steady period *is* the target can measure away from it by
+    # accumulation noise proportional to the period scale, and an
+    # absolute slack would reject it — returning oversized (non-
+    # minimal) capacities on large-exec-time graphs.
+    slack = tolerance * max(1.0, abs(target))
     capacities = dict(unconstrained.peaks)
     counters = {"probes": 0, "probes_saved": 0, "warm_failed": 0}
 
@@ -589,7 +664,8 @@ def min_buffers_for_full_throughput(
         counters["probes"] += 1
         try:
             result = self_timed_execution(
-                graph, bindings, iterations=iterations, capacities=caps
+                graph, bindings, iterations=iterations, capacities=caps,
+                backend=backend,
             )
         except DeadlockError:
             return float("inf")
@@ -603,7 +679,7 @@ def min_buffers_for_full_throughput(
         if warm is not None and warm < hi:
             probe = dict(capacities)
             probe[name] = warm
-            if period_with(probe) <= target + tolerance:
+            if period_with(probe) <= target + slack:
                 # The bound sustains full throughput: search below it.
                 counters["probes_saved"] += max(
                     0, hi.bit_length() - warm.bit_length() - 1
@@ -624,12 +700,15 @@ def min_buffers_for_full_throughput(
             mid = (lo + hi) // 2
             probe = dict(capacities)
             probe[name] = mid
-            if period_with(probe) <= target + tolerance:
+            if period_with(probe) <= target + slack:
                 hi = mid
             else:
                 lo = mid + 1
         capacities[name] = hi
     if stats is not None:
+        counters["target"] = target
+        counters["target_is_analytic"] = target_is_analytic
+        counters["iterations"] = iterations
         stats.update(counters)
     return capacities
 
@@ -654,10 +733,23 @@ def _steady_period(result: TimedResult) -> float:
     (``test_result_still_sustains_full_throughput``,
     ``test_steady_window_period_rejects_aliasing_capacity``) and by
     warm/cold search equality.
+
+    Horizons too short for a steady window (fewer than three iteration
+    ends) used to fall back to the aliasing-prone last delta silently.
+    They now return the **maximum** per-iteration delta instead — a
+    conservative over-estimate (a two-end run cannot distinguish
+    transient from steady state, so the safe reading for a
+    feasibility probe is the slowest observed iteration; an
+    over-estimated period can only reject a capacity, never falsely
+    accept one).  ``min_buffers_for_full_throughput`` additionally
+    floors its executed iterations so its probes never reach this
+    branch.
     """
     ends = result.iteration_ends
     count = len(ends)
     if count < 3:
+        if count == 2:
+            return max(ends[0], ends[1] - ends[0])
         return result.iteration_period
     start = max(1, (count - 1) // 3)
     return (ends[-1] - ends[start]) / (count - 1 - start)

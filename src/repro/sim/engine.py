@@ -47,6 +47,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Mapping
 
+from ..csdf.calqueue import CalendarQueue
 from ..csdf.eventloop import EventQueue, ReadyWorklist
 from ..errors import SimulationError
 from ..tpdf.builtins import ClockActor
@@ -88,10 +89,19 @@ class Simulator:
         rule; disabled by the scheduler ablation).
     ready_core:
         ``"wakeup"`` (default) uses the dependency-driven worklist;
-        ``"reference"`` keeps the legacy full rescan of every node
-        after every event — the differential oracle.  Both produce
-        bit-identical traces.
+        ``"arrays"`` keeps that worklist but schedules events through
+        the calendar queue of :mod:`repro.csdf.calqueue` — the same
+        backend selection surface as
+        ``self_timed_execution(backend=...)``, restricted to the
+        scheduler because the simulator carries real data values that
+        have no flat-array form; ``"reference"`` keeps the legacy full
+        rescan of every node after every event — the differential
+        oracle.  All three produce bit-identical traces.
     """
+
+    #: Accepted ``ready_core`` selections (mirrors
+    #: ``repro.csdf.throughput.BACKENDS``).
+    READY_CORES = ("arrays", "wakeup", "reference")
 
     def __init__(
         self,
@@ -102,9 +112,10 @@ class Simulator:
         control_priority: bool = True,
         ready_core: str = "wakeup",
     ):
-        if ready_core not in ("wakeup", "reference"):
+        if ready_core not in self.READY_CORES:
             raise ValueError(
-                f"ready_core must be 'wakeup' or 'reference', got {ready_core!r}"
+                f"ready_core must be one of "
+                f"{', '.join(map(repr, self.READY_CORES))}, got {ready_core!r}"
             )
         self.graph = graph
         self.bindings = dict(bindings or {})
@@ -143,7 +154,9 @@ class Simulator:
         self._mode_rate_cache: dict[tuple, tuple[int, ...]] = {}
         self._busy: set[str] = set()
         self._limits: dict[str, int] = {}
-        self._events = EventQueue()
+        self._events = (
+            CalendarQueue() if ready_core == "arrays" else EventQueue()
+        )
         if control_priority:
             self._order = list(graph.controls) + list(graph.kernels)
         else:
@@ -154,7 +167,7 @@ class Simulator:
         # the pending-ready worklist, and the core-budget wait set.
         self._pos = {name: i for i, name in enumerate(self._order)}
         self._nodes = [graph.node(name) for name in self._order]
-        self._wakeup = ready_core == "wakeup"
+        self._wakeup = ready_core != "reference"
         self._worklist = ReadyWorklist(len(self._order))
         self._workers = 0
         self._core_blocked: list[int] = []

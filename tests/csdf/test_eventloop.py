@@ -38,6 +38,51 @@ class TestEventQueue:
         with pytest.raises(IndexError):
             EventQueue().pop()
 
+    def test_cancel_after_pop_raises_and_keeps_len_exact(self):
+        """Bugfix regression: cancelling an already-popped seq used to
+        leave a phantom in the dead set, making ``__len__`` under-count
+        and ``__bool__`` misreport.  It now raises, and the accounting
+        stays exact."""
+        q = EventQueue()
+        first = q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert q.pop()[2] == "a"
+        with pytest.raises(ValueError):
+            q.cancel(first)
+        assert len(q) == 1
+        assert bool(q)
+        assert q.pop()[2] == "b"
+        assert len(q) == 0
+        assert not q
+
+    def test_double_cancel_raises(self):
+        q = EventQueue()
+        seq = q.push(1.0, "a")
+        q.push(2.0, "b")
+        q.cancel(seq)
+        with pytest.raises(ValueError):
+            q.cancel(seq)
+        assert len(q) == 1
+        assert q.pop()[2] == "b"
+
+    def test_cancel_never_issued_raises(self):
+        q = EventQueue()
+        q.push(1.0, "a")
+        with pytest.raises(ValueError):
+            q.cancel(99)
+        assert len(q) == 1
+
+    def test_cancelled_queue_is_falsy_and_pop_raises(self):
+        """A queue whose only entries were cancelled must report empty
+        (the phantom bug could flip this either way)."""
+        q = EventQueue()
+        seq = q.push(1.0, "a")
+        q.cancel(seq)
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+
 
 def drain_positions(wl, decide):
     """Drive a drain with the canonical pass loop; ``decide(pos)``

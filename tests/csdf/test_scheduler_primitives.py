@@ -1,0 +1,235 @@
+"""Property-based suite for the scheduler primitives.
+
+The array-state backend stands on three small data structures whose
+contracts every executor decision rides on:
+
+* :class:`repro.csdf.eventloop.EventQueue` — indexed heap with the
+  ``(time, seq)`` FIFO tie-break and validated cancellation;
+* :class:`repro.csdf.calqueue.CalendarQueue` — same contract, calendar
+  buckets past its threshold, heap fallback below it and on degenerate
+  bucket widths;
+* :class:`repro.csdf.eventloop.ReadyWorklist` — the pass-structured
+  pending-ready worklist whose scan-order tie-break decides start
+  order.
+
+Random interleavings of ``push``/``pop``/``cancel`` are driven against
+one **sorted-list oracle** (a plain list of ``(time, seq, payload)``
+entries popped by ``min``), across queue configurations that force
+both calendar and heap modes.  The worklist checks pin the
+``pending()``/``suspend`` invariants under mid-pass suspension.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csdf.calqueue import CalendarQueue
+from repro.csdf.eventloop import EventQueue, ReadyWorklist
+
+# -- operation strategies ----------------------------------------------------
+
+#: Times drawn from a small float pool so equal-time ties are common
+#: (the FIFO tie-break is the property under test).
+_TIMES = st.one_of(
+    st.integers(0, 12).map(float),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES),
+        st.tuples(st.just("pop"), st.just(0.0)),
+        st.tuples(st.just("cancel"), st.just(0.0)),
+        st.tuples(st.just("cancel_dead"), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+#: Queue factories: the indexed heap, plus calendar queues forced into
+#: calendar mode (tiny threshold, fixed width), left on the automatic
+#: width estimate, and kept on the heap fallback (huge threshold).
+_QUEUES = (
+    lambda: EventQueue(),
+    lambda: CalendarQueue(),
+    lambda: CalendarQueue(calendar_threshold=1, bucket_width=2.0),
+    lambda: CalendarQueue(calendar_threshold=4),
+    lambda: CalendarQueue(calendar_threshold=2, bucket_width=0.37),
+    lambda: CalendarQueue(calendar_threshold=10**9),
+)
+
+
+def _drive(make_queue, ops, cancel_choices):
+    """Run one interleaving against the sorted-list oracle."""
+    queue = make_queue()
+    oracle: list[tuple[float, int, int]] = []
+    popped: list[int] = []
+    payload = 0
+    for op, time in ops:
+        if op == "push":
+            payload += 1
+            seq = queue.push(time, payload)
+            assert all(seq > other for _, other, _ in oracle)
+            oracle.append((time, seq, payload))
+        elif op == "pop":
+            if oracle:
+                expected = min(oracle)  # (time, seq) order == FIFO ties
+                assert queue.pop() == expected
+                oracle.remove(expected)
+                popped.append(expected[1])
+            else:
+                with pytest.raises(IndexError):
+                    queue.pop()
+        elif op == "cancel" and oracle:
+            index = cancel_choices % len(oracle)
+            cancel_choices = cancel_choices * 7 + 1
+            _, seq, _ = oracle.pop(index)
+            queue.cancel(seq)
+            popped.append(seq)  # dead either way
+        elif op == "cancel_dead":
+            live = {seq for _, seq, _ in oracle}
+            dead = next((seq for seq in popped if seq not in live), None)
+            target = dead if dead is not None else 10**9
+            with pytest.raises(ValueError):
+                queue.cancel(target)
+        assert len(queue) == len(oracle)
+        assert bool(queue) == bool(oracle)
+    # Drain what is left: full FIFO-ordered agreement.
+    while oracle:
+        expected = min(oracle)
+        assert queue.pop() == expected
+        oracle.remove(expected)
+    assert not queue
+
+
+class TestQueuesAgainstSortedOracle:
+    @given(ops=_OPS, cancel_choices=st.integers(0, 2**20))
+    @settings(max_examples=60)
+    def test_random_interleavings(self, ops, cancel_choices):
+        for make_queue in _QUEUES:
+            _drive(make_queue, ops, cancel_choices)
+
+    def test_calendar_mode_is_actually_exercised(self):
+        """Guard against the suite silently testing only heap mode."""
+        queue = CalendarQueue(calendar_threshold=4)
+        for index in range(64):
+            queue.push(index * 1.25, index)
+        assert queue.mode == "calendar"
+        assert [queue.pop()[2] for _ in range(64)] == list(range(64))
+        assert queue.mode == "heap"  # shrank back below the threshold
+
+    def test_fifo_ties_across_calendar_resize(self):
+        queue = CalendarQueue(calendar_threshold=2, bucket_width=1.0)
+        for index in range(40):
+            queue.push(5.0, index)       # one burst bucket
+        for index in range(40, 60):
+            queue.push(float(index), index)
+        order = [queue.pop()[2] for _ in range(60)]
+        assert order == list(range(60))
+
+    def test_degenerate_width_falls_back_to_heap(self):
+        """A same-timestamp burst has no usable inter-event gap: the
+        width estimate degenerates and the queue stays on the heap."""
+        queue = CalendarQueue(calendar_threshold=4)
+        for index in range(100):
+            queue.push(2.5, index)
+        assert queue.mode == "heap"
+        assert [queue.pop()[2] for _ in range(100)] == list(range(100))
+
+    def test_cancel_validation_in_both_modes(self):
+        for kwargs in ({"calendar_threshold": 1, "bucket_width": 1.0}, {}):
+            queue = CalendarQueue(**kwargs)
+            first = queue.push(1.0, "a")
+            queue.push(2.0, "b")
+            queue.cancel(first)
+            with pytest.raises(ValueError):
+                queue.cancel(first)      # double cancel
+            assert queue.pop()[2] == "b"
+            with pytest.raises(ValueError):
+                queue.cancel(99)         # never issued
+
+
+# -- ReadyWorklist invariants ------------------------------------------------
+
+
+def _drain_all(worklist, on_examine=None):
+    """Canonical drain loop; returns examined positions in order."""
+    examined = []
+    while worklist.begin_scan():
+        progress = False
+        pos = worklist.pop()
+        while pos >= 0:
+            examined.append(pos)
+            if on_examine is not None and on_examine(pos):
+                progress = True
+            pos = worklist.pop()
+        worklist.end_scan()
+        if not progress:
+            break
+    return examined
+
+
+class TestReadyWorklistInvariants:
+    @given(seeds=st.lists(st.integers(0, 15), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_pending_reflects_exactly_the_queued_positions(self, seeds):
+        worklist = ReadyWorklist(16)
+        for pos in seeds:
+            worklist.seed(pos)
+        assert list(worklist.pending()) == sorted(set(seeds))
+        assert bool(worklist) == bool(seeds)
+        examined = _drain_all(worklist)
+        assert examined == sorted(set(seeds))
+        assert list(worklist.pending()) == []
+        assert not worklist
+
+    @given(
+        seeds=st.lists(st.integers(0, 15), min_size=2, max_size=30,
+                       unique=True),
+        stop_after=st.integers(0, 5),
+        extra=st.lists(st.integers(0, 15), max_size=5),
+    )
+    @settings(max_examples=60)
+    def test_suspend_keeps_every_unexamined_candidate(self, seeds,
+                                                      stop_after, extra):
+        """Mid-pass suspension (core budget exhausted): the suspended
+        position and everything not yet examined stay pending; the next
+        drain sees them merged with later seeds, in position order."""
+        worklist = ReadyWorklist(16)
+        for pos in seeds:
+            worklist.seed(pos)
+        ordered = sorted(set(seeds))
+        stop_index = min(stop_after, len(ordered) - 1)
+        assert worklist.begin_scan()
+        for expected in ordered[: stop_index + 1]:
+            assert worklist.pop() == expected
+        worklist.suspend(ordered[stop_index])
+        kept = ordered[stop_index:]
+        assert list(worklist.pending()) == kept
+        for pos in extra:
+            worklist.seed(pos)
+        expected_next = sorted(set(kept) | set(extra))
+        assert list(worklist.pending()) == expected_next
+        assert _drain_all(worklist) == expected_next
+
+    def test_seed_during_pass_routes_by_cursor(self):
+        """Ahead-of-cursor seeds join the current pass, behind-or-equal
+        seeds the next pass — the documented tie-break contract."""
+        worklist = ReadyWorklist(8)
+        worklist.seed(3)
+        order = []
+
+        def examine(pos):
+            order.append(pos)
+            if pos == 3 and order.count(3) == 1:
+                worklist.seed(6)  # ahead: same pass
+                worklist.seed(1)  # behind: next pass
+                worklist.seed(3)  # equal: next pass
+                return True
+            return False
+
+        _drain_all(worklist, examine)
+        assert order == [3, 6, 1, 3]

@@ -89,6 +89,75 @@ class TestCoreBudgets:
         assert result.peaks["e2"] >= 2  # initial tokens counted
 
 
+class TestConvergedTargetTolerance:
+    """Bugfix regression: the converged-target check of
+    ``min_buffers_for_full_throughput`` compared the measured period to
+    the analytic MCR with an *absolute* ``1e-6`` — at large period
+    scales float noise alone fails it, silently leaving the noisy
+    simulated estimate as the search target.  The check is now
+    relative to the period scale; both branches are exercised at
+    scales 1e0 and 1e6."""
+
+    def scaled_pipeline(self, scale: float) -> CSDFGraph:
+        g = CSDFGraph(f"scaled_{scale:g}")
+        g.add_actor("src", exec_time=1.0 * scale)
+        g.add_actor("mid", exec_time=3.0 * scale)
+        g.add_actor("snk", exec_time=1.0 * scale)
+        g.add_channel("a", "src", "mid", 1, 1)
+        g.add_channel("b", "mid", "snk", 1, 1)
+        return g
+
+    @pytest.mark.parametrize("scale", (1.0, 1e6))
+    def test_converged_run_adopts_the_analytic_mcr(self, scale):
+        from repro.csdf import max_cycle_ratio, min_buffers_for_full_throughput
+
+        g = self.scaled_pipeline(scale)
+        stats: dict = {}
+        caps = min_buffers_for_full_throughput(g, iterations=8, stats=stats)
+        assert stats["target_is_analytic"], scale
+        assert stats["target"] == max_cycle_ratio(g, None)
+        # The sized buffers sustain the analytic period at this scale.
+        result = self_timed_execution(g, iterations=8, capacities=caps)
+        from repro.csdf.throughput import _steady_period
+        assert _steady_period(result) == pytest.approx(
+            stats["target"], rel=1e-12)
+
+    def test_scaled_search_returns_the_unscaled_capacities(self):
+        """Scaling every exec time by 1e6 changes no token dynamics,
+        so the minimal capacities must be identical — which requires
+        the *probe acceptance* (not just the target check) to judge
+        periods relative to their scale."""
+        from repro.csdf import min_buffers_for_full_throughput
+
+        base = min_buffers_for_full_throughput(
+            self.scaled_pipeline(1.0), iterations=8)
+        scaled = min_buffers_for_full_throughput(
+            self.scaled_pipeline(1e6), iterations=8)
+        assert scaled == base
+
+    @pytest.mark.parametrize("scale", (1.0, 1e6))
+    def test_unconverged_run_keeps_the_measured_target(self, scale):
+        """A run whose steady window still lags the MCR at the probe
+        horizon must keep the measured target — the relative tolerance
+        must not *over*-accept either."""
+        from repro.csdf import max_cycle_ratio, min_buffers_for_full_throughput
+
+        # An 8-actor ring with all 3 tokens clumped on one edge: the
+        # MCR is 8/3, but the wavefront needs many iterations to
+        # spread out, so the 4-iteration steady window measures 3.5.
+        g = CSDFGraph(f"ring_{scale:g}")
+        for i in range(8):
+            g.add_actor(f"a{i}", exec_time=1.0 * scale)
+        for i in range(8):
+            g.add_channel(f"e{i}", f"a{i}", f"a{(i + 1) % 8}",
+                          initial_tokens=3 if i == 7 else 0)
+        stats: dict = {}
+        min_buffers_for_full_throughput(g, iterations=4, stats=stats)
+        assert not stats["target_is_analytic"]
+        assert stats["target"] == pytest.approx(3.5 * scale, rel=1e-12)
+        assert stats["target"] > max_cycle_ratio(g, None)
+
+
 class TestErrors:
     def test_deadlock_detected(self):
         g = CSDFGraph()
@@ -218,6 +287,50 @@ class TestWarmStartedBufferSearch:
         bounds = _symbolic_warm_bounds(g, {"p": 0})
         assert bounds["zero"] == 1
         assert all(bound >= 1 for bound in bounds.values())
+
+    def test_short_horizon_request_is_floored_to_a_steady_window(self):
+        """Bugfix regression: ``iterations=2`` used to leave both the
+        target and every probe verdict on the aliasing-prone
+        last-two-ends delta (only two iteration ends — no steady
+        window).  The search now floors its executed iterations, so a
+        short request returns the same sound capacities as the default
+        horizon, and the result still sustains full throughput."""
+        from repro.csdf import min_buffers_for_full_throughput
+
+        graph, bindings = self.graphs()[-1]
+        stats: dict = {}
+        short = min_buffers_for_full_throughput(
+            graph, bindings, iterations=2, stats=stats)
+        assert stats["iterations"] >= 4  # the floor, not the request
+        floored = min_buffers_for_full_throughput(
+            graph, bindings, iterations=stats["iterations"])
+        assert short == floored
+        unconstrained = self_timed_execution(graph, bindings, iterations=12)
+        constrained = self_timed_execution(
+            graph, bindings, iterations=12, capacities=short)
+        assert constrained.iteration_period == pytest.approx(
+            unconstrained.iteration_period, abs=1e-9)
+
+    def test_steady_period_short_horizon_is_conservative(self):
+        """Direct ``_steady_period`` guard: two iteration ends return
+        the max per-iteration delta (over-estimates reject capacities,
+        never falsely accept them), not the bare last delta."""
+        from repro.csdf.throughput import _steady_period
+        from repro.csdf import TimedResult
+
+        # Fill-dominated first iteration (5.0), fast second delta (1.0):
+        # the old estimator reported 1.0, the guard reports 5.0.
+        two = TimedResult(makespan=6.0, iterations=2, firings=4,
+                          iteration_ends=[5.0, 6.0], peaks={})
+        assert _steady_period(two) == 5.0
+        # Slow second delta dominates symmetrically.
+        slow = TimedResult(makespan=9.0, iterations=2, firings=4,
+                           iteration_ends=[2.0, 9.0], peaks={})
+        assert _steady_period(slow) == 7.0
+        # Single iteration keeps the makespan semantics.
+        one = TimedResult(makespan=3.0, iterations=1, firings=2,
+                          iteration_ends=[3.0], peaks={})
+        assert _steady_period(one) == 3.0
 
     def test_steady_window_period_rejects_aliasing_capacity(self):
         """Bugfix regression: the last-two-ends delta aliases on

@@ -1,21 +1,21 @@
-"""Differential harness for the dependency-driven event-loop core.
+"""Differential harness for the event-loop cores.
 
-Both discrete-event loops were rebuilt on the wakeup worklist of
-:mod:`repro.csdf.eventloop` (an actor is re-examined iff an adjacent
-channel changed); the legacy full-rescan loops are retained as oracles
-(the ``mcr_reference`` pattern):
+The timed CSDF executor ships **three** backends —
+``self_timed_execution(backend="arrays"|"wakeup"|"reference")``: the
+struct-of-arrays core of :mod:`repro.csdf.statearrays`, the wakeup
+worklist core of :mod:`repro.csdf.eventloop`, and the legacy
+full-rescan loop retained as the oracle (the ``mcr_reference``
+pattern).  The value-carrying TPDF simulator mirrors the selection as
+``Simulator(..., ready_core=...)`` (its ``"arrays"`` core swaps in the
+calendar-queue scheduler).
 
-* :func:`repro.csdf.throughput.self_timed_execution_reference` for the
-  timed CSDF executor;
-* ``Simulator(..., ready_core="reference")`` for the value-carrying
-  TPDF simulator.
-
-Equality is **bit for bit**: every float time, every firing order
-decision (the scan-order tie-break governs sequence numbers and
-therefore simultaneous-event ordering), every peak, every discard.
-The corpus covers 200+ seeded random graphs, the gallery/Fig. 8
-graphs, core budgets, capacity-constrained runs, and deadlock parity
-(same ``blocked`` sets).
+Equality is **bit for bit** across all three: every float time, every
+firing order decision (the scan-order tie-break governs sequence
+numbers and therefore simultaneous-event ordering), every peak, every
+discard, every deadlock blocked-set.  The corpus covers 200 seeded
+random graphs x core budgets {None, 1, 2, 8} x capacity constraints
+on/off, the gallery/Fig. 8 graphs, and the control/clock/mode
+machinery.
 """
 
 import pytest
@@ -60,6 +60,10 @@ def _random_csdf(n: int, extra: int, cycles: int, seed: int) -> CSDFGraph:
     ).as_csdf()
 
 
+#: The three-way backend surface under test.
+EXECUTOR_BACKENDS = ("arrays", "wakeup", "reference")
+
+
 def _result_key(graph, **kwargs):
     """Exact observable outcome of one executor run: either the full
     TimedResult contents or the deadlock blocked-set."""
@@ -78,9 +82,18 @@ def _result_key(graph, **kwargs):
 
 
 def _assert_parity(graph, **kwargs):
-    new = _result_key(graph, executor=self_timed_execution, **kwargs)
-    ref = _result_key(graph, executor=self_timed_execution_reference, **kwargs)
-    assert new == ref
+    """All three backends produce the identical result key."""
+    keys = {
+        backend: _result_key(
+            graph,
+            executor=lambda g, _b=backend, **kw: self_timed_execution(
+                g, backend=_b, **kw
+            ),
+            **kwargs,
+        )
+        for backend in EXECUTOR_BACKENDS
+    }
+    assert keys["arrays"] == keys["wakeup"] == keys["reference"]
 
 
 def _tight_capacities(graph, iterations):
@@ -116,25 +129,27 @@ class TestTimedExecutorParity:
                 )
 
     def test_deadlock_parity_includes_blocked_sets(self):
-        """Both loops stall identically — same exception, same blocked
-        actors — on a tokenless cycle and on undersized buffers."""
+        """All backends stall identically — same exception, same
+        blocked actors — on a tokenless cycle and undersized buffers."""
         cycle = CSDFGraph("dead")
         cycle.add_actor("a")
         cycle.add_actor("b")
         cycle.add_channel("ab", "a", "b")
         cycle.add_channel("ba", "b", "a")
-        key_new = _result_key(cycle, executor=self_timed_execution)
-        key_ref = _result_key(cycle, executor=self_timed_execution_reference)
-        assert key_new == key_ref
-        assert key_new[0] == "deadlock" and set(key_new[1]) == {"a", "b"}
+        _assert_parity(cycle)
+        key = _result_key(
+            cycle, executor=lambda g, **kw: self_timed_execution(
+                g, backend="arrays", **kw))
+        assert key[0] == "deadlock" and set(key[1]) == {"a", "b"}
 
         undersized = CSDFGraph("small")
         undersized.add_actor("a")
         undersized.add_actor("b")
         undersized.add_channel("e", "a", "b", 3, 3)
-        for executor in (self_timed_execution, self_timed_execution_reference):
+        for backend in EXECUTOR_BACKENDS:
             with pytest.raises(DeadlockError) as exc:
-                executor(undersized, capacities={"e": 2})
+                self_timed_execution(
+                    undersized, capacities={"e": 2}, backend=backend)
             assert exc.value.blocked == ["a", "b"]
 
     def test_gallery_and_fig8_graphs(self, fig1):
@@ -175,20 +190,25 @@ class TestTimedExecutorParity:
         capacities = _tight_capacities(graph, iterations=3) if constrain else None
         _assert_parity(graph, iterations=3, cores=cores, capacities=capacities)
 
-    def test_wakeup_visits_fewer_actors(self):
-        """The point of the refactor: the dependency-driven ready check
-        examines far fewer actors than the full rescan (>= 2x on the
-        corpus shapes) while producing identical results."""
-        total_new = total_ref = 0
+    def test_ready_visit_hierarchy(self):
+        """The point of the refactors: the wakeup core examines far
+        fewer actors than the full rescan (>= 2x on the corpus
+        shapes), and the array-state core — which only ever queues
+        actors that *became* startable — examines no more than the
+        wakeup core, all while producing identical results."""
+        totals = {backend: 0 for backend in EXECUTOR_BACKENDS}
+        events = {backend: 0 for backend in EXECUTOR_BACKENDS}
         for seed in range(10):
             graph = _random_csdf(8, 4, 2, seed)
-            new_stats, ref_stats = {}, {}
-            self_timed_execution(graph, iterations=4, stats=new_stats)
-            self_timed_execution_reference(graph, iterations=4, stats=ref_stats)
-            assert new_stats["events"] == ref_stats["events"]
-            total_new += new_stats["ready_visits"]
-            total_ref += ref_stats["ready_visits"]
-        assert total_new * 2 <= total_ref
+            for backend in EXECUTOR_BACKENDS:
+                stats = {}
+                self_timed_execution(
+                    graph, iterations=4, stats=stats, backend=backend)
+                totals[backend] += stats["ready_visits"]
+                events[backend] += stats["events"]
+        assert events["arrays"] == events["wakeup"] == events["reference"]
+        assert totals["wakeup"] * 2 <= totals["reference"]
+        assert totals["arrays"] <= totals["wakeup"]
 
 
 def _sim_fingerprint(graph, ready_core, cores=None, limits=None, until=None,
@@ -200,9 +220,10 @@ def _sim_fingerprint(graph, ready_core, cores=None, limits=None, until=None,
 
 
 def _assert_sim_parity(graph, **kwargs):
+    arrays = _sim_fingerprint(graph, "arrays", **kwargs)
     new = _sim_fingerprint(graph, "wakeup", **kwargs)
     ref = _sim_fingerprint(graph, "reference", **kwargs)
-    assert new == ref
+    assert arrays == new == ref
 
 
 class TestSimulatorParity:
@@ -229,15 +250,16 @@ class TestSimulatorParity:
 
     def test_mode_machinery(self):
         """Selections, rejections (discard debts) and priorities flow
-        through the wakeup core unchanged."""
+        through the wakeup and arrays cores unchanged."""
         for decision in (
             lambda n, inputs: select_one("from_left"),
             lambda n, inputs: ControlToken(Mode.WAIT_ALL),
             lambda n, inputs: ControlToken(Mode.HIGHEST_PRIORITY),
         ):
+            arrays = _controlled_fingerprint(decision, "arrays")
             new = _controlled_fingerprint(decision, "wakeup")
             ref = _controlled_fingerprint(decision, "reference")
-            assert new == ref
+            assert arrays == new == ref
 
     def test_clock_driven_graph(self):
         from repro.tpdf import TPDFGraph, clock
@@ -254,9 +276,13 @@ class TestSimulatorParity:
             g.connect("clk.tick", "snk.ctrl", name="ticks")
             return g
 
-        new = _sim_fingerprint(build(), "wakeup", limits={"src": 5}, until=20.0)
-        ref = _sim_fingerprint(build(), "reference", limits={"src": 5}, until=20.0)
-        assert new == ref
+        fingerprints = {
+            core: _sim_fingerprint(build(), core, limits={"src": 5},
+                                   until=20.0)
+            for core in ("arrays", "wakeup", "reference")
+        }
+        assert (fingerprints["arrays"] == fingerprints["wakeup"]
+                == fingerprints["reference"])
 
     def test_visit_reduction_on_wide_graph(self):
         graph = random_consistent_graph(
@@ -264,14 +290,17 @@ class TestSimulatorParity:
         )
         source = next(iter(graph.kernels))
         sims = {}
-        for core in ("wakeup", "reference"):
+        for core in ("arrays", "wakeup", "reference"):
             sim = Simulator(graph, ready_core=core)
             sim.run(limits={source: 6}, max_firings=50_000)
             sims[core] = sim
-        assert (sims["wakeup"].ready_stats["events"]
+        assert (sims["arrays"].ready_stats["events"]
+                == sims["wakeup"].ready_stats["events"]
                 == sims["reference"].ready_stats["events"])
         assert (sims["wakeup"].ready_stats["visits"] * 2
                 <= sims["reference"].ready_stats["visits"])
+        assert (sims["arrays"].ready_stats["visits"]
+                == sims["wakeup"].ready_stats["visits"])
 
     def test_invalid_ready_core_rejected(self, fig2):
         with pytest.raises(ValueError):
