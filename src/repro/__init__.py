@@ -29,7 +29,7 @@ Quick start::
 """
 
 from . import analysis, apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
-from .analysis import GraphReport, analyze, analyze_batch
+from .analysis import EditSession, GraphReport, analyze, analyze_batch
 from .errors import (
     AnalysisError,
     BoundednessError,
@@ -46,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "EditSession",
     "GraphReport",
     "analyze",
     "analyze_batch",

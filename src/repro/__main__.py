@@ -8,7 +8,10 @@ Commands operate on graphs serialized by :mod:`repro.io`:
     ``--symbolic``/``--param p=1..8`` additionally the **parametric
     MCR**: the throughput bound as a piecewise-symbolic function over
     the parameter box (one computation instead of a per-``--bind``
-    sweep);
+    sweep); with ``--edits script.json`` replay a JSON edit script
+    against one CSDF graph through an incremental
+    :class:`~repro.analysis.EditSession` (``--verify-cold``
+    cross-checks every warm step against a cold re-analysis);
 ``lint``
     print structural warnings (exit status 1 if any);
 ``dot``
@@ -74,6 +77,75 @@ def _as_tpdf(graph):
     return wrapped
 
 
+def _run_edit_replay(args, bindings, domain) -> int:
+    """``analyze --edits``: replay a JSON edit script incrementally.
+
+    Analyzes the baseline, then applies each edit through an
+    :class:`~repro.analysis.EditSession` and re-analyzes warm, printing
+    one verdict line per step.  With ``--verify-cold`` every warm
+    report is compared bit-for-bit (``GraphReport.fingerprint``)
+    against a cold analysis of a serialization round-trip clone; any
+    divergence exits 1.
+    """
+    from .analysis import EditSession, analyze
+    from .csdf.graph import CSDFGraph
+    from .errors import ReproError
+    from .io import csdf_from_dict, csdf_to_dict
+
+    if len(args.graphs) != 1:
+        raise SystemExit("--edits replays an edit script on exactly one graph")
+    graph = _load(args.graphs[0])
+    if not isinstance(graph, CSDFGraph):
+        raise SystemExit(
+            "--edits requires a csdf-model graph (EditSession edits CSDF "
+            "actors/channels; re-run without --edits for TPDF graphs)"
+        )
+    script = json.loads(Path(args.edits).read_text())
+    if not isinstance(script, list):
+        raise SystemExit(
+            f"edit script {args.edits} must be a JSON array of edit objects"
+        )
+    options = dict(iterations=args.iterations, parametric_domain=domain,
+                   backend=args.backend)
+    session = EditSession(graph, bindings, **options)
+    exit_code = 0
+
+    def step(label: str) -> None:
+        nonlocal exit_code
+        report = session.analyze()
+        mcr = "-" if report.mcr is None else f"{report.mcr:.4f}"
+        thr = "-" if report.throughput is None else f"{report.throughput:.4f}"
+        verdict = "bounded" if report.bounded else "NOT bounded"
+        line = (f"[{label}] {verdict}  mcr={mcr}  throughput={thr}  "
+                f"elapsed={report.elapsed * 1e3:.1f}ms")
+        if not report.bounded:
+            exit_code = 1
+        if args.verify_cold:
+            # Cold oracle: a fresh clone (no caches, no shared version
+            # state) analyzed from scratch must agree bit-for-bit.
+            clone = csdf_from_dict(csdf_to_dict(graph))
+            cold = analyze(clone, session.bindings, **options)
+            if cold.fingerprint() == report.fingerprint():
+                line += "  verify-cold: ok"
+            else:
+                line += "  verify-cold: DIVERGED"
+                exit_code = 1
+        print(line)
+
+    step("baseline")
+    for index, edit in enumerate(script):
+        try:
+            session.apply(edit)
+        except KeyError as exc:
+            raise SystemExit(f"edit {index}: unknown actor/channel {exc}")
+        except ReproError as exc:
+            raise SystemExit(f"edit {index}: {exc}")
+        op = edit.get("op", "?")
+        target = edit.get("actor") or edit.get("channel") or edit.get("name") or ""
+        step(f"edit {index}: {op} {target}".rstrip())
+    return exit_code
+
+
 def cmd_analyze(args) -> int:
     """Full batch analysis chain over one or more graphs.
 
@@ -98,6 +170,12 @@ def cmd_analyze(args) -> int:
             domain = ParamDomain.parse(args.param)
         except ReproError as exc:
             raise SystemExit(str(exc))
+    if args.verify_cold and not args.edits:
+        raise SystemExit("--verify-cold only applies to an --edits replay")
+    if args.edits:
+        if args.jobs is not None:
+            raise SystemExit("--edits is a sequential warm replay; drop --jobs")
+        return _run_edit_replay(args, bindings, domain)
     graphs = [_as_tpdf(_load(path)) for path in args.graphs]
     exit_code = 0
     reports = analyze_batch(
@@ -254,6 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="parameter range for --symbolic (repeatable, "
                                 "e.g. --param p=1..8; NAME=V pins a value); "
                                 "implies --symbolic")
+    p_analyze.add_argument("--edits", metavar="FILE",
+                           help="JSON edit script (array of "
+                                '{"op": ..., ...} objects) replayed '
+                                "incrementally against a single CSDF graph; "
+                                "prints one warm re-analysis verdict per step")
+    p_analyze.add_argument("--verify-cold", action="store_true",
+                           help="with --edits: cross-check every warm report "
+                                "against a cold analysis of a round-trip "
+                                "clone (bit-for-bit fingerprints; exit 1 on "
+                                "divergence)")
     p_analyze.add_argument("--backend", choices=("arrays", "wakeup", "reference"),
                            default="arrays",
                            help="execution core for the self-timed throughput "

@@ -76,6 +76,7 @@ Symbolic throughput over a parameter box instead of one binding:
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import os
 import time
@@ -85,11 +86,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Union
 
+from .cache import cached, register_binding_insensitive, version_of
 from .csdf.buffers import minimal_buffer_schedule
 from .csdf.graph import CSDFGraph
 from .csdf.mcr import max_cycle_ratio
 from .csdf.throughput import TimedResult, self_timed_execution
-from .errors import ReproError
+from .errors import GraphConstructionError, ReproError
 from .symbolic import InconsistentRatesError
 from .tpdf.graph import TPDFGraph
 
@@ -136,6 +138,14 @@ class GraphReport:
     errors: dict[str, str] = field(default_factory=dict)
     #: wall-clock cost of this report, seconds
     elapsed: float = 0.0
+    #: mutation version of the analyzed graph object when the report
+    #: was produced — lets ``analyze(reuse_from=...)`` detect identical
+    #: resubmissions in O(1).  Not part of the fingerprint (it tracks
+    #: object history, not analysis values).
+    graph_version: int | None = None
+    #: normalized tuple of the analyze() options the report was
+    #: computed under (same role as :attr:`graph_version`).
+    analysis_options: tuple | None = None
 
     @property
     def total_buffer(self) -> int | None:
@@ -166,11 +176,14 @@ class GraphReport:
     def fingerprint(self) -> tuple:
         """Deterministic value identity of the analysis outcome.
 
-        Covers every analysis-result field and excludes the two
+        Covers every analysis-result field and excludes the
         process-dependent ones: the graph *object* (workers analyze a
-        decoded copy) and ``elapsed`` (wall clock).  The parallel
-        differential suite asserts parallel == sequential on exactly
-        this value — float fields included bit-for-bit, no tolerance.
+        decoded copy), ``elapsed`` (wall clock), and the
+        ``graph_version``/``analysis_options`` provenance pair (object
+        history, not analysis values).  The parallel and incremental
+        differential suites assert parallel == sequential and
+        warm == cold on exactly this value — float fields included
+        bit-for-bit, no tolerance.
         """
         timed = None
         if self.timed is not None:
@@ -357,6 +370,7 @@ def analyze(
     with_throughput: bool = True,
     parametric_domain=None,
     backend: str = "arrays",
+    reuse_from: "GraphReport | None" = None,
 ) -> GraphReport:
     """Run the full analysis chain over one graph.
 
@@ -377,9 +391,39 @@ def analyze(
     :func:`analyze_parametric`) the report additionally carries the
     **parametric MCR** — the throughput bound as a piecewise-symbolic
     function over the whole domain, replacing a per-binding sweep.
+
+    ``reuse_from`` accepts the previous report of the **same graph
+    object** (edit traffic: analyze, edit, re-analyze): an identical
+    resubmission — same graph version, bindings and options — returns a
+    copy of the previous report in O(1), and anything else falls
+    through to the chain, which is itself delta-aware (the per-graph
+    caches carry binding-insensitive products across execution-time
+    edits and re-solve only the SCCs an edit touched, see
+    :mod:`repro.cache` and :mod:`repro.csdf.mcr`).  Warm results are
+    bit-for-bit identical to cold analysis (``fingerprint()``).  See
+    :class:`EditSession` for the convenience wrapper.
     """
     start = time.perf_counter()
-    report = GraphReport(graph=graph, name=graph.name, bindings=dict(bindings or {}))
+    options_key = (
+        iterations, with_liveness, with_mcr, with_buffers, with_throughput,
+        backend, None if parametric_domain is None else repr(parametric_domain),
+    )
+    if reuse_from is not None:
+        if reuse_from.graph is not graph:
+            raise ValueError(
+                "reuse_from must be a report of the same graph object "
+                f"(got a report of {reuse_from.name!r})"
+            )
+        if (reuse_from.graph_version == version_of(graph)
+                and reuse_from.analysis_options == options_key
+                and reuse_from.bindings == dict(bindings or {})):
+            return dataclasses.replace(
+                reuse_from, elapsed=time.perf_counter() - start
+            )
+    report = GraphReport(
+        graph=graph, name=graph.name, bindings=dict(bindings or {}),
+        graph_version=version_of(graph), analysis_options=options_key,
+    )
     csdf = _csdf_view(graph)
 
     # -- consistency + repetition vector -------------------------------
@@ -469,6 +513,11 @@ def analyze(
     return report
 
 
+# Warm-up only touches the rate algebra, so the marker survives
+# binding-only bumps along with the products it certifies.
+register_binding_insensitive("warm_graph")
+
+
 def warm_graph(graph: AnyGraph) -> AnyGraph:
     """Pre-populate the binding-independent caches of ``graph``.
 
@@ -478,14 +527,159 @@ def warm_graph(graph: AnyGraph) -> AnyGraph:
     items that share the graph — across chunks of the same batch —
     start from warm caches, mirroring what the sequential path gets
     from analyzing the same live object repeatedly.
-    """
-    from .csdf.analysis import repetition_vector
 
-    try:
-        repetition_vector(_csdf_view(graph))
-    except _STAGE_ERRORS:
-        pass  # the negative result is memoized as well
+    Idempotent per (graph, version): a completed warm-up leaves a
+    marker in the graph's cache, and later calls return without
+    re-entering the solver stages at all (they used to re-walk the
+    whole warm-up chain on every call, betting on the per-stage caches
+    — which re-derived everything whenever an earlier stage had been
+    evicted or the call raced a fresh decode).
+    """
+
+    def _warm() -> bool:
+        from .csdf.analysis import repetition_vector
+
+        try:
+            repetition_vector(_csdf_view(graph))
+        except _STAGE_ERRORS:
+            pass  # the negative result is memoized as well
+        return True
+
+    cached(graph, ("warm_graph",), _warm)
     return graph
+
+
+class EditSession:
+    """Edit/re-analyze helper for interactive and service traffic.
+
+    Wraps one mutable :class:`~repro.csdf.graph.CSDFGraph` and chains
+    every :meth:`analyze` call through ``analyze(reuse_from=...)``, so
+    repeated analysis across small edits pays only for what each edit
+    invalidated (and an unchanged resubmission is O(1)).  The edit
+    helpers delegate to the graph's own mutators — the session adds no
+    private state beyond the last report, so mixing direct graph edits
+    with session edits is fine.
+
+    Example::
+
+        session = EditSession(graph)
+        before = session.analyze()
+        session.set_exec_time("worker", 7)      # binding-only edit
+        after = session.analyze()               # warm re-analysis
+
+    ``after`` is bit-for-bit what a cold analysis of the edited graph
+    would produce (the incremental differential suite asserts exactly
+    that on randomized edit scripts).
+    """
+
+    def __init__(self, graph: CSDFGraph, bindings: Mapping | None = None,
+                 **options):
+        if not isinstance(graph, CSDFGraph):
+            raise TypeError(
+                f"EditSession edits CSDF graphs; got {type(graph).__name__} "
+                f"(TPDF graphs: edit kernels/ports directly and call analyze)"
+            )
+        self.graph = graph
+        self.bindings = dict(bindings) if bindings else None
+        self.options = dict(options)
+        self.report: GraphReport | None = None
+
+    # -- analysis --------------------------------------------------------
+    def analyze(self, bindings: Mapping | None = None, **overrides) -> GraphReport:
+        """Re-analyze the graph, reusing the previous report's warmth.
+
+        ``bindings``/keyword overrides replace the session defaults for
+        this call only; the resulting report becomes the new
+        ``reuse_from`` anchor.
+        """
+        options = {**self.options, **overrides}
+        self.report = analyze(
+            self.graph,
+            self.bindings if bindings is None else bindings,
+            reuse_from=self.report,
+            **options,
+        )
+        return self.report
+
+    # -- edits -----------------------------------------------------------
+    def set_exec_time(self, actor: str, value) -> "EditSession":
+        self.graph.actor(actor).set_exec_time(value)
+        return self
+
+    def set_production(self, channel: str, value) -> "EditSession":
+        self.graph.channel(channel).production = value
+        return self
+
+    def set_consumption(self, channel: str, value) -> "EditSession":
+        self.graph.channel(channel).consumption = value
+        return self
+
+    def set_initial_tokens(self, channel: str, value: int) -> "EditSession":
+        self.graph.channel(channel).initial_tokens = value
+        return self
+
+    def add_actor(self, name: str, exec_time=1.0) -> "EditSession":
+        self.graph.add_actor(name, exec_time=exec_time)
+        return self
+
+    def add_channel(self, name, src: str, dst: str, production=1,
+                    consumption=1, initial_tokens: int = 0) -> "EditSession":
+        self.graph.add_channel(name, src, dst, production=production,
+                               consumption=consumption,
+                               initial_tokens=initial_tokens)
+        return self
+
+    def remove_channel(self, name: str) -> "EditSession":
+        self.graph.remove_channel(name)
+        return self
+
+    def remove_actor(self, name: str) -> "EditSession":
+        self.graph.remove_actor(name)
+        return self
+
+    #: ``apply()`` dispatch: op name -> (method, required keys, optional keys).
+    _OPS = {
+        "set_exec_time": ("set_exec_time", ("actor", "value"), ()),
+        "set_production": ("set_production", ("channel", "value"), ()),
+        "set_consumption": ("set_consumption", ("channel", "value"), ()),
+        "set_initial_tokens": ("set_initial_tokens", ("channel", "value"), ()),
+        "add_actor": ("add_actor", ("name",), ("exec_time",)),
+        "add_channel": ("add_channel", ("src", "dst"),
+                        ("name", "production", "consumption", "initial_tokens")),
+        "remove_channel": ("remove_channel", ("name",), ()),
+        "remove_actor": ("remove_actor", ("name",), ()),
+    }
+
+    def apply(self, edit: Mapping) -> "EditSession":
+        """Apply one declarative edit, e.g. from a JSON edit script:
+        ``{"op": "set_exec_time", "actor": "worker", "value": 7}``.
+        Used by the CLI's ``analyze --edits`` replay."""
+        op = edit.get("op")
+        spec = self._OPS.get(op)
+        if spec is None:
+            raise GraphConstructionError(
+                f"unknown edit op {op!r}; expected one of {sorted(self._OPS)}"
+            )
+        method, required, optional = spec
+        kwargs = {}
+        for field_name in required:
+            if field_name not in edit:
+                raise GraphConstructionError(
+                    f"edit op {op!r} is missing required field {field_name!r}"
+                )
+            kwargs[field_name] = edit[field_name]
+        for field_name in optional:
+            if field_name in edit:
+                kwargs[field_name] = edit[field_name]
+        extra = set(edit) - {"op", *required, *optional}
+        if extra:
+            raise GraphConstructionError(
+                f"edit op {op!r} got unexpected fields {sorted(extra)}"
+            )
+        if op == "add_channel":
+            kwargs.setdefault("name", None)
+        getattr(self, method)(**kwargs)
+        return self
 
 
 #: Per-worker decoded-graph cache: (batch token, shard rank) -> graph.
@@ -519,10 +713,16 @@ def _analyze_chunk(chunk: tuple, options: dict) -> list[tuple[int, GraphReport]]
     reports with the graph detached (re-attached parent-side)."""
     payloads, work = chunk
     out = []
+    prev_key = None
+    prev_report = None
     for index, key, bindings in work:
-        report = analyze(_worker_graph(key, payloads[key]), bindings, **options)
-        report.graph = None
+        reuse = prev_report if key == prev_key else None
+        report = analyze(_worker_graph(key, payloads[key]), bindings,
+                         reuse_from=reuse, **options)
         out.append((index, report))
+        prev_key, prev_report = key, report
+    for _, report in out:  # detach after the loop: reuse_from needs the graph
+        report.graph = None
     return out
 
 
@@ -579,7 +779,15 @@ def analyze_batch(
 
     workers = _effective_jobs(jobs)
     if workers <= 1 or len(pairs) <= 1:
-        return [analyze(graph, bindings, **options) for graph, bindings in pairs]
+        reports = []
+        prev_graph = None
+        prev_report = None
+        for graph, bindings in pairs:
+            reuse = prev_report if graph is prev_graph else None
+            report = analyze(graph, bindings, reuse_from=reuse, **options)
+            reports.append(report)
+            prev_graph, prev_report = graph, report
+        return reports
     return _analyze_batch_parallel(pairs, workers, chunk_size, options)
 
 

@@ -14,24 +14,160 @@ frozen.  All in-tree analyses only read them.
 
 Negative results (inconsistent-rate errors) are cached too, so
 ``is_consistent`` probes on a bad graph stay cheap.
+
+Delta-aware invalidation
+------------------------
+Interactive and service traffic is dominated by "same graph, small
+delta" edits, so a bump is no longer an undifferentiated event:
+:func:`bump_version` records a **mutation record** — the edit's *kind*
+(``"binding"`` for weight-only edits such as an execution-time change
+that keeps the phase count, ``"structural"`` for everything that can
+move rates, tokens or topology) and its *scope* (the touched actor or
+channel names).  Three consumers build on the records:
+
+* :func:`analysis_cache` **carries forward** entries whose key tag was
+  registered via :func:`register_binding_insensitive` when every bump
+  since the entry was cached was binding-only — the repetition vector,
+  liveness verdict and HSDF structure survive an execution-time edit
+  instead of being recomputed.
+* :func:`delta_since` gives analysis code the precise delta between a
+  remembered version and now (``binding_only``, touched names), or a
+  conservative "unknown" when the log no longer covers the span.
+* :func:`content_store` holds **cross-version** memos keyed by content
+  fingerprints (e.g. per-SCC MCR results): a stale entry is
+  unreachable by construction because its key changed with the
+  content, so the store never needs invalidating.
+
+The old one-argument ``bump_version(graph)`` keeps working and is
+recorded as a conservative structural bump with unknown scope.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Mapping
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Mapping, NamedTuple
 
 from .errors import GraphConstructionError
 
 _CACHE_ATTR = "_analysis_cache"
 _VERSION_ATTR = "_analysis_version"
 _FROZEN_ATTR = "_analysis_frozen"
+_MUTLOG_ATTR = "_analysis_mutations"
+_CONTENT_ATTR = "_analysis_content"
+
+#: Mutation records kept per graph; a delta spanning more than this
+#: many bumps degrades to the conservative "structural, unknown scope".
+_MUTATION_LOG_LIMIT = 256
+
+#: Key tags (first tuple element) whose cached values do not depend on
+#: execution times — safe to carry across binding-only version bumps.
+_BINDING_INSENSITIVE_TAGS: set[str] = set()
+
+_KINDS = ("binding", "structural")
 
 
-def bump_version(graph: Any) -> None:
-    """Invalidate every cached analysis of ``graph`` (called by the
-    graph classes' construction methods)."""
+class MutationRecord(NamedTuple):
+    """One recorded ``bump_version``: the version *after* the bump, the
+    edit kind, and the touched actor/channel names (empty = unknown)."""
+
+    version: int
+    kind: str
+    touched: frozenset
+
+
+class MutationDelta(NamedTuple):
+    """Aggregate of every mutation between two versions.
+
+    ``known`` is False when the log no longer covers the span (treat as
+    an arbitrary structural rewrite).  ``touched`` is the union of the
+    recorded scopes, or ``None`` when any record in the span carried no
+    scope (meaning "anything may have been touched").
+    """
+
+    known: bool
+    binding_only: bool
+    touched: frozenset | None
+
+    @property
+    def conservative(self) -> bool:
+        """True when nothing may be reused (unknown or structural)."""
+        return not (self.known and self.binding_only)
+
+
+#: Delta used when the mutation log cannot answer.
+UNKNOWN_DELTA = MutationDelta(known=False, binding_only=False, touched=None)
+
+
+def version_of(graph: Any) -> int:
+    """The graph's current mutation version (0 for a fresh graph)."""
+    return getattr(graph, _VERSION_ATTR, 0)
+
+
+def register_binding_insensitive(tag: str) -> None:
+    """Declare cache keys tagged ``tag`` (their first tuple element)
+    independent of execution times, so :func:`analysis_cache` carries
+    them across binding-only version bumps instead of discarding them.
+
+    Only register results that are bit-for-bit reproducible from the
+    rates, tokens and topology alone — the incremental differential
+    suite (``tests/csdf/test_incremental.py``) asserts exactly that.
+    """
+    _BINDING_INSENSITIVE_TAGS.add(tag)
+
+
+def bump_version(graph: Any, kind: str = "structural", scope=None) -> None:
+    """Invalidate cached analyses of ``graph`` (called by the graph
+    classes' construction methods and field setters).
+
+    Parameters
+    ----------
+    kind:
+        ``"binding"`` when the edit can only change execution-time
+        *values* (phase counts, rates, tokens and topology untouched);
+        ``"structural"`` (the default) for everything else.  Callers
+        unsure about an edit must use ``"structural"``.
+    scope:
+        Iterable of touched actor/channel names; ``None``/empty records
+        an unknown scope, which downstream consumers treat as "any".
+    """
     ensure_mutable(graph)
-    setattr(graph, _VERSION_ATTR, getattr(graph, _VERSION_ATTR, 0) + 1)
+    if kind not in _KINDS:
+        raise ValueError(f"unknown mutation kind {kind!r}; pick one of {_KINDS}")
+    version = version_of(graph) + 1
+    setattr(graph, _VERSION_ATTR, version)
+    log = getattr(graph, _MUTLOG_ATTR, None)
+    if log is None:
+        log = []
+        setattr(graph, _MUTLOG_ATTR, log)
+    touched = frozenset(str(name) for name in scope) if scope else frozenset()
+    log.append(MutationRecord(version, kind, touched))
+    del log[:-_MUTATION_LOG_LIMIT]
+
+
+def delta_since(graph: Any, version: int) -> MutationDelta:
+    """The aggregate mutation delta between ``version`` and now.
+
+    Returns :data:`UNKNOWN_DELTA` when the span is not fully covered by
+    the mutation log (too old, trimmed, or ``version`` is from another
+    object's timeline).
+    """
+    current = version_of(graph)
+    if version == current:
+        return MutationDelta(known=True, binding_only=True, touched=frozenset())
+    if version > current:
+        return UNKNOWN_DELTA
+    log: list[MutationRecord] = getattr(graph, _MUTLOG_ATTR, None) or []
+    records = [r for r in log if r.version > version]
+    if len(records) != current - version:
+        return UNKNOWN_DELTA  # span not fully covered by the log
+    binding_only = all(r.kind == "binding" for r in records)
+    touched: frozenset | None = frozenset()
+    for record in records:
+        if not record.touched:
+            touched = None  # unscoped bump: anything may have changed
+            break
+        touched |= record.touched
+    return MutationDelta(known=True, binding_only=binding_only, touched=touched)
 
 
 def freeze(graph: Any) -> Any:
@@ -66,13 +202,79 @@ def ensure_mutable(graph: Any) -> None:
 
 
 def analysis_cache(graph: Any) -> dict:
-    """The live cache dict of ``graph`` for its current version."""
-    version = getattr(graph, _VERSION_ATTR, 0)
+    """The live cache dict of ``graph`` for its current version.
+
+    On a version change, entries whose key tag was registered
+    binding-insensitive are carried forward when every bump since the
+    cache was (re)built was binding-only; everything else is dropped.
+    """
+    version = version_of(graph)
     entry = getattr(graph, _CACHE_ATTR, None)
-    if entry is None or entry[0] != version:
-        entry = (version, {})
-        setattr(graph, _CACHE_ATTR, entry)
-    return entry[1]
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    carried: dict = {}
+    if entry is not None and entry[1]:
+        delta = delta_since(graph, entry[0])
+        if not delta.conservative:
+            carried = {
+                key: value
+                for key, value in entry[1].items()
+                if isinstance(key, tuple) and key
+                and key[0] in _BINDING_INSENSITIVE_TAGS
+            }
+    setattr(graph, _CACHE_ATTR, (version, carried))
+    return carried
+
+
+class ContentStore:
+    """Bounded cross-version memo attached to a graph.
+
+    Unlike :func:`analysis_cache`, entries survive version bumps — so
+    keys MUST be content fingerprints (stale content is unreachable
+    because its key changed with it), or the caller must revalidate the
+    entry against the current version before trusting it (the pattern
+    used for "last known template" slots).  Eviction is LRU.
+    """
+
+    __slots__ = ("_data", "limit")
+
+    def __init__(self, limit: int):
+        self._data: OrderedDict = OrderedDict()
+        self.limit = limit
+
+    def get(self, key: Hashable, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            return default
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.limit:
+            self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def content_store(graph: Any, namespace: str, limit: int = 1024) -> ContentStore:
+    """The graph's cross-version :class:`ContentStore` for ``namespace``
+    (created on first use; the same store is returned thereafter)."""
+    stores = getattr(graph, _CONTENT_ATTR, None)
+    if stores is None:
+        stores = {}
+        setattr(graph, _CONTENT_ATTR, stores)
+    store = stores.get(namespace)
+    if store is None:
+        store = ContentStore(limit)
+        stores[namespace] = store
+    return store
 
 
 class _Raised:
@@ -109,6 +311,11 @@ def cached(graph: Any, key: Hashable, factory: Callable[[], Any]) -> Any:
 def bindings_key(bindings: Mapping | None) -> tuple:
     """Hashable view of a parameter valuation (order-insensitive).
 
+    Unhashable binding values (lists, dicts, sets) are rejected eagerly
+    with a :class:`TypeError` naming the offending parameter — they
+    would otherwise fail deep inside a cache-dict lookup with no hint
+    of which binding was malformed.
+
     >>> bindings_key({"q": 2, "p": 1})
     (('p', 1), ('q', 2))
     >>> bindings_key(None)
@@ -116,7 +323,18 @@ def bindings_key(bindings: Mapping | None) -> tuple:
     """
     if not bindings:
         return ()
-    return tuple(sorted((str(name), value) for name, value in bindings.items()))
+    items = []
+    for name, value in bindings.items():
+        try:
+            hash(value)
+        except TypeError:
+            raise TypeError(
+                f"binding {str(name)!r} has unhashable value {value!r} "
+                f"(type {type(value).__name__}); parameter values must be "
+                f"hashable scalars such as int"
+            ) from None
+        items.append((str(name), value))
+    return tuple(sorted(items))
 
 
 def domain_key(domain) -> tuple:
@@ -125,7 +343,8 @@ def domain_key(domain) -> tuple:
     Accepts a :class:`repro.csdf.parametric.ParamDomain` (anything with
     a ``key()`` method) or a plain mapping of ``name -> (lo, hi)``;
     used to key piecewise-MCR results per graph version, the same way
-    :func:`bindings_key` keys concrete results.
+    :func:`bindings_key` keys concrete results.  Malformed bounds raise
+    an eager :class:`TypeError` naming the parameter.
 
     >>> domain_key({"q": (2, 4), "p": (1, 8)})
     (('p', 1, 8), ('q', 2, 4))
@@ -137,6 +356,14 @@ def domain_key(domain) -> tuple:
     key = getattr(domain, "key", None)
     if callable(key):
         return key()
-    return tuple(sorted(
-        (str(name), int(lo), int(hi)) for name, (lo, hi) in dict(domain).items()
-    ))
+    items = []
+    for name, bounds in dict(domain).items():
+        try:
+            lo, hi = bounds
+            items.append((str(name), int(lo), int(hi)))
+        except (TypeError, ValueError):
+            raise TypeError(
+                f"domain for {str(name)!r} must be an integer (lo, hi) "
+                f"pair, got {bounds!r}"
+            ) from None
+    return tuple(sorted(items))

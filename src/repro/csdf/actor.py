@@ -17,6 +17,19 @@ from typing import Sequence, Union
 ExecTime = Union[float, int, Sequence[float]]
 
 
+def _validate_exec_times(name: str, exec_time: ExecTime) -> tuple[float, ...]:
+    if isinstance(exec_time, (int, float)):
+        times: tuple[float, ...] = (float(exec_time),)
+    else:
+        times = tuple(float(t) for t in exec_time)
+        if not times:
+            raise ValueError(f"actor {name!r}: empty execution-time sequence")
+    for t in times:
+        if t < 0:
+            raise ValueError(f"actor {name!r}: negative execution time {t}")
+    return times
+
+
 class Actor:
     """A CSDF actor (computation node).
 
@@ -32,22 +45,16 @@ class Actor:
         simulation (:mod:`repro.sim`).  Analyses ignore it.
     """
 
-    __slots__ = ("name", "_exec_times", "function")
+    __slots__ = ("name", "_exec_times", "function", "_owner")
 
     def __init__(self, name: str, exec_time: ExecTime = 1.0, function=None):
         if not name:
             raise ValueError("actor name must be non-empty")
-        if isinstance(exec_time, (int, float)):
-            times: tuple[float, ...] = (float(exec_time),)
-        else:
-            times = tuple(float(t) for t in exec_time)
-            if not times:
-                raise ValueError(f"actor {name!r}: empty execution-time sequence")
-        for t in times:
-            if t < 0:
-                raise ValueError(f"actor {name!r}: negative execution time {t}")
         self.name = name
-        self._exec_times = times
+        #: Owning graph; set by ``CSDFGraph.add_actor`` so in-place
+        #: edits propagate a cache-invalidation bump.
+        self._owner = None
+        self._exec_times = _validate_exec_times(name, exec_time)
         self.function = function
 
     def exec_time(self, firing: int = 0) -> float:
@@ -57,6 +64,26 @@ class Actor:
     @property
     def exec_times(self) -> tuple[float, ...]:
         return self._exec_times
+
+    def set_exec_time(self, value: ExecTime) -> None:
+        """Replace the execution-time sequence, invalidating cached
+        analyses of the owning graph.
+
+        When the number of phases is unchanged this is recorded as a
+        *binding-only* mutation scoped to this actor — timings feed the
+        timed analyses (MCR, throughput) but not the rate algebra, so
+        the repetition vector, liveness verdict and buffer bounds are
+        carried forward.  A phase-count change alters ``tau`` and hence
+        the repetition vector itself, so it is recorded structurally.
+        """
+        times = _validate_exec_times(self.name, value)
+        if self._owner is not None:
+            from ..cache import bump_version
+
+            kind = "binding" if len(times) == len(self._exec_times) else "structural"
+            # Bump before assigning: frozen graphs raise, actor intact.
+            bump_version(self._owner, kind=kind, scope=(self.name,))
+        self._exec_times = times
 
     def __repr__(self) -> str:
         return f"Actor({self.name!r})"

@@ -13,10 +13,16 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Mapping
 
-from ..cache import bindings_key, cached
+from ..cache import bindings_key, cached, register_binding_insensitive
 from ..errors import AnalysisError
 from ..symbolic import InconsistentRatesError, Poly, solve_balance
 from .graph import CSDFGraph
+
+# The rate algebra ignores execution times entirely, so its memoized
+# products survive binding-only version bumps (see repro.cache).
+register_binding_insensitive("base_solution")
+register_binding_insensitive("repetition_vector")
+register_binding_insensitive("concrete_q")
 
 
 def topology_matrix(graph: CSDFGraph) -> tuple[list[str], list[str], list[list[Poly]]]:

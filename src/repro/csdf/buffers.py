@@ -20,11 +20,16 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from ..cache import bindings_key, cached, register_binding_insensitive
 from ..errors import DeadlockError
 from .analysis import concrete_repetition_vector
 from .graph import CSDFGraph
 from .schedule import SequentialSchedule
 from .simulation import TokenState
+
+# The greedy buffer heuristic only counts tokens — execution times
+# never enter it — so its result survives binding-only version bumps.
+register_binding_insensitive("min_buffer_schedule")
 
 
 def schedule_buffer_sizes(
@@ -50,7 +55,26 @@ def minimal_buffer_schedule(
     level; ties break towards the actor closest to the sink (largest
     topological depth), then by name.  Returns the schedule and its
     per-channel peaks.
+
+    The default-repetitions result is memoized per graph version (the
+    greedy probe simulation dominates warm re-analysis cost) and, being
+    untimed, carried across binding-only bumps; the peaks dict is
+    copied per call so callers may mutate it freely.
     """
+    if repetitions is None:
+        schedule, peaks = cached(
+            graph, ("min_buffer_schedule", bindings_key(bindings)),
+            lambda: _minimal_buffer_schedule(graph, bindings, None),
+        )
+        return schedule, dict(peaks)
+    return _minimal_buffer_schedule(graph, bindings, repetitions)
+
+
+def _minimal_buffer_schedule(
+    graph: CSDFGraph,
+    bindings: Mapping | None,
+    repetitions: Mapping[str, int] | None,
+) -> tuple[SequentialSchedule, dict[str, int]]:
     targets = dict(repetitions) if repetitions is not None else concrete_repetition_vector(graph, bindings)
     state = TokenState(graph, bindings)
     remaining = dict(targets)

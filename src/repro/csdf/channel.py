@@ -45,11 +45,16 @@ class Channel:
 
     def _touch(self) -> None:
         """Bump the owning graph's version *before* the field changes:
-        on frozen graphs this raises, leaving the channel intact."""
+        on frozen graphs this raises, leaving the channel intact.
+
+        Rate and token edits move the balance equations and the HSDF
+        expansion shape, so they are structural — but scoped to this
+        channel, which lets delta-aware consumers localize the damage.
+        """
         if self._owner is not None:
             from ..cache import bump_version
 
-            bump_version(self._owner)
+            bump_version(self._owner, kind="structural", scope=(self.name,))
 
     @property
     def production(self) -> RateSequence:

@@ -47,8 +47,9 @@ class CSDFGraph:
         if name in self._actors:
             raise GraphConstructionError(f"duplicate actor name {name!r}")
         actor = Actor(name, exec_time=exec_time, function=function)
+        actor._owner = self
         self._actors[name] = actor
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(name,))
         return actor
 
     def add_channel(
@@ -62,11 +63,14 @@ class CSDFGraph:
     ) -> Channel:
         """Create and register a channel; returns it.
 
-        ``name=None`` auto-generates ``e<k>``.
+        ``name=None`` auto-generates the first free ``e<k>``.
         """
         ensure_mutable(self)
         if name is None:
-            name = f"e{len(self._channels) + 1}"
+            k = len(self._channels) + 1
+            while f"e{k}" in self._channels:  # removals leave gaps
+                k += 1
+            name = f"e{k}"
         if name in self._channels:
             raise GraphConstructionError(f"duplicate channel name {name!r}")
         for endpoint in (src, dst):
@@ -77,8 +81,35 @@ class CSDFGraph:
         channel = Channel(name, src, dst, production, consumption, initial_tokens)
         channel._owner = self
         self._channels[name] = channel
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(name, src, dst))
         return channel
+
+    def remove_channel(self, name: str) -> Channel:
+        """Remove and return a channel (structural mutation)."""
+        ensure_mutable(self)
+        if name not in self._channels:
+            raise GraphConstructionError(f"unknown channel {name!r}")
+        channel = self._channels[name]
+        bump_version(self, kind="structural", scope=(name, channel.src, channel.dst))
+        del self._channels[name]
+        channel._owner = None
+        return channel
+
+    def remove_actor(self, name: str) -> Actor:
+        """Remove and return an actor plus every attached channel
+        (structural mutation)."""
+        ensure_mutable(self)
+        if name not in self._actors:
+            raise GraphConstructionError(f"unknown actor {name!r}")
+        attached = [c.name for c in self._channels.values()
+                    if c.src == name or c.dst == name]
+        bump_version(self, kind="structural", scope=(name, *attached))
+        for channel_name in attached:
+            channel = self._channels.pop(channel_name)
+            channel._owner = None
+        actor = self._actors.pop(name)
+        actor._owner = None
+        return actor
 
     def freeze(self) -> "CSDFGraph":
         """Reject all further structural mutation (see

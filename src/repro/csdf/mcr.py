@@ -30,6 +30,30 @@ Tests cross-validate both against each other and against the converged
 via :func:`howard_critical_cycle` to certify its cyclic-core
 candidates.
 
+SCC granularity and warm starts
+-------------------------------
+Every cycle lies inside one strongly connected component of the event
+graph, so ``MCR = max over SCCs of the per-SCC MCR``.
+:func:`max_cycle_ratio` exploits this for edit traffic: the weight-free
+*structure* of the expansion is memoized separately from the per-node
+execution times (and carried across binding-only version bumps, see
+:mod:`repro.cache`), the structure is partitioned into SCCs, and each
+component's ratio is keyed in a cross-version content store by its
+fingerprint (nodes, edges, weights).  Re-analysis after an edit
+recomputes only the components whose fingerprint changed — an edit
+outside the cyclic core re-solves a serialization ring, not the core.
+Re-solved components warm-start Howard's iteration from the previous
+converged policy for the same component shape
+(:func:`howard` ``initial_policy=``), falling back to the cold initial
+policy whenever the remembered policy is not feasible edge-for-edge.
+
+Per-component ratios are extracted from the critical cycle by *exact*
+rational summation (:class:`fractions.Fraction` over the cycle's float
+weights and distances), which makes the stored value a pure function of
+the component fingerprint — warm and cold re-analysis are bit-for-bit
+identical even when policy iteration converges to a different
+equally-critical cycle.
+
 Examples
 --------
 >>> from repro.csdf import CSDFGraph
@@ -47,9 +71,10 @@ Examples
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Mapping
 
-from ..cache import bindings_key, cached
+from ..cache import bindings_key, cached, content_store, register_binding_insensitive
 from ..errors import AnalysisError
 from .graph import CSDFGraph
 from .sdf import expand_to_hsdf
@@ -58,35 +83,74 @@ from .sdf import expand_to_hsdf
 #: than this are considered equal, which keeps ties from cycling.
 _EPS = 1e-10
 
+#: Cross-version content stores (see :func:`repro.cache.content_store`).
+_SCC_STORE = "mcr_scc"          # component fingerprint -> exact ratio
+_POLICY_STORE = "mcr_scc_policy"  # component shape -> converged policy
 
-def _hsdf_edges(graph: CSDFGraph, bindings: Mapping | None):
-    """The weighted event graph the MCR is computed on.
 
-    Returns ``(nodes, edges)`` with ``edges`` as ``(src, dst, w, t)``:
-    ``w`` the execution time of the producing firing and ``t`` the
-    *dependency distance* in iterations.  An expansion channel moving
-    ``c`` tokens per firing with ``delta * c`` initial tokens means the
-    consumer's firing of iteration ``i`` waits for the producer's
-    firing of iteration ``i - delta`` — the distance is
-    ``initial_tokens / c``, not the raw token count (using the raw
-    count under-constrains rate->1 channels and yields an MCR below
-    the true self-timed period).  Actors without a serialization ring
-    get the standard one-iteration self-loop encoding "next iteration's
-    firing waits for this one".
+def _hsdf_structure(graph: CSDFGraph, bindings: Mapping | None):
+    """The weight-free shape of the event graph the MCR is computed on.
+
+    Returns ``(nodes, struct_edges)`` with ``struct_edges`` as
+    ``(src, dst, t)`` tuples: ``t`` the *dependency distance* in
+    iterations.  An expansion channel moving ``c`` tokens per firing
+    with ``delta * c`` initial tokens means the consumer's firing of
+    iteration ``i`` waits for the producer's firing of iteration
+    ``i - delta`` — the distance is ``initial_tokens / c``, not the raw
+    token count (using the raw count under-constrains rate->1 channels
+    and yields an MCR below the true self-timed period).  Actors
+    without a serialization ring get the standard one-iteration
+    self-loop encoding "next iteration's firing waits for this one".
+
+    Execution times are deliberately absent: every edge's weight is the
+    producing firing's execution time, resolved per query by
+    :func:`_node_weights`.  That split lets the memoized structure
+    survive binding-only version bumps (execution-time edits) — it is
+    registered binding-insensitive with :mod:`repro.cache`.
     """
+    return cached(
+        graph, ("hsdf_structure", bindings_key(bindings)),
+        lambda: _build_structure(graph, bindings),
+    )
+
+
+def _build_structure(graph: CSDFGraph, bindings: Mapping | None):
     hsdf = expand_to_hsdf(graph, bindings)
-    nodes = list(hsdf.actors)
+    nodes = tuple(hsdf.actors)
     edges = []
     for channel in hsdf.channels.values():
-        exec_time = hsdf.actor(channel.src).exec_time(0)
         rate = int(channel.consumption.as_ints(None)[0])
         distance = channel.initial_tokens / rate if rate else 0.0
-        edges.append((channel.src, channel.dst, exec_time, distance))
+        edges.append((channel.src, channel.dst, distance))
     ringed = {c.src for c in hsdf.channels.values() if c.name.startswith("ring_")}
     for name in nodes:
         if name not in ringed:
-            edges.append((name, name, hsdf.actor(name).exec_time(0), 1.0))
-    return nodes, edges
+            edges.append((name, name, 1.0))
+    return nodes, tuple(edges)
+
+
+register_binding_insensitive("hsdf_structure")
+
+
+def _node_weights(graph: CSDFGraph, nodes) -> dict[str, float]:
+    """Execution time of every expansion firing, read live from the
+    source graph (node ``a#k`` is the k-th firing of actor ``a``, so
+    its weight is phase ``k - 1`` of the actor's execution sequence).
+    """
+    weights = {}
+    for name in nodes:
+        base, _, firing = name.rpartition("#")
+        weights[name] = graph.actor(base).exec_time(int(firing) - 1)
+    return weights
+
+
+def _hsdf_edges(graph: CSDFGraph, bindings: Mapping | None):
+    """The weighted event graph: ``(nodes, edges)`` with ``edges`` as
+    ``(src, dst, w, t)`` — structure from :func:`_hsdf_structure`,
+    weights resolved against the graph's current execution times."""
+    nodes, struct = _hsdf_structure(graph, bindings)
+    weights = _node_weights(graph, nodes)
+    return list(nodes), [(src, dst, weights[src], t) for src, dst, t in struct]
 
 
 def _check_deadlock_free(n_nodes: int, out_edges) -> None:
@@ -106,6 +170,19 @@ def _check_deadlock_free(n_nodes: int, out_edges) -> None:
                 zero_adj[u].append(v)
                 key = (u, v)
                 zero_weight[key] = max(zero_weight.get(key, 0.0), w)
+    comp = _tarjan_components(n_nodes, zero_adj)
+    for (u, v), w in zero_weight.items():
+        in_cycle = comp[u] == comp[v] and (u != v or v in zero_adj[u])
+        if in_cycle and w > _EPS:
+            raise AnalysisError(
+                "cycle with zero tokens and positive execution time: the "
+                "graph deadlocks, MCR undefined"
+            )
+
+
+def _tarjan_components(n_nodes: int, adj) -> list[int]:
+    """Iterative Tarjan: component id per node (ids are arbitrary but
+    deterministic for a given adjacency)."""
     index = [0] * n_nodes
     low = [0] * n_nodes
     on_stack = [False] * n_nodes
@@ -125,8 +202,8 @@ def _check_deadlock_free(n_nodes: int, out_edges) -> None:
                 stack.append(node)
                 on_stack[node] = True
             advanced = False
-            for pos in range(edge_pos, len(zero_adj[node])):
-                succ = zero_adj[node][pos]
+            for pos in range(edge_pos, len(adj[node])):
+                succ = adj[node][pos]
                 if not index[succ]:
                     work[-1] = (node, pos + 1)
                     work.append((succ, 0))
@@ -149,33 +226,86 @@ def _check_deadlock_free(n_nodes: int, out_edges) -> None:
                     if member == node:
                         break
                 comp_count += 1
-    for (u, v), w in zero_weight.items():
-        in_cycle = comp[u] == comp[v] and (u != v or v in zero_adj[u])
-        if in_cycle and w > _EPS:
-            raise AnalysisError(
-                "cycle with zero tokens and positive execution time: the "
-                "graph deadlocks, MCR undefined"
-            )
+    return comp
 
 
-def howard_critical_cycle(nodes: list[str], edges):
-    """Howard's iteration plus the critical cycle that attains the MCR.
+def _scc_components(nodes, struct_edges):
+    """Cycle-capable SCCs of the weight-free structure.
 
-    Returns ``(mcr, cycle_edges)`` with ``cycle_edges`` the list of
-    ``(src, dst, weight, distance)`` edges of one cycle whose ratio
-    equals the MCR (empty for an acyclic/ratio-0 graph), or ``None``
-    when the iteration did not converge.  Used by
-    :mod:`repro.csdf.parametric` to turn the float verdict into an
-    exact rational certificate (the cycle's weights and distances are
-    re-summed exactly).
+    Returns ``[(comp_nodes, comp_edges), ...]`` with ``comp_nodes`` in
+    global node order and ``comp_edges`` the intra-component subset of
+    ``struct_edges`` in global edge order — a pure, deterministic
+    function of the inputs, so identical structures always yield
+    identical component fingerprints.  Singleton components without a
+    self-edge lie on no cycle and are dropped (they contribute ratio 0).
+    Components are ordered by their smallest member's node index.
     """
-    solved = _howard_solve(nodes, edges)
+    n = len(nodes)
+    idx = {name: i for i, name in enumerate(nodes)}
+    adj: list[list[int]] = [[] for _ in range(n)]
+    has_self = [False] * n
+    for src, dst, _t in struct_edges:
+        u, v = idx[src], idx[dst]
+        if u == v:
+            has_self[u] = True
+        else:
+            adj[u].append(v)
+    comp = _tarjan_components(n, adj)
+    members: dict[int, list[int]] = {}
+    for u in range(n):
+        members.setdefault(comp[u], []).append(u)
+    cyclic: list[tuple] = []
+    for group in members.values():
+        if len(group) == 1 and not has_self[group[0]]:
+            continue
+        in_comp = set(group)
+        comp_nodes = tuple(nodes[u] for u in sorted(group))
+        comp_edges = tuple(
+            e for e in struct_edges
+            if idx[e[0]] in in_comp and idx[e[1]] in in_comp
+        )
+        cyclic.append((comp_nodes, comp_edges))
+    cyclic.sort(key=lambda item: item[0])
+    return cyclic
+
+
+def _exact_cycle_ratio(cycle_edges) -> float:
+    """The cycle's ratio by exact rational summation of its float
+    weights and distances — independent of edge order and of which
+    equally-critical cycle policy iteration happened to converge to."""
+    if not cycle_edges:
+        return 0.0
+    weight = sum(Fraction(w) for _, _, w, _ in cycle_edges)
+    tokens = sum(Fraction(t) for _, _, _, t in cycle_edges)
+    if tokens <= 0:
+        return 0.0  # zero-weight token-free cycle (deadlock already excluded)
+    return float(weight / tokens)
+
+
+def howard(nodes: list[str], edges, initial_policy: Mapping | None = None):
+    """Howard's iteration: MCR, critical cycle, and converged policy.
+
+    Returns ``(mcr, cycle_edges, policy)``: ``cycle_edges`` the list of
+    ``(src, dst, weight, distance)`` edges of one cycle attaining the
+    MCR (empty for an acyclic graph), and ``policy`` a mapping
+    ``node -> (successor, distance)`` describing the converged policy —
+    feed it back as ``initial_policy`` to warm-start a later solve of a
+    graph with the same shape (same nodes, edges and distances, e.g.
+    after an execution-time edit).  An infeasible ``initial_policy``
+    (any node whose remembered edge no longer exists) is ignored
+    entirely in favor of the cold start.  Returns ``None`` when the
+    iteration did not converge (caller falls back to the binary
+    search).  The MCR is extracted from the critical cycle by exact
+    rational summation, so it is identical however the solve was
+    seeded.
+    """
+    solved = _howard_solve(nodes, edges, initial_policy=initial_policy)
     if solved is None:
         return None
     ratio, value, policy, live_nodes, idx = solved
     del value
     if not live_nodes:
-        return 0.0, []
+        return 0.0, [], {}
     best = max(live_nodes, key=lambda u: ratio[u])
     # Walk the (converged) policy from the argmax node: the walk enters
     # a policy cycle whose ratio is exactly ratio[best] — the MCR.
@@ -192,33 +322,37 @@ def howard_critical_cycle(nodes: list[str], edges):
     for x in cycle:
         succ, w, t = policy[x]
         cycle_edges.append((names[x], names[succ], w, t))
-    return max(ratio[u] for u in live_nodes), cycle_edges
+    policy_out = {
+        names[u]: (names[policy[u][0]], policy[u][2]) for u in live_nodes
+    }
+    return _exact_cycle_ratio(cycle_edges), cycle_edges, policy_out
 
 
-def _howard(nodes: list[str], edges) -> float | None:
-    """Maximum cycle ratio by Howard's policy iteration.
+def howard_critical_cycle(nodes: list[str], edges):
+    """Howard's iteration plus the critical cycle that attains the MCR.
 
-    Works on any weighted event graph whose cycles all carry tokens
-    (callers run :func:`_check_deadlock_free` first).  Nodes that
-    cannot reach a cycle are trimmed; if nothing remains the graph is
-    acyclic and the ratio is 0.  Returns ``None`` on non-convergence
-    (caller falls back to the binary search).
+    Returns ``(mcr, cycle_edges)`` (see :func:`howard`), or ``None``
+    when the iteration did not converge.  Used by
+    :mod:`repro.csdf.parametric` to turn the float verdict into an
+    exact rational certificate (the cycle's weights and distances are
+    re-summed exactly).
     """
-    solved = _howard_solve(nodes, edges)
+    solved = howard(nodes, edges)
     if solved is None:
         return None
-    ratio, _value, _policy, live_nodes, _idx = solved
-    if not live_nodes:
-        return 0.0
-    return max(ratio[u] for u in live_nodes)
+    mcr, cycle_edges, _policy = solved
+    return mcr, cycle_edges
 
 
-def _howard_solve(nodes: list[str], edges):
+def _howard_solve(nodes: list[str], edges, initial_policy: Mapping | None = None):
     """The shared Howard iteration.
 
     Returns ``(ratio, value, policy, live_nodes, idx)`` after
     convergence (``live_nodes`` empty for acyclic graphs) or ``None``
     when the iteration hit its sweep budget without stabilizing.
+    ``initial_policy`` optionally seeds the iteration (all-or-nothing:
+    every live node must map to an existing edge, else the default
+    heaviest-edge start is used for all of them).
     """
     n = len(nodes)
     idx = {name: i for i, name in enumerate(nodes)}
@@ -248,10 +382,30 @@ def _howard_solve(nodes: list[str], edges):
         for u in range(n)
     ]
 
-    # Initial policy: the heaviest edge out of every live node.
     policy: list[tuple[int, float, float] | None] = [None] * n
-    for u in live_nodes:
-        policy[u] = max(succs[u], key=lambda e: e[1])
+    seeded = initial_policy is not None
+    if seeded:
+        # Warm start from a previous converged policy (same shape):
+        # match each remembered (successor, distance) against the live
+        # edges; any miss abandons the whole seed.
+        for u in live_nodes:
+            remembered = initial_policy.get(nodes[u])
+            edge = None
+            if remembered is not None:
+                v_want = idx.get(remembered[0])
+                if v_want is not None:
+                    for candidate in succs[u]:
+                        if candidate[0] == v_want and candidate[2] == remembered[1]:
+                            edge = candidate
+                            break
+            if edge is None:
+                seeded = False
+                break
+            policy[u] = edge
+    if not seeded:
+        # Initial policy: the heaviest edge out of every live node.
+        for u in live_nodes:
+            policy[u] = max(succs[u], key=lambda e: e[1])
 
     ratio = [0.0] * n
     value = [0.0] * n
@@ -351,9 +505,8 @@ def mcr_reference(
     nodes, edges = _hsdf_edges(graph, bindings)
     if not edges:
         return 0.0
-    hsdf = expand_to_hsdf(graph, bindings)
     lo = 0.0
-    hi = sum(hsdf.actor(n).exec_time(0) for n in nodes) + 1.0
+    hi = sum(_node_weights(graph, nodes).values()) + 1.0
     if _has_positive_cycle(nodes, edges, hi):
         raise AnalysisError(
             "cycle with zero tokens and positive execution time: the "
@@ -402,10 +555,13 @@ def max_cycle_ratio(
     always at least the per-actor cycle, so the result is the
     bottleneck-actor bound or worse).
 
-    Computed with Howard's policy iteration (exact up to float
-    rounding); ``tolerance`` is kept for API compatibility and only
+    Computed per strongly connected component with Howard's policy
+    iteration (exact up to float rounding); component results are
+    memoized across graph versions by content fingerprint, so
+    re-analysis after an edit re-solves only the components the edit
+    touched.  ``tolerance`` is kept for API compatibility and only
     governs the binary-search fallback on the rare non-convergent
-    instance.  Results are memoized per graph version.
+    component.  Results are memoized per graph version.
     """
     return cached(
         graph, ("mcr", bindings_key(bindings)),
@@ -414,13 +570,63 @@ def max_cycle_ratio(
 
 
 def _max_cycle_ratio(graph: CSDFGraph, bindings: Mapping | None, tolerance: float) -> float:
-    nodes, edges = _hsdf_edges(graph, bindings)
-    if not edges:
+    nodes, struct = _hsdf_structure(graph, bindings)
+    if not struct:
         return 0.0
-    result = _howard(nodes, edges)
-    if result is None:
-        return mcr_reference(graph, bindings, tolerance)
-    return result
+    weights = _node_weights(graph, nodes)
+    best = 0.0
+    for comp_nodes, comp_edges in _scc_components(nodes, struct):
+        ratio = _component_mcr(graph, comp_nodes, comp_edges, weights, tolerance)
+        if ratio > best:
+            best = ratio
+    return best
+
+
+def _component_mcr(graph, comp_nodes, comp_edges, weights, tolerance) -> float:
+    """One SCC's cycle ratio, memoized across versions by fingerprint.
+
+    The fingerprint covers everything the ratio depends on — the
+    component's nodes, its weight-free edges, and its node weights — so
+    a store hit is exact by construction; deadlocked components are
+    never stored (the raise propagates to the per-version cache, which
+    memoizes exceptions itself).
+    """
+    store = content_store(graph, _SCC_STORE)
+    comp_weights = tuple(weights[name] for name in comp_nodes)
+    key = (comp_nodes, comp_edges, comp_weights)
+    hit = store.get(key)
+    if hit is not None:
+        return hit
+    edges = [(src, dst, weights[src], t) for src, dst, t in comp_edges]
+    policies = content_store(graph, _POLICY_STORE)
+    shape = (comp_nodes, comp_edges)
+    solved = howard(list(comp_nodes), edges, initial_policy=policies.get(shape))
+    if solved is None:
+        ratio = _component_reference(comp_nodes, edges, comp_weights, tolerance)
+    else:
+        ratio, _cycle, policy = solved
+        policies.put(shape, policy)
+    store.put(key, ratio)
+    return ratio
+
+
+def _component_reference(comp_nodes, edges, comp_weights, tolerance) -> float:
+    """Binary-search fallback for a non-convergent component (same
+    search as :func:`mcr_reference`, restricted to the component)."""
+    lo = 0.0
+    hi = sum(comp_weights) + 1.0
+    if _has_positive_cycle(comp_nodes, edges, hi):
+        raise AnalysisError(
+            "cycle with zero tokens and positive execution time: the "
+            "graph deadlocks, MCR undefined"
+        )
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _has_positive_cycle(comp_nodes, edges, mid):
+            lo = mid
+        else:
+            hi = mid
+    return hi
 
 
 def throughput_bound(graph: CSDFGraph, bindings: Mapping | None = None) -> float:

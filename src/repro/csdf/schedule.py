@@ -24,12 +24,17 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Mapping, Sequence
 
+from ..cache import bindings_key, cached, register_binding_insensitive
 from ..errors import DeadlockError, SimulationError
 from .analysis import concrete_repetition_vector
 from .graph import CSDFGraph
 from .simulation import TokenState
 
 POLICIES = ("grouped", "round_robin")
+
+# Liveness is a token-counting property: execution times never enter
+# the schedule probe, so the verdict survives binding-only bumps.
+register_binding_insensitive("is_live")
 
 
 class SequentialSchedule:
@@ -183,7 +188,16 @@ def validate_schedule(
 
 def is_live(graph: CSDFGraph, bindings: Mapping | None = None) -> bool:
     """Liveness via schedule construction (round-robin is complete:
-    if any PASS exists, interleaved execution finds one)."""
+    if any PASS exists, interleaved execution finds one).
+
+    Memoized per graph version; the schedule probe is untimed (it only
+    counts tokens), so the verdict is carried across binding-only
+    version bumps (execution-time edits)."""
+    return cached(graph, ("is_live", bindings_key(bindings)),
+                  lambda: _is_live(graph, bindings))
+
+
+def _is_live(graph: CSDFGraph, bindings: Mapping | None) -> bool:
     try:
         find_sequential_schedule(graph, bindings, policy="round_robin")
     except DeadlockError:

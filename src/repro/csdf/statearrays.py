@@ -63,7 +63,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..cache import bindings_key, cached
+from ..cache import bindings_key, cached, content_store, delta_since, version_of
 from ..errors import DeadlockError
 from .analysis import concrete_repetition_vector
 from .calqueue import CalendarQueue
@@ -156,6 +156,39 @@ class ArrayState:
         self.exec_const = [t[0] if len(t) == 1 else None
                            for t in self.exec_phases]
 
+    # -- delta patching ---------------------------------------------------
+    def apply_binding_delta(self, graph: CSDFGraph, actors=None) -> "ArrayState":
+        """A template for the graph's *current* execution times, built
+        by patching this one in place of a full rebuild.
+
+        Only valid across binding-only deltas (execution-time edits
+        that keep each actor's phase count — the contract enforced by
+        ``Actor.set_exec_time``): rates, tokens, topology and hence the
+        repetition vector are unchanged, so every array of this
+        template is still exact and is *shared* with the clone; only
+        the per-actor execution tables of the ``actors`` in the delta
+        scope (``None`` = all) are re-read from the graph.  The result
+        is indistinguishable from a cold ``ArrayState(graph, bindings)``
+        build.
+        """
+        clone = object.__new__(ArrayState)
+        for name in ArrayState.__slots__:
+            setattr(clone, name, getattr(self, name))
+        exec_phases = list(self.exec_phases)
+        exec_const = list(self.exec_const)
+        if actors is None:
+            positions = range(self.n)
+        else:
+            apos = {name: i for i, name in enumerate(self.order)}
+            positions = [apos[name] for name in actors if name in apos]
+        for pos in positions:
+            times = tuple(graph.actor(self.order[pos]).exec_times)
+            exec_phases[pos] = times
+            exec_const[pos] = times[0] if len(times) == 1 else None
+        clone.exec_phases = exec_phases
+        clone.exec_const = exec_const
+        return clone
+
     # -- vectorized firing rule -----------------------------------------
     def _phase_gather(self, base, length, flat, firing_of_slot):
         if not len(base):
@@ -219,12 +252,52 @@ def _edge(slot, phases):
     return (slot, tuple(phases), phases[0])
 
 
+def _freeze_template(state: ArrayState) -> ArrayState:
+    """Make the template's numpy arrays read-only.
+
+    The template is shared by every run at the current graph version
+    (runs clone from it), so an accidental in-place write — e.g.
+    ``state.tokens0[0] = 5`` from exploratory code — would silently
+    corrupt all subsequent runs.  numpy raises ``ValueError`` on writes
+    to non-writeable arrays, extending the :func:`repro.cache.freeze`
+    discipline to the memoized SoA product.
+    """
+    for name in ArrayState.__slots__:
+        value = getattr(state, name)
+        if isinstance(value, np.ndarray):
+            value.flags.writeable = False
+    return state
+
+
 def array_state(graph: CSDFGraph, bindings: Mapping | None) -> ArrayState:
     """The memoized :class:`ArrayState` template of ``graph`` at
     ``bindings`` (cached per graph version, like every other analysis
-    product)."""
+    product).
+
+    Rebuilds are delta-aware: the previous version's template is kept
+    in a cross-version slot, and when every bump since it was built was
+    binding-only (execution-time edits), the new template is produced
+    by :meth:`ArrayState.apply_binding_delta` — array sharing plus a
+    per-touched-actor patch instead of a full re-derivation.
+    """
     key = ("statearrays", bindings_key(bindings))
-    return cached(graph, key, lambda: ArrayState(graph, bindings))
+    return cached(graph, key, lambda: _build_template(graph, bindings, key[1]))
+
+
+def _build_template(graph: CSDFGraph, bindings: Mapping | None, bk) -> ArrayState:
+    store = content_store(graph, "statearrays_slot", limit=64)
+    slot = store.get(bk)
+    state = None
+    if slot is not None:
+        prev_version, prev_state = slot
+        delta = delta_since(graph, prev_version)
+        if not delta.conservative:
+            touched = None if delta.touched is None else tuple(delta.touched)
+            state = prev_state.apply_binding_delta(graph, touched)
+    if state is None:
+        state = _freeze_template(ArrayState(graph, bindings))
+    store.put(bk, (version_of(graph), state))
+    return state
 
 
 def self_timed_execution_arrays(

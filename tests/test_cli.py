@@ -73,6 +73,77 @@ class TestAnalyze:
         assert main(["analyze", str(path)]) == 1
 
 
+class TestAnalyzeEdits:
+    """The --edits incremental replay and its --verify-cold oracle."""
+
+    @staticmethod
+    def _script(tmp_path, edits):
+        path = tmp_path / "edits.json"
+        path.write_text(json.dumps(edits))
+        return str(path)
+
+    def test_replay_with_verify_cold(self, fig1_json, tmp_path, capsys):
+        script = self._script(tmp_path, [
+            {"op": "set_exec_time", "actor": "a1", "value": 5},
+            {"op": "set_initial_tokens", "channel": "e2", "value": 3},
+            {"op": "add_actor", "name": "x", "exec_time": 2},
+            {"op": "add_channel", "src": "a3", "dst": "x"},
+            {"op": "remove_actor", "name": "x"},
+        ])
+        assert main(["analyze", fig1_json, "--edits", script,
+                     "--verify-cold"]) == 0
+        out = capsys.readouterr().out
+        assert "[baseline]" in out
+        assert "[edit 4: remove_actor x]" in out
+        assert out.count("verify-cold: ok") == 6
+        assert "DIVERGED" not in out
+
+    def test_edit_breaking_consistency_exits_one(self, fig1_json, tmp_path,
+                                                 capsys):
+        script = self._script(tmp_path, [
+            {"op": "set_production", "channel": "e1", "value": [7]},
+        ])
+        assert main(["analyze", fig1_json, "--edits", script]) == 1
+        assert "NOT bounded" in capsys.readouterr().out
+
+    def test_unknown_target_reports_step(self, fig1_json, tmp_path):
+        script = self._script(tmp_path, [
+            {"op": "set_exec_time", "actor": "ghost", "value": 1},
+        ])
+        with pytest.raises(SystemExit, match="edit 0"):
+            main(["analyze", fig1_json, "--edits", script])
+
+    def test_unknown_op_reports_step(self, fig1_json, tmp_path):
+        script = self._script(tmp_path, [{"op": "paint"}])
+        with pytest.raises(SystemExit, match="edit 0"):
+            main(["analyze", fig1_json, "--edits", script])
+
+    def test_edits_require_csdf_graph(self, fig2_json, tmp_path):
+        script = self._script(tmp_path, [])
+        with pytest.raises(SystemExit, match="csdf-model"):
+            main(["analyze", fig2_json, "--edits", script])
+
+    def test_edits_require_single_graph(self, fig1_json, tmp_path):
+        script = self._script(tmp_path, [])
+        with pytest.raises(SystemExit, match="exactly one graph"):
+            main(["analyze", fig1_json, fig1_json, "--edits", script])
+
+    def test_edits_reject_jobs(self, fig1_json, tmp_path):
+        script = self._script(tmp_path, [])
+        with pytest.raises(SystemExit, match="drop --jobs"):
+            main(["analyze", fig1_json, "--edits", script, "--jobs", "2"])
+
+    def test_verify_cold_requires_edits(self, fig1_json):
+        with pytest.raises(SystemExit, match="--edits"):
+            main(["analyze", fig1_json, "--verify-cold"])
+
+    def test_script_must_be_array(self, fig1_json, tmp_path):
+        path = tmp_path / "edits.json"
+        path.write_text(json.dumps({"op": "set_exec_time"}))
+        with pytest.raises(SystemExit, match="JSON array"):
+            main(["analyze", fig1_json, "--edits", str(path)])
+
+
 class TestLint:
     def test_clean_graph(self, fig2_json, capsys):
         assert main(["lint", fig2_json]) == 0
