@@ -29,7 +29,13 @@ Quick start::
 """
 
 from . import analysis, apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
-from .analysis import EditSession, GraphReport, analyze, analyze_batch
+from .analysis import (
+    EditSession,
+    GraphReport,
+    analyze,
+    analyze_batch,
+    probe_capacities,
+)
 from .errors import (
     AnalysisError,
     BoundednessError,
@@ -50,6 +56,7 @@ __all__ = [
     "GraphReport",
     "analyze",
     "analyze_batch",
+    "probe_capacities",
     "symbolic",
     "csdf",
     "tpdf",

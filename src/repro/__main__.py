@@ -55,6 +55,17 @@ def _parse_bindings(pairs: list[str]) -> dict[str, int]:
     return bindings
 
 
+def _parse_capacities(pairs: list[str]) -> dict[str, int]:
+    capacities: dict[str, int] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        try:
+            capacities[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"--cap expects channel=tokens, got {pair!r}")
+    return capacities
+
+
 def _as_tpdf(graph):
     """Wrap a bare CSDF graph so the TPDF analyses run uniformly."""
     from .csdf.graph import CSDFGraph
@@ -243,6 +254,22 @@ def cmd_buffers(args) -> int:
     graph = _load(args.graph)
     csdf = graph if isinstance(graph, CSDFGraph) else graph.as_csdf()
     bindings = _parse_bindings(args.bind)
+    if args.search:
+        from .csdf.throughput import min_buffers_for_full_throughput
+
+        stats: dict = {}
+        capacities = min_buffers_for_full_throughput(
+            csdf, bindings or None, iterations=args.iterations,
+            batched=args.batched, stats=stats,
+        )
+        for name in sorted(capacities):
+            print(f"  {name}: {capacities[name]}")
+        print(f"total: {sum(capacities.values())}")
+        print(f"probes executed: {stats['probes']} "
+              f"(floored: {stats['probes_floored']}, "
+              f"memoized: {stats['probes_memoized']}, "
+              f"batch rounds: {stats['batch_rounds']})")
+        return 0
     if bindings:
         _, peaks = minimal_buffer_schedule(csdf, bindings)
         for name, peak in peaks.items():
@@ -263,16 +290,28 @@ def cmd_throughput(args) -> int:
         self_timed_execution,
         self_timed_execution_reference,
     )
+    from .errors import DeadlockError
 
     graph = _load(args.graph)
     csdf = graph if isinstance(graph, CSDFGraph) else graph.as_csdf()
     bindings = _parse_bindings(args.bind)
+    capacities = _parse_capacities(args.cap) or None
+    if args.probe_caps:
+        return _run_probe_caps(args, csdf, bindings or None)
     mcr = max_cycle_ratio(csdf, bindings or None)
     stats: dict = {}
-    result = self_timed_execution(
-        csdf, bindings or None, iterations=args.iterations, stats=stats,
-        backend=args.backend,
-    )
+    try:
+        result = self_timed_execution(
+            csdf, bindings or None, iterations=args.iterations, stats=stats,
+            backend=args.backend, capacities=capacities,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except DeadlockError as exc:
+        print(f"deadlock under --cap bounds: {exc}")
+        if exc.blocked:
+            print(f"blocked actors: {', '.join(exc.blocked)}")
+        return 1
     print(f"backend:                        {args.backend}")
     print(f"max cycle ratio (period bound): {mcr:.4f}")
     print(f"self-timed steady period:       {result.iteration_period:.4f}")
@@ -299,6 +338,42 @@ def cmd_throughput(args) -> int:
         if not same:
             return 1
     return 0
+
+
+def _run_probe_caps(args, csdf, bindings) -> int:
+    """``throughput --probe-caps FILE``: evaluate many capacity vectors
+    as one lock-step batch (the K-run kernel of
+    :mod:`repro.csdf.batchexec`).  The file is a JSON array of
+    ``{channel: tokens}`` objects; one verdict line is printed per
+    vector (steady period, or the deadlock's blocked set)."""
+    from .csdf.batchexec import self_timed_execution_batch
+    from .errors import DeadlockError
+
+    vectors = json.loads(Path(args.probe_caps).read_text())
+    if not isinstance(vectors, list) or not all(
+        isinstance(v, dict) for v in vectors
+    ):
+        raise SystemExit(
+            f"--probe-caps file {args.probe_caps} must be a JSON array of "
+            f"{{channel: tokens}} objects"
+        )
+    try:
+        outcomes = self_timed_execution_batch(
+            csdf, bindings, iterations=args.iterations,
+            capacities_list=vectors,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    exit_code = 0
+    for index, outcome in enumerate(outcomes):
+        if isinstance(outcome, DeadlockError):
+            exit_code = 1
+            blocked = ", ".join(outcome.blocked) or "-"
+            print(f"[{index}] deadlock (blocked: {blocked})")
+        else:
+            print(f"[{index}] period={outcome.iteration_period:.4f} "
+                  f"makespan={outcome.makespan:.4f}")
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -369,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_buf.add_argument("graph")
     p_buf.add_argument("--bind", action="append", default=[],
                        metavar="NAME=VALUE")
+    p_buf.add_argument("--search", action="store_true",
+                       help="search the minimal per-channel capacities "
+                            "preserving full throughput (executes probe "
+                            "runs instead of the analytic bounds)")
+    p_buf.add_argument("--batched", action="store_true",
+                       help="with --search: pre-execute probe candidates "
+                            "through the lock-step K-run kernel (identical "
+                            "capacities, fewer sequential probe calls)")
+    p_buf.add_argument("--iterations", type=int, default=6,
+                       help="self-timed iterations per probe (with --search)")
     p_buf.set_defaults(func=cmd_buffers)
 
     p_thr = sub.add_parser("throughput", help="MCR + self-timed period")
@@ -384,6 +469,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "ready-check visit counts")
     p_thr.add_argument("--bind", action="append", default=[],
                        metavar="NAME=VALUE")
+    p_thr.add_argument("--cap", action="append", default=[],
+                       metavar="CHANNEL=TOKENS",
+                       help="bound a channel's buffer (repeatable); unknown "
+                            "channel names are rejected, deadlocks under the "
+                            "bounds exit 1 with the blocked actors")
+    p_thr.add_argument("--probe-caps", metavar="FILE",
+                       help="JSON array of {channel: tokens} capacity "
+                            "vectors, evaluated as one lock-step batch "
+                            "(one verdict line per vector)")
     p_thr.set_defaults(func=cmd_throughput)
     return parser
 

@@ -549,6 +549,37 @@ def warm_graph(graph: AnyGraph) -> AnyGraph:
     return graph
 
 
+def probe_capacities(
+    graph: AnyGraph,
+    capacities_list,
+    bindings: Mapping | None = None,
+    *,
+    iterations: int = 4,
+) -> list:
+    """Evaluate many capacity vectors for one graph as a single
+    lock-step batch — the analysis-level front door of
+    :func:`repro.csdf.batchexec.self_timed_execution_batch`.
+
+    All vectors share one memoized SoA template (cloned into ``(K, n)``
+    planes) and advance wavefront by wavefront together; runs that
+    deadlock drop out without stalling the rest.  The returned list is
+    aligned with ``capacities_list``: a
+    :class:`~repro.csdf.throughput.TimedResult` per feasible vector and
+    the :class:`~repro.errors.DeadlockError` per deadlocking one —
+    bit for bit what K sequential
+    ``self_timed_execution(backend="arrays", capacities=...)`` calls
+    produce, blocked sets included.  TPDF graphs are probed through
+    their CSDF abstraction (the same view the throughput stage of
+    :func:`analyze` executes).
+    """
+    from .csdf.batchexec import self_timed_execution_batch
+
+    return self_timed_execution_batch(
+        _csdf_view(graph), bindings, iterations=iterations,
+        capacities_list=list(capacities_list),
+    )
+
+
 class EditSession:
     """Edit/re-analyze helper for interactive and service traffic.
 
@@ -749,8 +780,12 @@ def analyze_batch(
     Options are forwarded to :func:`analyze`.  Analyses of the same
     graph object under different bindings share every binding-independent
     intermediate (symbolic repetition vector, consistency verdict) and
-    all binding-keyed caches (HSDF expansion, MCR) via the per-graph
-    cache, which is what makes parameter sweeps cheap.
+    all binding-keyed caches (HSDF expansion, MCR, the SoA execution
+    template the throughput stage and :func:`probe_capacities` clone
+    their runs from) via the per-graph cache, which is what makes
+    parameter sweeps cheap; the parallel path shards by graph identity
+    so same-structure job groups land on one worker and share the
+    same warmed template there.
 
     Parameters
     ----------

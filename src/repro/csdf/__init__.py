@@ -36,15 +36,18 @@ from .buffers import (
 from .eventloop import EventQueue, ReadyWorklist
 from .calqueue import CalendarQueue
 from .statearrays import ArrayState, array_state, self_timed_execution_arrays
+from .batchexec import batch_tables, self_timed_execution_batch
 from .throughput import (
     BACKENDS,
     TimedResult,
     buffer_throughput_tradeoff,
+    capacity_floors,
     iteration_latency,
     min_buffers_for_full_throughput,
     self_timed_execution,
     self_timed_execution_reference,
     throughput_vs_cores,
+    validate_capacities,
 )
 from .sdf import expand_to_hsdf, hsdf_is_faithful, is_sdf
 from .symbuf import (
@@ -90,6 +93,10 @@ __all__ = [
     "self_timed_execution",
     "self_timed_execution_reference",
     "self_timed_execution_arrays",
+    "self_timed_execution_batch",
+    "batch_tables",
+    "capacity_floors",
+    "validate_capacities",
     "BACKENDS",
     "EventQueue",
     "ReadyWorklist",

@@ -1,0 +1,522 @@
+"""Lock-step K-run batched execution of the array-state backend.
+
+The arrays backend of :mod:`repro.csdf.statearrays` vectorized the
+*state* of one run; the heaviest workloads — buffer-search probes,
+per-binding parametric evaluation, batch corpora — are many
+*independent runs of the same template*.  This module clones K run
+states from one memoized :class:`~repro.csdf.statearrays.ArrayState`
+template into ``(K, n)`` / ``(K, nchan)`` numpy planes and steps all K
+runs **lock-step**: every wavefront processes exactly one completion
+event per still-active run, then drains every newly startable firing,
+all in vectorized rounds over flat index arrays.  Runs that diverge in
+time simply carry different ``now`` clocks; runs that deadlock (or
+finish early) drop out of the batch without stalling the rest.
+
+Bit-for-bit contract
+--------------------
+``self_timed_execution_batch`` returns, for each run, **exactly** what
+``self_timed_execution(..., backend="arrays")`` returns (or raises) for
+the same graph / bindings / iterations / capacities: every float of the
+``TimedResult``, every peak, and every deadlock blocked set.  The
+replay argument (pinned by ``tests/csdf/test_batchexec.py`` over the
+differential corpus):
+
+* with an unbounded core budget, starting one actor can never *unready*
+  a different actor (each channel has a single producer and a single
+  consumer, and a start only touches the starter's own constraint
+  bits), so the set of firings started after an event is a least
+  fixpoint — independent of start order;
+* the scalar drain starts that fixpoint in **waves**, each scanned in
+  ascending actor position; a producer woken mid-wave (a consumer freed
+  capacity headroom) joins the *current* wave exactly when its position
+  is past the position of the consumer that cleared its last blocked
+  constraint (the scalar ``insort`` ahead-of-cursor rule), otherwise it
+  seeds the next wave;
+* event sequence numbers are assigned in start order, so within a wave
+  they are the ascending-position rank — which is what makes the
+  ``(time, seq)`` event pop order reproducible without a per-run heap.
+
+Only ``cores=None`` is supported: a core budget makes start order
+depend on a global scan cursor that has no batched equivalent, and
+every batched workload (probes, parametric sweeps) runs unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DeadlockError
+from .graph import CSDFGraph
+from .statearrays import _UNCAPPED, ArrayState, array_state
+
+__all__ = ["BatchTables", "batch_tables", "self_timed_execution_batch"]
+
+#: Sentinel for "no candidate" in the per-wavefront event selection.
+_NO_SEQ = np.iinfo(np.int64).max
+
+
+class BatchTables:
+    """Batch-shaped companion tables of one :class:`ArrayState`.
+
+    The scalar kernel walks per-actor Python edge tuples; the batched
+    kernel needs the same adjacency as flat CSR arrays so a round's
+    ragged gathers (`out channels of these K actors`) are pure numpy.
+
+    ``out_base/out_cnt`` + ``out_slots``
+        channel slots grouped by producer position (scan order);
+    ``in_base/in_cnt`` + ``in_slots``
+        channel slots grouped by consumer position;
+    ``exec_base/exec_len`` + ``exec_flat``
+        execution-time phases, CSR over actor positions;
+    ``floor``
+        the per-channel *capacity floor*: ``max(initial tokens, max
+        consumption phase, max production phase)`` — any capacity below
+        it is provably infeasible (see
+        :func:`repro.csdf.throughput.capacity_floors`).
+    """
+
+    __slots__ = ("out_base", "out_cnt", "out_slots",
+                 "in_base", "in_cnt", "in_slots",
+                 "in_red", "out_red", "in_empty", "out_empty",
+                 "self_slots",
+                 "exec_base", "exec_len", "exec_flat", "floor")
+
+    def __init__(self, state: ArrayState):
+        n, nchan = state.n, state.nchan
+        slots = np.arange(nchan, dtype=np.int64)
+        src_order = np.argsort(state.chan_src, kind="stable")
+        dst_order = np.argsort(state.chan_dst, kind="stable")
+        self.out_slots = slots[src_order]
+        self.in_slots = slots[dst_order]
+        self.out_cnt = np.bincount(state.chan_src, minlength=n).astype(np.int64)
+        self.in_cnt = np.bincount(state.chan_dst, minlength=n).astype(np.int64)
+        self.out_base = np.zeros(n, dtype=np.int64)
+        self.in_base = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            self.out_base[1:] = np.cumsum(self.out_cnt[:-1])
+            self.in_base[1:] = np.cumsum(self.in_cnt[:-1])
+        # reduceat-safe segment starts (an empty trailing segment would
+        # index one past the slot table) plus the empty-segment masks —
+        # reduceat yields a[base[i]] for base[i] == base[i+1], which the
+        # caller overwrites with the identity via these masks.
+        if nchan:
+            self.in_red = np.minimum(self.in_base, nchan - 1)
+            self.out_red = np.minimum(self.out_base, nchan - 1)
+        else:
+            self.in_red = self.in_base
+            self.out_red = self.out_base
+        self.in_empty = self.in_cnt == 0
+        self.out_empty = self.out_cnt == 0
+        self.self_slots = np.flatnonzero(state.self_loop)
+
+        base, length, flat = [], [], []
+        for phases in state.exec_phases:
+            base.append(len(flat))
+            length.append(len(phases))
+            flat.extend(phases)
+        self.exec_base = np.asarray(base, dtype=np.int64)
+        self.exec_len = np.asarray(length, dtype=np.int64)
+        self.exec_flat = np.asarray(flat, dtype=np.float64)
+
+        floor = state.tokens0.copy()
+        for s in range(nchan):
+            cons = state.cons_flat[state.cons_base[s]:
+                                   state.cons_base[s] + state.cons_len[s]]
+            prod = state.prod_flat[state.prod_base[s]:
+                                   state.prod_base[s] + state.prod_len[s]]
+            if len(cons):
+                floor[s] = max(floor[s], int(cons.max()))
+            if len(prod):
+                floor[s] = max(floor[s], int(prod.max()))
+        self.floor = floor
+
+
+def batch_tables(state: ArrayState) -> BatchTables:
+    """The (lazily built, template-cached) :class:`BatchTables` of a
+    memoized template — one build per (graph version, bindings), like
+    the template itself."""
+    tables = state.batch
+    if tables is None:
+        tables = BatchTables(state)
+        state.batch = tables
+    return tables
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0), [0..c1), ...`` concatenated — the offset pattern for
+    CSR expansion."""
+    total = int(counts.sum())
+    if not total:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+
+
+class _BatchState:
+    """The mutable (K, n)/(K, nchan) planes of one lock-step batch."""
+
+    def __init__(self, state: ArrayState, tables: BatchTables,
+                 caps_rows: np.ndarray, exec_rows: np.ndarray,
+                 iterations: int):
+        k = len(caps_rows)
+        n, nchan = state.n, state.nchan
+        self.k, self.n, self.nchan = k, n, nchan
+        self.state, self.tables = state, tables
+        self.iterations = iterations
+        self.qv = state.qv_np
+        self.targets = self.qv * iterations
+
+        self.tokens = np.repeat(state.tokens0[None, :], k, axis=0)
+        self.peaks = self.tokens.copy()
+        self.reserved = np.zeros((k, nchan), dtype=np.int64)
+        self.caps = caps_rows                      # (k, nchan), -1 = unbounded
+        self.capped = caps_rows != _UNCAPPED       # static per batch
+        self.any_capped = bool(self.capped.any())
+        self.exec_flat = exec_rows                 # (k, len(exec_flat))
+
+        # Incremental next-phase planes: ``need[r, s]`` / ``give[r, s]``
+        # are the consumption / production of channel ``s``'s *next*
+        # consumer / producer firing in run ``r``.  They only change when
+        # the owning actor starts, so `start` patches just the touched
+        # slots and the per-wavefront readiness test is pure arithmetic
+        # on resident planes instead of a full phase-table gather.
+        if nchan:
+            self.need = np.repeat(
+                state.cons_flat[state.cons_base][None, :], k, axis=0)
+            self.give = np.repeat(
+                state.prod_flat[state.prod_base][None, :], k, axis=0)
+        else:
+            self.need = np.zeros((k, 0), dtype=np.int64)
+            self.give = np.zeros((k, 0), dtype=np.int64)
+
+        self.started = np.zeros((k, n), dtype=np.int64)
+        self.completed = np.zeros((k, n), dtype=np.int64)
+        self.busy = np.zeros((k, n), dtype=bool)
+        self.comp_time = np.full((k, n), np.inf)
+        self.comp_seq = np.full((k, n), _NO_SEQ, dtype=np.int64)
+
+        self.now = np.zeros(k)
+        self.seq = np.zeros(k, dtype=np.int64)
+        self.firings = np.zeros(k, dtype=np.int64)
+        self.active = np.ones(k, dtype=bool)
+
+        self.it_target = np.ones(k, dtype=np.int64)
+        self.short = np.full(k, int((self.qv > 0).sum()), dtype=np.int64)
+        self.ends: list[list[float]] = [[] for _ in range(k)]
+
+    # -- vectorized firing rule over a row subset ------------------------
+    def _reduce_in(self, mask: np.ndarray) -> np.ndarray:
+        """AND of a (rows, nchan) channel mask over each actor's *in*
+        channels -> (rows, n); channel-less actors reduce to True."""
+        t = self.tables
+        if not self.nchan:
+            return np.ones((len(mask), self.n), dtype=bool)
+        red = np.bitwise_and.reduceat(mask[:, t.in_slots], t.in_red, axis=1)
+        red[:, t.in_empty] = True
+        return red
+
+    def _reduce_out(self, mask: np.ndarray) -> np.ndarray:
+        """Same reduction over each actor's *out* channels."""
+        t = self.tables
+        if not self.nchan:
+            return np.ones((len(mask), self.n), dtype=bool)
+        red = np.bitwise_and.reduceat(mask[:, t.out_slots], t.out_red, axis=1)
+        red[:, t.out_empty] = True
+        return red
+
+    def eligible(self, rows: np.ndarray) -> np.ndarray:
+        """``can_start`` of every actor for the runs in ``rows``:
+        (len(rows), n) bool — data-ready, capacity-ready, idle, and
+        short of its firing target (the scalar seeding condition)."""
+        ready = self._reduce_in(self.tokens[rows] >= self.need[rows])
+        if self.any_capped:
+            ready &= self._reduce_out(~self._cap_blocked(rows))
+        return (ready & ~self.busy[rows]
+                & (self.started[rows] < self.targets[None, :]))
+
+    def _cap_blocked(self, rows: np.ndarray) -> np.ndarray:
+        """(len(rows), nchan) bool: capacity constraint of each
+        channel's *next* producer firing currently violated."""
+        t = self.tables
+        occupancy = (self.tokens[rows] + self.reserved[rows]
+                     + self.give[rows])
+        if len(t.self_slots):
+            occupancy[np.ix_(np.arange(len(rows)), t.self_slots)] -= \
+                self.need[np.ix_(rows, t.self_slots)]
+        return self.capped[rows] & (occupancy > self.caps[rows])
+
+    # -- ragged CSR expansion over (run, actor) pairs --------------------
+    def _expand(self, rows, poss, base, cnt, slot_table):
+        counts = cnt[poss]
+        rr = np.repeat(rows, counts)
+        idx = np.repeat(base[poss], counts) + _ragged_arange(counts)
+        return rr, slot_table[idx], np.repeat(poss, counts), counts
+
+    def start(self, rows: np.ndarray, poss: np.ndarray) -> None:
+        """Consume + reserve for the firings ``started[rows, poss]`` —
+        the start half of the scalar loop, minus event scheduling
+        (sequence numbers are assigned per wave, see the module
+        docstring)."""
+        st, t = self.state, self.tables
+        nf = self.started[rows, poss]
+        rr, ss, pp, counts = self._expand(rows, poss, t.in_base, t.in_cnt,
+                                          t.in_slots)
+        if len(rr):
+            self.tokens[rr, ss] -= self.need[rr, ss]
+            nxt = np.repeat(nf, counts) + 1
+            self.need[rr, ss] = st.cons_flat[st.cons_base[ss]
+                                             + nxt % st.cons_len[ss]]
+        rr, ss, pp, counts = self._expand(rows, poss, t.out_base, t.out_cnt,
+                                          t.out_slots)
+        if len(rr):
+            self.reserved[rr, ss] += self.give[rr, ss]
+            nxt = np.repeat(nf, counts) + 1
+            self.give[rr, ss] = st.prod_flat[st.prod_base[ss]
+                                             + nxt % st.prod_len[ss]]
+        self.started[rows, poss] = nf + 1
+        self.busy[rows, poss] = True
+
+    def produce(self, rows: np.ndarray, poss: np.ndarray) -> None:
+        """The completion half: release production (and its capacity
+        reservation) onto the out channels, tracking peaks."""
+        st, t = self.state, self.tables
+        nf = self.completed[rows, poss]
+        rr, ss, pp, counts = self._expand(rows, poss, t.out_base, t.out_cnt,
+                                          t.out_slots)
+        if len(rr):
+            nfr = np.repeat(nf, counts)
+            give = st.prod_flat[st.prod_base[ss] + nfr % st.prod_len[ss]]
+            level = self.tokens[rr, ss] + give
+            self.tokens[rr, ss] = level
+            self.reserved[rr, ss] -= give
+            self.peaks[rr, ss] = np.maximum(self.peaks[rr, ss], level)
+
+
+def _drain(bs: _BatchState, rows: np.ndarray) -> None:
+    """Start every firing the scalar drain would start for the runs in
+    ``rows``, with the scalar's exact start order (see module
+    docstring), assigning sequence numbers and completion events."""
+    st = bs.state
+    positions = np.arange(bs.n, dtype=np.int64)[None, :]
+    sub = bs.eligible(rows)                      # wave-1 candidates
+    if not bs.any_capped:
+        # Unconstrained runs have no capacity wakes, and a start can
+        # only *consume* tokens — nothing becomes data-ready mid-drain.
+        # One wave, one round, one ascending-position scan.
+        if sub.any():
+            r, p = np.nonzero(sub)
+            bs.start(rows[r], p)
+            _schedule_wave(bs, rows, sub)
+        return
+    while sub.any():
+        # ---- one wave: round 0 = entering candidates, later rounds =
+        # producers woken ahead of the scan cursor ----
+        entry_blocked = bs._cap_blocked(rows)
+        wave = np.zeros_like(sub)
+        clearpos = np.full(sub.shape, -1, dtype=np.int64)
+        round_set = sub
+        next_sub = np.zeros_like(sub)
+        while round_set.any():
+            r, p = np.nonzero(round_set)
+            bs.start(rows[r], p)
+            wave |= round_set
+            # Which capacity constraints cleared this wave, and at what
+            # scan position?  A constraint bit can only flip *set*
+            # during a drain when its channel's consumer starts (a
+            # consumption lowers occupancy), so the scan position of
+            # the flipped channel's consumer is the clearer position —
+            # and the wave starts in ascending position order, so the
+            # running max over a producer's flipped channels is exactly
+            # the scalar loop's "final clearer", whose position decides
+            # ahead-of-cursor insertion.
+            round_set = np.zeros_like(sub)
+            cleared = entry_blocked & ~bs._cap_blocked(rows)
+            if cleared.any():
+                cr, cc = np.nonzero(cleared)
+                np.maximum.at(clearpos, (cr, st.chan_src[cc]),
+                              st.chan_dst[cc])
+                woken = bs.eligible(rows) & ~wave
+                if woken.any():
+                    ahead = positions > clearpos
+                    round_set = woken & ahead & ~next_sub  # joins wave
+                    next_sub |= woken & ~ahead             # next wave
+        # ---- wave complete: sequence = ascending-position rank ----
+        _schedule_wave(bs, rows, wave)
+        sub = next_sub
+        # (nothing can go stale between waves: during a drain the
+        # constraint bits of idle actors are monotone non-decreasing.)
+
+
+def _schedule_wave(bs: _BatchState, rows: np.ndarray,
+                   wave: np.ndarray) -> None:
+    """Assign the (time, seq) completion events of one start wave —
+    sequence numbers are the ascending-position ranks within the wave
+    (the scalar start order, see module docstring)."""
+    ranks = np.cumsum(wave, axis=1) - 1
+    wr, wp = np.nonzero(wave)
+    grows = rows[wr]
+    nf = bs.started[grows, wp] - 1
+    t = bs.tables
+    dur = bs.exec_flat[grows, t.exec_base[wp] + nf % t.exec_len[wp]]
+    bs.comp_time[grows, wp] = bs.now[grows] + dur
+    bs.comp_seq[grows, wp] = bs.seq[grows] + ranks[wr, wp]
+    bs.seq[rows] += wave.sum(axis=1)
+
+
+def _finish_run(bs: _BatchState, r: int):
+    """TimedResult or DeadlockError for a quiescent run (mirrors the
+    scalar epilogue exactly, message included)."""
+    from .throughput import TimedResult
+
+    if (bs.completed[r] < bs.targets).any():
+        order = bs.state.order
+        blocked = [order[i] for i in range(bs.n)
+                   if bs.completed[r, i] < bs.targets[i]]
+        return DeadlockError(
+            f"self-timed execution stalled after {int(bs.firings[r])} "
+            "firings",
+            blocked=blocked,
+        )
+    return TimedResult(
+        makespan=float(bs.now[r]),
+        iterations=bs.iterations,
+        firings=int(bs.firings[r]),
+        iteration_ends=bs.ends[r],
+        peaks=dict(zip(bs.state.channel_names,
+                       bs.peaks[r].tolist())),
+    )
+
+
+def _caps_row(state: ArrayState, capacities: Mapping[str, int] | None,
+              graph: CSDFGraph) -> np.ndarray:
+    from .throughput import validate_capacities
+
+    row = np.full(state.nchan, _UNCAPPED, dtype=np.int64)
+    if capacities:
+        validate_capacities(graph, capacities)
+        caps_map = dict(capacities)
+        for slot, name in enumerate(state.channel_names):
+            value = caps_map.get(name)
+            if value is not None:
+                row[slot] = value
+    return row
+
+
+def self_timed_execution_batch(
+    graph: CSDFGraph,
+    bindings: Mapping | None = None,
+    iterations: int = 1,
+    capacities_list: Sequence[Mapping[str, int] | None] = (None,),
+    cores: int | None = None,
+    stats: dict | None = None,
+):
+    """Run K self-timed executions of one graph lock-step.
+
+    Each entry of ``capacities_list`` is one run's capacity vector
+    (``None`` = unconstrained).  Returns a list of per-run outcomes in
+    input order: a :class:`~repro.csdf.throughput.TimedResult`, or the
+    :class:`~repro.errors.DeadlockError` *instance* the sequential
+    backend would have raised (returned, not raised, so one deadlocked
+    run does not poison the batch).  Every outcome is bit-for-bit what
+    ``self_timed_execution(..., backend="arrays")`` produces for the
+    same run.
+
+    ``stats``, when given a dict, receives ``events`` (total firings
+    across the batch), ``wavefronts`` (lock-step rounds executed) and
+    ``runs``.  Only ``cores=None`` is supported — see the module
+    docstring.
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if cores is not None:
+        raise ValueError(
+            "batched execution supports cores=None only (a core budget "
+            "serializes starts through a global scan cursor that has no "
+            "lock-step equivalent)")
+    state = array_state(graph, bindings)
+    tables = batch_tables(state)
+    k = len(capacities_list)
+    outcomes: list = [None] * k
+
+    # Per-run capacity rows; runs violating the initial-tokens contract
+    # resolve immediately (the same up-front DeadlockError the scalar
+    # backends raise) and never enter the planes.
+    caps_rows = []
+    live = []
+    for i, capacities in enumerate(capacities_list):
+        row = _caps_row(state, capacities, graph)
+        bad = (row != _UNCAPPED) & (row < state.tokens0)
+        if bad.any():
+            from .throughput import _initial_fit_error
+
+            outcomes[i] = _initial_fit_error(
+                [state.channel_names[s] for s in np.flatnonzero(bad)],
+                list(state.order))
+        else:
+            caps_rows.append(row)
+            live.append(i)
+    if stats is not None:
+        stats["runs"] = k
+        stats["wavefronts"] = 0
+        stats["events"] = 0
+    if not live:
+        return outcomes
+
+    exec_rows = np.repeat(tables.exec_flat[None, :], len(live), axis=0)
+    bs = _BatchState(state, tables,
+                     np.stack(caps_rows), exec_rows, iterations)
+
+    rows_all = np.arange(len(live), dtype=np.int64)
+    _drain(bs, rows_all)
+    wavefronts = 0
+    while True:
+        rows = np.flatnonzero(bs.active)
+        if not len(rows):
+            break
+        # ---- next completion event per run: lexicographic (time, seq)
+        times = bs.comp_time[rows]
+        tmin = times.min(axis=1)
+        quiet = ~np.isfinite(tmin)
+        if quiet.any():
+            for r in rows[quiet]:
+                outcomes[live[r]] = _finish_run(bs, int(r))
+            bs.active[rows[quiet]] = False
+            rows = rows[~quiet]
+            if not len(rows):
+                continue
+            times = times[~quiet]
+            tmin = tmin[~quiet]
+        seqs = np.where(times == tmin[:, None], bs.comp_seq[rows], _NO_SEQ)
+        poss = np.argmin(seqs, axis=1)
+        wavefronts += 1
+
+        bs.now[rows] = tmin
+        bs.produce(rows, poss)
+        done = bs.completed[rows, poss] + 1
+        bs.completed[rows, poss] = done
+        bs.busy[rows, poss] = False
+        bs.comp_time[rows, poss] = np.inf
+        bs.comp_seq[rows, poss] = _NO_SEQ
+        bs.firings[rows] += 1
+
+        # ---- iteration boundaries (rare: iterations × K hits total) ----
+        boundary = done == bs.qv[poss] * bs.it_target[rows]
+        for ri in np.flatnonzero(boundary):
+            r = int(rows[ri])
+            bs.short[r] -= 1
+            while bs.short[r] == 0:
+                bs.ends[r].append(float(bs.now[r]))
+                bs.it_target[r] += 1
+                bs.short[r] = int(
+                    (bs.completed[r] < bs.qv * bs.it_target[r]).sum())
+                if bs.it_target[r] > iterations:
+                    break
+
+        _drain(bs, rows)
+
+    if stats is not None:
+        stats["wavefronts"] = wavefronts
+        stats["events"] = int(bs.firings.sum())
+    return outcomes

@@ -115,7 +115,7 @@ class ArrayState:
                  "cons_base", "cons_len", "cons_flat",
                  "prod_base", "prod_len", "prod_flat",
                  "in_edges", "out_edges", "exec_const", "exec_phases",
-                 "self_loop")
+                 "self_loop", "batch")
 
     def __init__(self, graph: CSDFGraph, bindings: Mapping | None):
         q = concrete_repetition_vector(graph, bindings)
@@ -155,6 +155,10 @@ class ArrayState:
         self.exec_phases = [tuple(t) for t in times]
         self.exec_const = [t[0] if len(t) == 1 else None
                            for t in self.exec_phases]
+        # Lazily built CSR companion for the lock-step batched kernel
+        # (see repro.csdf.batchexec.batch_tables) — cached on the
+        # memoized template so K-run batches build it once.
+        self.batch = None
 
     # -- delta patching ---------------------------------------------------
     def apply_binding_delta(self, graph: CSDFGraph, actors=None) -> "ArrayState":
@@ -187,6 +191,7 @@ class ArrayState:
             exec_const[pos] = times[0] if len(times) == 1 else None
         clone.exec_phases = exec_phases
         clone.exec_const = exec_const
+        clone.batch = None  # execution times changed: CSR tables stale
         return clone
 
     # -- vectorized firing rule -----------------------------------------
@@ -354,6 +359,9 @@ def self_timed_execution_arrays(
     cap_sat = bytearray(b"\x01" * nchan)
     capped_out: list[tuple] = [()] * n
     if capacities:
+        from .throughput import _initial_fit_error, validate_capacities
+
+        validate_capacities(graph, capacities)
         caps_np = np.full(nchan, _UNCAPPED, dtype=np.int64)
         caps_map = dict(capacities)
         for slot, name in enumerate(state.channel_names):
@@ -361,6 +369,11 @@ def self_timed_execution_arrays(
             if value is not None:
                 caps_np[slot] = value
         capped_mask = caps_np != _UNCAPPED
+        too_small = capped_mask & (caps_np < state.tokens0)
+        if too_small.any():
+            raise _initial_fit_error(
+                [state.channel_names[s] for s in np.flatnonzero(too_small)],
+                list(order))
         has_caps = bool(capped_mask.any())
         if has_caps:
             caps = [None if c == _UNCAPPED else c for c in caps_np.tolist()]

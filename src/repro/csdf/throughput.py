@@ -237,6 +237,87 @@ class _IndexedState(_TimedState):
 BACKENDS = ("arrays", "wakeup", "reference")
 
 
+def validate_capacities(
+    graph: CSDFGraph, capacities: Mapping[str, int] | None
+) -> None:
+    """Reject capacity vectors naming channels the graph doesn't have.
+
+    Every capacity-accepting entry point calls this (all execution
+    backends, the simulator, the buffer search, the CLI): a typo'd
+    channel name used to be silently dropped by the slot-mapping
+    loops — the execution then ran *unconstrained* on the channel the
+    caller thought was bounded.
+    """
+    if not capacities:
+        return
+    unknown = sorted(set(capacities) - set(graph.channels))
+    if unknown:
+        known = ", ".join(sorted(graph.channels)) or "(none)"
+        raise ValueError(
+            "unknown channel name(s) in capacities: "
+            f"{', '.join(unknown)}; graph channels are: {known}"
+        )
+
+
+def _initial_fit_error(channels, actors) -> DeadlockError:
+    """The up-front deadlock all backends raise for a capacity below a
+    channel's initial tokens.
+
+    The initial marking does not fit the buffer, so the run could never
+    have been admitted; executing anyway used to *silently succeed*
+    whenever the consumer drained the over-full channel — an
+    over-capacity run that reported peaks above the declared bound.
+    The error is deterministic (sorted channel list, scan-order blocked
+    set) so the three backends and the batched kernel agree bit for
+    bit.
+    """
+    names = ", ".join(sorted(channels))
+    return DeadlockError(
+        f"channel capacity below initial tokens: {names}",
+        blocked=list(actors),
+    )
+
+
+def _check_capacity_contract(graph, capacities, order) -> None:
+    """Name validation plus the initial-tokens admission check, shared
+    by the wakeup and reference executors (the arrays and batched
+    kernels run the same checks on their slot arrays)."""
+    if not capacities:
+        return
+    validate_capacities(graph, capacities)
+    too_small = [
+        name for name, channel in graph.channels.items()
+        if capacities.get(name) is not None
+        and capacities[name] < channel.initial_tokens
+    ]
+    if too_small:
+        raise _initial_fit_error(too_small, list(order))
+
+
+def capacity_floors(
+    graph: CSDFGraph, bindings: Mapping | None = None
+) -> dict[str, int]:
+    """The per-channel *capacity floor*: the smallest capacity not
+    provably infeasible, ``max(initial tokens, max consumption phase,
+    max production phase)``.
+
+    Any capacity below it deadlocks (or is rejected up front): the
+    initial marking must fit the buffer, the consumer's largest
+    consumption phase must fit below it (tokens never exceed the
+    capacity, so a larger consumption can never be covered), and the
+    producer's largest production phase must fit into an empty buffer
+    (a full repetition cycle visits every phase).  The buffer search
+    uses it to discard below-floor probes without executing them —
+    measured on the EXT7 search, over half of all probes.
+    """
+    from .batchexec import batch_tables
+    from .statearrays import array_state
+
+    state = array_state(graph, bindings)
+    return dict(zip(state.channel_names,
+                    batch_tables(state).floor.tolist()))
+
+
 def self_timed_execution(
     graph: CSDFGraph,
     bindings: Mapping | None = None,
@@ -301,6 +382,7 @@ def self_timed_execution(
         raise ValueError("need at least one iteration")
     q = concrete_repetition_vector(graph, bindings)
     order = list(q)
+    _check_capacity_contract(graph, capacities, order)
     n_actors = len(order)
     targets = [q[name] * iterations for name in order]
     qv = [q[name] for name in order]
@@ -432,6 +514,7 @@ def self_timed_execution_reference(
     if iterations < 1:
         raise ValueError("need at least one iteration")
     q = concrete_repetition_vector(graph, bindings)
+    _check_capacity_contract(graph, capacities, list(q))
     targets = {name: count * iterations for name, count in q.items()}
     state = _TimedState(graph, bindings, capacities)
     exec_times = {name: graph.actor(name).exec_times for name in targets}
@@ -561,6 +644,10 @@ def min_buffers_for_full_throughput(
     warm_start: bool = True,
     stats: dict | None = None,
     backend: str = "arrays",
+    probe_floor: bool = True,
+    memoize_probes: bool = True,
+    batched: bool = False,
+    capacities: Mapping[str, int] | None = None,
 ) -> dict[str, int]:
     """Smallest per-channel capacities preserving unconstrained
     throughput (a classic buffer-sizing DSE point).
@@ -624,6 +711,45 @@ def min_buffers_for_full_throughput(
     and every probe (all cores are bit-identical; the default
     ``"arrays"`` keeps the whole search on the struct-of-arrays state,
     cloning each probe from one memoized template).
+
+    Three probe-economy switches, all preserving the returned
+    capacities exactly (asserted over the differential corpus by
+    ``tests/csdf/test_throughput.py`` / ``tests/csdf/test_batchexec.py``):
+
+    ``probe_floor`` (default on)
+        discard candidate vectors below the analytic
+        :func:`capacity_floors` without executing them (provably
+        infeasible — on the EXT7 search over half of all probes);
+    ``memoize_probes`` (default on)
+        cache each probe's verdict under its full capacity-vector key
+        for the duration of the search, so a vector is never executed
+        twice; ``stats["probes"]`` counts *executed* probes only, with
+        ``probes_floored`` / ``probes_memoized`` recording the
+        shortcuts taken;
+    ``batched``
+        pre-execute the probe ladder in lock-step K-run batches
+        (:func:`repro.csdf.batchexec.self_timed_execution_batch`):
+        every unresolved channel contributes its next candidate vector
+        (earlier channels speculated at their capacity floor until
+        actually resolved — on the bench corpus most channels do
+        resolve there) and the whole round runs as one batch; the
+        sequential search then replays against the memoized verdicts.
+        A misprediction (a channel resolving away from its speculated
+        floor, or a warm probe failing under speculation) aborts the
+        pre-pass — never changing the answer, because the replay is
+        the authority — so hard graphs pay at most one cheap
+        deadlock-dominated round.  Implies ``memoize_probes``.
+
+    ``capacities``, when given, **pins** those channels: the pinned
+    values are kept verbatim (validated against the graph's channel
+    names — unknown names raise ``ValueError``; a pin below a
+    channel's initial tokens raises the same up-front
+    :class:`~repro.errors.DeadlockError` as the executors) and only
+    the remaining channels are minimized subject to the pins.  Pins
+    below the analytic :func:`capacity_floors` are provably infeasible
+    and raise ``ValueError`` up front; above the floor the search has
+    the same best-effort semantics as the unpinned case (each free
+    channel minimal against the observed probe verdicts).
     """
     from .mcr import max_cycle_ratio
 
@@ -634,6 +760,10 @@ def min_buffers_for_full_throughput(
     # Short requests are executed at the minimum sound horizon instead
     # (more iterations never bias the estimate, they only steady it).
     iterations = max(iterations, _MIN_PROBE_ITERATIONS)
+
+    pins = dict(capacities) if capacities else {}
+    if pins:
+        _check_capacity_contract(graph, pins, list(graph.actors))
 
     unconstrained = self_timed_execution(
         graph, bindings, iterations=iterations, backend=backend
@@ -656,11 +786,38 @@ def min_buffers_for_full_throughput(
     # minimal) capacities on large-exec-time graphs.
     slack = tolerance * max(1.0, abs(target))
     capacities = dict(unconstrained.peaks)
-    counters = {"probes": 0, "probes_saved": 0, "warm_failed": 0}
+    capacities.update(pins)
+    names = sorted(set(capacities) - set(pins))
+    counters = {"probes": 0, "probes_saved": 0, "warm_failed": 0,
+                "probes_floored": 0, "probes_memoized": 0,
+                "batch_rounds": 0}
+    if batched:
+        memoize_probes = True
+    floors = (
+        capacity_floors(graph, bindings)
+        if (probe_floor or batched or pins) else {}
+    )
+    if pins:
+        below = sorted(
+            name for name, value in pins.items() if value < floors[name]
+        )
+        if below:
+            # Provably infeasible (the floor argument of
+            # ``capacity_floors``): no sizing of the free channels can
+            # recover full throughput under these pins.
+            raise ValueError(
+                "pinned capacity below the analytic floor: "
+                + ", ".join(
+                    f"{name}={pins[name]} (floor {floors[name]})"
+                    for name in below
+                )
+            )
+    memo: dict[tuple, float] = {}
 
-    def period_with(caps: Mapping[str, int]) -> float:
-        from ..errors import DeadlockError
+    def probe_key(caps: Mapping[str, int]) -> tuple:
+        return tuple(caps[name] for name in names)
 
+    def execute_probe(caps: Mapping[str, int]) -> float:
         counters["probes"] += 1
         try:
             result = self_timed_execution(
@@ -671,9 +828,34 @@ def min_buffers_for_full_throughput(
             return float("inf")
         return _steady_period(result)
 
+    def period_with(caps: Mapping[str, int]) -> float:
+        if probe_floor and any(
+            caps[name] < floor for name, floor in floors.items()
+        ):
+            # Provably infeasible — the verdict an execution would
+            # reach, without the execution.
+            counters["probes_floored"] += 1
+            return float("inf")
+        if not memoize_probes:
+            return execute_probe(caps)
+        key = probe_key(caps)
+        verdict = memo.get(key)
+        if verdict is None:
+            memo[key] = verdict = execute_probe(caps)
+        else:
+            counters["probes_memoized"] += 1
+        return verdict
+
     warm_bounds = _symbolic_warm_bounds(graph, bindings) if warm_start else {}
 
-    for name in sorted(capacities):
+    if batched:
+        _batched_probe_rounds(
+            graph, bindings, iterations, backend, names, capacities,
+            floors if probe_floor else {}, floors, warm_bounds,
+            target, slack, memo, probe_key, counters,
+        )
+
+    for name in names:
         lo, hi = 0, capacities[name]
         warm = warm_bounds.get(name)
         if warm is not None and warm < hi:
@@ -711,6 +893,159 @@ def min_buffers_for_full_throughput(
         counters["iterations"] = iterations
         stats.update(counters)
     return capacities
+
+
+class _ChannelSearch:
+    """The greedy per-channel probe ladder of
+    :func:`min_buffers_for_full_throughput`, reified so the batched
+    prober can run many ladders concurrently: ``next_value()`` yields
+    the capacity the sequential loop would probe next, ``observe()``
+    feeds the verdict back.  Built against a snapshot of the earlier
+    channels' (possibly speculated) finals — a prefix change discards
+    the ladder."""
+
+    __slots__ = ("prefix_key", "lo", "hi", "warm", "warm_pending")
+
+    def __init__(self, prefix_key, hi, warm):
+        self.prefix_key = prefix_key
+        self.lo = 0
+        self.hi = hi
+        self.warm = warm
+        self.warm_pending = warm is not None and warm < hi
+
+    def next_value(self):
+        if self.warm_pending:
+            return self.warm
+        if self.lo < self.hi:
+            return (self.lo + self.hi) // 2
+        return None  # resolved: final == self.hi
+
+    def observe(self, value, feasible):
+        if self.warm_pending:
+            self.warm_pending = False
+            if feasible:
+                self.hi = value
+            else:
+                self.lo = value + 1
+            return
+        if feasible:
+            self.hi = value
+        else:
+            self.lo = value + 1
+
+
+def _batched_probe_rounds(
+    graph, bindings, iterations, backend, names, peaks,
+    kill_floors, spec_floors, warm_bounds, target, slack,
+    memo, probe_key, counters,
+) -> None:
+    """Pre-execute the greedy search's probes in lock-step batches.
+
+    Each round, every unresolved channel contributes the next probe of
+    its :class:`_ChannelSearch` ladder, built against a prefix that
+    uses the *actual* final for already-resolved earlier channels and
+    the capacity floor as a speculation for unresolved ones.  The whole
+    round executes as **one** invocation of the lock-step batched
+    kernel and the verdicts land in ``memo`` under their full-vector
+    keys.  On graphs where every channel resolves at its floor — the
+    common case on the random corpus — the speculation is exact, every
+    round is fully useful, and the sequential replay in the caller hits
+    the memo on every probe.
+
+    Two guards keep the hard case cheap.  First, the moment a channel
+    resolves away from its speculated floor, every ladder built after
+    it sits on a wrong prefix — re-speculating cascades (each later
+    resolution re-invalidates everything downstream, measured ~8x the
+    useful probe count on the EXT7 bench graph), so the pre-pass aborts
+    instead.  Second, the pre-pass aborts after any round in which a
+    *warm* probe came back infeasible: under an exact prefix warm
+    probes almost always succeed, so a failing one means the floors
+    speculation is off and the ladders are about to climb into
+    feasible (long-running) probes, which the lock-step kernel
+    executes slower than the scalar loop — the opposite of the
+    deadlock-dominated screens it is built for.  Either way probes
+    already executed stay memoized and the unresolved channels fall
+    through to the caller's sequential loop, which probes them with
+    exact prefixes.  Mispredictions therefore cost at most one cheap
+    deadlock-heavy round — never a different answer, because the
+    replay is the authority either way.
+    """
+    from .batchexec import self_timed_execution_batch
+
+    ladders: dict[str, _ChannelSearch] = {}
+    resolved: dict[str, int] = {}
+
+    def prefix_of(name):
+        vec, key = dict(peaks), []
+        for m in names:
+            if m == name:
+                break
+            value = resolved.get(m)
+            if value is None:
+                value = min(spec_floors.get(m, 1), peaks[m])
+            vec[m] = value
+            key.append(value)
+        return vec, tuple(key)
+
+    while True:
+        pending: dict[tuple, list[tuple[str, int]]] = {}
+        for name in names:
+            spec = min(spec_floors.get(name, 1), peaks[name])
+            if resolved.get(name, spec) != spec:
+                # Misprediction: this channel's final is not its floor,
+                # so every ladder after it speculated a wrong prefix.
+                # Abort — the sequential replay finishes from the memo.
+                return
+            if name in resolved:
+                continue
+            prefix, pkey = prefix_of(name)
+            ladder = ladders.get(name)
+            if ladder is None:
+                ladder = _ChannelSearch(pkey, peaks[name],
+                                        warm_bounds.get(name))
+                ladders[name] = ladder
+            # Advance through verdicts already known (floored or
+            # memoized) until the ladder needs a fresh execution.
+            while True:
+                value = ladder.next_value()
+                if value is None:
+                    resolved[name] = ladder.hi
+                    break
+                probe = dict(prefix)
+                probe[name] = value
+                if any(probe[m] < floor
+                       for m, floor in kill_floors.items()):
+                    ladder.observe(value, False)
+                    continue
+                key = probe_key(probe)
+                verdict = memo.get(key)
+                if verdict is None:
+                    pending.setdefault(key, []).append((name, value))
+                    break
+                ladder.observe(value, verdict <= target + slack)
+        if not pending:
+            return  # every channel resolved (all at its speculation)
+        keys = list(pending)
+        vectors = [dict(zip(names, key)) for key in keys]
+        counters["batch_rounds"] += 1
+        counters["probes"] += len(vectors)
+        outcomes = self_timed_execution_batch(
+            graph, bindings, iterations=iterations,
+            capacities_list=vectors,
+        )
+        warm_missed = False
+        for key, outcome in zip(keys, outcomes):
+            verdict = (float("inf") if isinstance(outcome, DeadlockError)
+                       else _steady_period(outcome))
+            memo[key] = verdict
+            feasible = verdict <= target + slack
+            for name, value in pending[key]:
+                ladder = ladders[name]
+                if ladder.warm_pending and not feasible:
+                    warm_missed = True
+                ladder.observe(value, feasible)
+        if warm_missed:
+            return  # speculation is off; finish sequentially
 
 
 def _steady_period(result: TimedResult) -> float:
@@ -767,7 +1102,24 @@ def _symbolic_warm_bounds(
     at a degenerate binding (no initial tokens and zero traffic), and
     probing capacity 0 on a channel that carries any traffic is a
     guaranteed-deadlock execution — a wasted probe.
+
+    The evaluated bounds are memoized per (graph version, bindings)
+    through :mod:`repro.cache`: the symbolic analysis plus Fraction
+    evaluation costs several milliseconds at bench sizes, a fixed tax
+    on every warm search that repeated searches of the same graph
+    (probe sweeps, benches, services) shouldn't pay twice.
     """
+    from ..cache import bindings_key, cached
+
+    return cached(
+        graph, ("warm_buffer_bounds", bindings_key(bindings)),
+        lambda: _compute_warm_bounds(graph, bindings),
+    )
+
+
+def _compute_warm_bounds(
+    graph: CSDFGraph, bindings: Mapping | None
+) -> dict[str, int]:
     from ..errors import ReproError
     from ..symbolic import InconsistentRatesError
     from .symbuf import symbolic_channel_bounds

@@ -58,7 +58,8 @@ from .trace import DiscardRecord, FiringRecord, Trace
 
 
 class _ChannelState:
-    __slots__ = ("channel", "queue", "discard_debt", "dst_pos")
+    __slots__ = ("channel", "queue", "discard_debt", "dst_pos", "src_pos",
+                 "capacity", "reserved")
 
     def __init__(self, channel: TPDFChannel):
         self.channel = channel
@@ -67,6 +68,14 @@ class _ChannelState:
         #: scan position of the consumer (set by the Simulator; the
         #: wakeup seed target when tokens arrive on this channel)
         self.dst_pos = -1
+        #: scan position of the producer (the wakeup seed target when
+        #: tokens leave a capacity-bounded channel)
+        self.src_pos = -1
+        #: buffer bound (``None`` = unbounded)
+        self.capacity: int | None = None
+        #: tokens promised by in-flight firings (reserved at start,
+        #: converted to queued tokens at completion)
+        self.reserved = 0
 
 
 class Simulator:
@@ -81,6 +90,22 @@ class Simulator:
     cores:
         Worker-core budget for kernels (``None`` = unlimited).  Control
         actors never compete for these cores.
+    capacities:
+        Optional per-channel buffer bounds (channel name → max tokens),
+        the same blocking-write discipline as
+        ``self_timed_execution(capacities=...)``: a firing may start
+        only when every bounded output channel has room for the tokens
+        it will produce — occupancy counts queued tokens *plus* the
+        reservations of in-flight firings, a self-loop's own
+        consumption is credited, and the reservation converts into
+        queued tokens at completion.  Unknown channel names raise
+        ``ValueError``; a capacity below a channel's initial tokens
+        raises :class:`~repro.errors.DeadlockError` up front (the
+        initial marking does not fit the buffer).  Clock-actor ticks
+        are time-triggered and never blocked — their deposits still
+        count toward occupancy.  Capacity back-pressure can make the
+        run quiesce earlier than an unbounded run; the trace's
+        ``peaks`` never exceed the bound.
     record_values:
         Keep consumed/produced values in the trace (memory-heavy; used
         by functional tests).
@@ -111,6 +136,7 @@ class Simulator:
         record_values: bool = False,
         control_priority: bool = True,
         ready_core: str = "wakeup",
+        capacities: Mapping[str, int] | None = None,
     ):
         if ready_core not in self.READY_CORES:
             raise ValueError(
@@ -174,6 +200,24 @@ class Simulator:
         self._core_blocked_flag = bytearray(len(self._order))
         for state in self._channels.values():
             state.dst_pos = self._pos[state.channel.dst]
+            state.src_pos = self._pos[state.channel.src]
+
+        self._capacities = dict(capacities or {})
+        self._any_capacity = bool(self._capacities)
+        if self._capacities:
+            # Shared capacity contract (repro.csdf.throughput): unknown
+            # names raise, and the initial marking must fit the buffer.
+            from ..csdf.throughput import _initial_fit_error, validate_capacities
+
+            validate_capacities(graph, self._capacities)
+            too_small = sorted(
+                name for name, cap in self._capacities.items()
+                if cap < graph.channels[name].initial_tokens
+            )
+            if too_small:
+                raise _initial_fit_error(too_small, list(self._order))
+            for name, cap in self._capacities.items():
+                self._channels[name].capacity = int(cap)
 
     # -- small helpers ------------------------------------------------------
     def _rate(self, node: str, port: str, firing: int) -> int:
@@ -220,6 +264,12 @@ class Simulator:
             # readiness may have changed.
             self._worklist.seed(state.dst_pos)
 
+    def _notify_drain(self, state: _ChannelState, count: int) -> None:
+        """Tokens left a channel: a producer blocked on its capacity
+        may have room now (the write-side wakeup invariant)."""
+        if count and self._wakeup and state.capacity is not None:
+            self._worklist.seed(state.src_pos)
+
     def _flush(self, state: _ChannelState, count: int, node: str, port: str,
                late_debt: bool = True) -> None:
         """Discard ``count`` tokens: immediately when present and — when
@@ -238,6 +288,7 @@ class Simulator:
         available = min(count, len(state.queue))
         for _ in range(available):
             state.queue.popleft()
+        self._notify_drain(state, available)
         flushed = available
         if late_debt:
             state.discard_debt += count - available
@@ -333,7 +384,54 @@ class Simulator:
                 key=lambda p: (kernel.port(p).priority, p),
             )
             consume = [best]
+        if self._any_capacity and self._capacity_blocked(
+            kernel, n, mode, self._reserve_plan(kernel, n, mode, token),
+            consume,
+        ):
+            return None  # blocking write: no room on a bounded output
         return token if needs_control else None, consume
+
+    def _reserve_plan(self, kernel: Kernel, n: int, mode: Mode | None,
+                      token: ControlToken | None) -> dict[str, int]:
+        """Per-port production this firing will deposit — the
+        enabled-port rule of :meth:`_apply_function`, applied at plan
+        time (the mode token, and with it the declared rates, is known
+        before the firing starts)."""
+        out_rates = {
+            port: self._kernel_rate(kernel, port, n, mode)
+            for port in self._out[kernel.name]
+        }
+        if (
+            token is None
+            or not token.selection
+            or not set(token.selection) & set(out_rates)
+        ):
+            return out_rates
+        return {
+            port: rate for port, rate in out_rates.items()
+            if token.selects(port)
+        }
+
+    def _capacity_blocked(self, kernel: Kernel, n: int, mode: Mode | None,
+                          reserve: Mapping[str, int],
+                          consume: list[str]) -> bool:
+        """True when some bounded output channel lacks room for this
+        firing's production.  Occupancy is queued tokens plus in-flight
+        reservations; tokens the same firing pops from a self-loop at
+        start are credited (they leave before the reservation lands)."""
+        name = kernel.name
+        for port, rate in reserve.items():
+            state = self._out[name][port]
+            cap = state.capacity
+            if cap is None:
+                continue
+            credit = 0
+            channel = state.channel
+            if channel.dst == name and channel.dst_port in consume:
+                credit = self._kernel_rate(kernel, channel.dst_port, n, mode)
+            if len(state.queue) - credit + state.reserved + rate > cap:
+                return True
+        return False
 
     def _control_ready(self, actor: ControlActor) -> bool:
         if isinstance(actor, ClockActor):
@@ -343,6 +441,18 @@ class Simulator:
         for port, state in self._in[name].items():
             if len(state.queue) < self._rate(name, port, n):
                 return False
+        if self._any_capacity:
+            for port, state in self._out[name].items():
+                cap = state.capacity
+                if cap is None:
+                    continue
+                credit = 0
+                channel = state.channel
+                if channel.dst == name:
+                    credit = self._rate(name, channel.dst_port, n)
+                rate = self._rate(name, port, n)
+                if len(state.queue) - credit + state.reserved + rate > cap:
+                    return False
         return True
 
     # -- starting firings ------------------------------------------------------
@@ -435,11 +545,18 @@ class Simulator:
         for port, state in self._in[name].items():
             rate = self._rate(name, port, n)
             consumed[port] = [state.queue.popleft() for _ in range(rate)]
+            self._notify_drain(state, rate)
+        reserve: dict[str, int] = {}
+        if self._any_capacity:
+            for port, state in self._out[name].items():
+                rate = self._rate(name, port, n)
+                reserve[port] = rate
+                state.reserved += rate
         duration = actor.exec_time(n)
         self._busy.add(name)
         self._push_event(
             self.now + duration, "control_done",
-            (actor, n, self.now, consumed),
+            (actor, n, self.now, consumed, reserve),
         )
 
     def _begin_kernel(self, kernel: Kernel, token: ControlToken | None, consume: list[str]) -> None:
@@ -451,10 +568,12 @@ class Simulator:
             control_state = self._control_state(kernel)
             assert control_state is not None
             control_state.queue.popleft()
+            self._notify_drain(control_state, 1)
         for port in consume:
             state = self._in[name][port]
             rate = self._kernel_rate(kernel, port, n, mode)
             consumed[port] = [state.queue.popleft() for _ in range(rate)]
+            self._notify_drain(state, rate)
         # Rejected ports: flush this firing's worth of tokens.
         control_port = kernel.control_port()
         late_debt = bool(kernel.meta.get("discard_late", True))
@@ -466,6 +585,12 @@ class Simulator:
             self._flush(state, self._kernel_rate(kernel, port, n, mode),
                         name, port, late_debt=late_debt)
 
+        reserve: dict[str, int] = {}
+        if self._any_capacity:
+            reserve = self._reserve_plan(kernel, n, mode, token)
+            for port, rate in reserve.items():
+                self._out[name][port].reserved += rate
+
         time_fn = kernel.meta.get("time_fn")
         duration = (
             float(time_fn(n, consumed)) if callable(time_fn) else kernel.exec_time(n)
@@ -474,14 +599,17 @@ class Simulator:
         self._workers += 1
         self._push_event(
             self.now + duration, "kernel_done",
-            (kernel, n, self.now, token, consumed),
+            (kernel, n, self.now, token, consumed, reserve),
         )
 
     # -- completing firings ------------------------------------------------------
-    def _complete_control(self, actor: ControlActor, n: int, start: float, consumed) -> None:
+    def _complete_control(self, actor: ControlActor, n: int, start: float,
+                          consumed, reserve: Mapping[str, int] = ()) -> None:
         name = actor.name
         flat_inputs = [value for values in consumed.values() for value in values]
         token = actor.decide(n, flat_inputs)
+        for port in reserve:
+            self._out[name][port].reserved -= reserve[port]
         produced: dict[str, list] = {}
         for port, state in self._out[name].items():
             rate = self._rate(name, port, n)
@@ -501,9 +629,12 @@ class Simulator:
         )
 
     def _complete_kernel(self, kernel: Kernel, n: int, start: float,
-                         token: ControlToken | None, consumed) -> None:
+                         token: ControlToken | None, consumed,
+                         reserve: Mapping[str, int] = ()) -> None:
         name = kernel.name
         outputs = self._apply_function(kernel, n, token, consumed)
+        for port in reserve:
+            self._out[name][port].reserved -= reserve[port]
         for port, values in outputs.items():
             self._deposit(self._out[name][port], values)
         self._busy.discard(name)
@@ -663,9 +794,9 @@ class Simulator:
             self.now = time
             self.ready_stats["events"] += 1
             if kind == "kernel_done":
-                self._complete_kernel(payload[0], payload[1], payload[2], payload[3], payload[4])
+                self._complete_kernel(*payload)
             elif kind == "control_done":
-                self._complete_control(payload[0], payload[1], payload[2], payload[3])
+                self._complete_control(*payload)
             elif kind == "tick":
                 self._complete_tick(payload, horizon)
             fired_total += 1

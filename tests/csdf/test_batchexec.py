@@ -1,0 +1,350 @@
+"""Differential suite for the lock-step K-run batched kernel.
+
+``self_timed_execution_batch`` clones K run-states from one memoized
+``ArrayState`` template and steps all K runs wavefront by wavefront.
+The contract is **bit for bit**: every outcome — the full
+``TimedResult`` contents, or the deadlock's message and blocked set —
+must equal what K sequential ``self_timed_execution(backend="arrays")``
+calls produce, over the same 200-graph random corpus the three scalar
+backends are pinned on.
+
+Also here: the capacity-contract regressions (unknown channel names
+raise ``ValueError`` from every entry point; a capacity below a
+channel's initial tokens is a documented up-front deadlock on every
+backend) and the buffer-search modes (floor-kill, probe memoization,
+batched pre-pass) that must all return identical capacities.
+"""
+
+import pytest
+
+from repro.analysis import probe_capacities
+from repro.csdf import (
+    CSDFGraph,
+    capacity_floors,
+    min_buffers_for_full_throughput,
+    self_timed_execution,
+    self_timed_execution_batch,
+)
+from repro.errors import DeadlockError
+from repro.sim import Simulator
+from repro.tpdf import random_consistent_graph
+
+#: The corpus grid of tests/sim/test_eventloop_differential.py.
+SHAPES = (
+    (3, 1, 0),
+    (4, 2, 1),
+    (5, 2, 0),
+    (5, 3, 2),
+    (6, 3, 1),
+    (6, 3, 2),
+    (7, 3, 0),
+    (8, 4, 2),
+)
+SEEDS_PER_SHAPE = 25  # 8 shapes x 25 seeds = 200 random graphs
+
+
+def _random_csdf(n: int, extra: int, cycles: int, seed: int) -> CSDFGraph:
+    return random_consistent_graph(
+        n, extra_edges=extra, n_cycles=cycles, seed=seed, with_control=False
+    ).as_csdf()
+
+
+def _sequential_key(graph, capacities, iterations):
+    try:
+        r = self_timed_execution(
+            graph, iterations=iterations, capacities=capacities,
+            backend="arrays",
+        )
+    except DeadlockError as exc:
+        return ("deadlock", str(exc), tuple(exc.blocked))
+    return _result_key(r)
+
+
+def _result_key(r):
+    return (
+        r.makespan,
+        r.iterations,
+        r.firings,
+        tuple(r.iteration_ends),
+        tuple(r.peaks.items()),
+    )
+
+
+def _outcome_key(outcome):
+    if isinstance(outcome, DeadlockError):
+        return ("deadlock", str(outcome), tuple(outcome.blocked))
+    return _result_key(outcome)
+
+
+def _capacity_variants(graph, iterations):
+    """Uncapped, peak-tight, and deliberately undersized vectors —
+    the mid-batch divergence mix (some runs deadlock, some don't)."""
+    peaks = self_timed_execution(graph, iterations=iterations).peaks
+    tight = {name: max(1, peak - 1) for name, peak in peaks.items()}
+    floors = capacity_floors(graph)
+    return [
+        None,
+        {name: peak for name, peak in peaks.items()},
+        tight,
+        {name: max(floors[name], 1) for name in peaks},
+    ]
+
+
+class TestBatchedVsSequential:
+    """Batched == K sequential arrays runs, bit for bit."""
+
+    @pytest.mark.parametrize(
+        "shape", SHAPES, ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}"
+    )
+    def test_corpus_capacities_on_and_off(self, shape):
+        n, extra, cycles = shape
+        iterations = 3
+        for seed in range(SEEDS_PER_SHAPE):
+            graph = _random_csdf(n, extra, cycles, seed)
+            vectors = _capacity_variants(graph, iterations)
+            outcomes = self_timed_execution_batch(
+                graph, iterations=iterations, capacities_list=vectors
+            )
+            assert len(outcomes) == len(vectors)
+            for caps, outcome in zip(vectors, outcomes):
+                assert _outcome_key(outcome) == _sequential_key(
+                    graph, caps, iterations
+                ), f"divergence on seed {seed} caps {caps}"
+
+    def test_mid_batch_deadlock_divergence(self):
+        """Deadlocked runs drop out of the batch without perturbing the
+        survivors: the feasible runs' results are identical whether or
+        not deadlocking runs ride along."""
+        graph = _random_csdf(6, 3, 2, seed=4)
+        iterations = 3
+        feasible = None
+        floors = capacity_floors(graph)
+        dead = {name: max(1, floor - 1) if floor > 1 else 1
+                for name, floor in floors.items()}
+        mixed = [feasible, dead, None, dead, dead]
+        outcomes = self_timed_execution_batch(
+            graph, iterations=iterations, capacities_list=mixed
+        )
+        alone = self_timed_execution_batch(
+            graph, iterations=iterations, capacities_list=[None]
+        )
+        assert _outcome_key(outcomes[0]) == _outcome_key(alone[0])
+        assert _outcome_key(outcomes[2]) == _outcome_key(alone[0])
+        for index in (1, 3, 4):
+            assert _outcome_key(outcomes[index]) == _sequential_key(
+                graph, dead, iterations
+            )
+
+    def test_k1_degenerates_to_sequential(self):
+        graph = _random_csdf(5, 2, 0, seed=1)
+        for caps in (None, {name: 64 for name in graph.channels}):
+            (outcome,) = self_timed_execution_batch(
+                graph, iterations=4, capacities_list=[caps]
+            )
+            assert _outcome_key(outcome) == _sequential_key(graph, caps, 4)
+
+    def test_stats_reported(self):
+        graph = _random_csdf(4, 2, 1, seed=0)
+        stats: dict = {}
+        self_timed_execution_batch(
+            graph, iterations=2, capacities_list=[None, None], stats=stats
+        )
+        assert stats["runs"] == 2
+        assert stats["wavefronts"] > 0
+        assert stats["events"] > 0
+
+    def test_cores_budget_rejected(self):
+        graph = _random_csdf(3, 1, 0, seed=0)
+        with pytest.raises(ValueError, match="cores"):
+            self_timed_execution_batch(
+                graph, iterations=1, capacities_list=[None], cores=2
+            )
+
+    def test_iterations_below_one_rejected(self):
+        graph = _random_csdf(3, 1, 0, seed=0)
+        with pytest.raises(ValueError, match="iteration"):
+            self_timed_execution_batch(
+                graph, iterations=0, capacities_list=[None]
+            )
+
+    def test_probe_capacities_front_door(self):
+        """The analysis-level wrapper returns the same outcomes and
+        accepts the TPDF view."""
+        tpdf = random_consistent_graph(
+            5, extra_edges=2, n_cycles=1, seed=3, with_control=False
+        )
+        graph = tpdf.as_csdf()
+        vectors = _capacity_variants(graph, 3)
+        direct = self_timed_execution_batch(
+            graph, iterations=3, capacities_list=vectors
+        )
+        via_tpdf = probe_capacities(tpdf, vectors, iterations=3)
+        assert list(map(_outcome_key, direct)) == list(
+            map(_outcome_key, via_tpdf)
+        )
+
+
+def _two_actor_graph(initial=3):
+    g = CSDFGraph("pc")
+    g.add_actor("prod", exec_time=1.0)
+    g.add_actor("cons", exec_time=1.0)
+    g.add_channel("e", "prod", "cons", 1, 1, initial_tokens=initial)
+    return g
+
+
+class TestCapacityNameValidation:
+    """Satellite bugfix: a typo'd channel name in ``capacities`` used to
+    be silently dropped — the run then executed *unconstrained* on the
+    channel the caller thought was bounded.  Every entry point now
+    rejects unknown names with a ValueError naming the offenders."""
+
+    def test_all_execution_backends(self):
+        g = _two_actor_graph()
+        for backend in ("arrays", "wakeup", "reference"):
+            with pytest.raises(ValueError, match="typo"):
+                self_timed_execution(
+                    g, iterations=2, capacities={"typo": 4, "e": 4},
+                    backend=backend,
+                )
+
+    def test_batched_kernel(self):
+        g = _two_actor_graph()
+        with pytest.raises(ValueError, match="typo"):
+            self_timed_execution_batch(
+                g, iterations=2, capacities_list=[{"e": 4}, {"typo": 4}]
+            )
+
+    def test_buffer_search_pins(self):
+        g = _two_actor_graph()
+        with pytest.raises(ValueError, match="typo"):
+            min_buffers_for_full_throughput(g, capacities={"typo": 4})
+
+    def test_simulator(self):
+        tpdf = random_consistent_graph(
+            4, extra_edges=1, n_cycles=0, seed=2, with_control=False
+        )
+        with pytest.raises(ValueError, match="typo"):
+            Simulator(tpdf, capacities={"typo": 4})
+
+    def test_error_names_every_offender(self):
+        g = _two_actor_graph()
+        with pytest.raises(ValueError) as info:
+            self_timed_execution(
+                g, iterations=1, capacities={"bad1": 1, "bad2": 1}
+            )
+        assert "bad1" in str(info.value) and "bad2" in str(info.value)
+
+
+class TestInitialTokensContract:
+    """Satellite bugfix: a capacity below a channel's initial tokens is
+    a documented up-front deadlock — never a silent over-capacity run —
+    and all backends agree bit for bit."""
+
+    def test_differential_across_backends(self):
+        g = _two_actor_graph(initial=3)
+        keys = set()
+        for backend in ("arrays", "wakeup", "reference"):
+            with pytest.raises(DeadlockError) as info:
+                self_timed_execution(
+                    g, iterations=2, capacities={"e": 2}, backend=backend
+                )
+            keys.add((str(info.value), tuple(info.value.blocked)))
+        (outcome,) = self_timed_execution_batch(
+            g, iterations=2, capacities_list=[{"e": 2}]
+        )
+        assert isinstance(outcome, DeadlockError)
+        keys.add((str(outcome), tuple(outcome.blocked)))
+        assert len(keys) == 1, keys
+        ((message, blocked),) = keys
+        assert "initial tokens" in message and "e" in message
+        assert blocked  # deterministic scan-order blocked set
+
+    def test_simulator_agrees(self):
+        tpdf = random_consistent_graph(
+            4, extra_edges=1, n_cycles=1, seed=6, with_control=False
+        )
+        carrier = next(
+            (c for c in tpdf.channels.values() if c.initial_tokens > 0), None
+        )
+        assert carrier is not None
+        with pytest.raises(DeadlockError, match="initial tokens"):
+            Simulator(
+                tpdf, capacities={carrier.name: carrier.initial_tokens - 1}
+            )
+
+    def test_capacity_at_initial_tokens_is_admitted(self):
+        g = _two_actor_graph(initial=3)
+        result = self_timed_execution(g, iterations=2, capacities={"e": 3})
+        assert result.peaks["e"] <= 3
+
+
+class TestBufferSearchModes:
+    """Satellite bugfix + tentpole wiring: probe memoization, the
+    executed-probes-only ``stats['probes']`` counter, and the batched
+    pre-pass all return capacities identical to the unmemoized
+    sequential search."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_modes_identical(self, seed):
+        graph = _random_csdf(6, 3, 1, seed=seed)
+        base = min_buffers_for_full_throughput(
+            graph, iterations=4, probe_floor=False, memoize_probes=False
+        )
+        stats_memo: dict = {}
+        memo = min_buffers_for_full_throughput(
+            graph, iterations=4, probe_floor=False, memoize_probes=True,
+            stats=stats_memo,
+        )
+        stats_floor: dict = {}
+        floor = min_buffers_for_full_throughput(
+            graph, iterations=4, stats=stats_floor
+        )
+        stats_batch: dict = {}
+        batched = min_buffers_for_full_throughput(
+            graph, iterations=4, batched=True, stats=stats_batch
+        )
+        assert memo == base
+        assert floor == base
+        assert batched == base
+
+    def test_probes_counts_executed_only(self):
+        graph = _random_csdf(6, 3, 1, seed=2)
+        plain: dict = {}
+        min_buffers_for_full_throughput(
+            graph, iterations=4, probe_floor=False, memoize_probes=False,
+            stats=plain,
+        )
+        memo: dict = {}
+        min_buffers_for_full_throughput(
+            graph, iterations=4, probe_floor=False, memoize_probes=True,
+            stats=memo,
+        )
+        # Both searches probe the identical vector sequence, so every
+        # execution the memo saves shows up as a hit.
+        assert memo["probes"] + memo["probes_memoized"] == plain["probes"]
+        assert memo["probes"] <= plain["probes"]
+
+    def test_pinned_channels_kept_and_others_minimized(self):
+        graph = _random_csdf(6, 3, 1, seed=2)
+        base = min_buffers_for_full_throughput(graph, iterations=4)
+        name = sorted(base)[0]
+        # Pinning at the search's own minimum must reproduce the
+        # unpinned sizing exactly (same prefix on every probe).
+        pinned = min_buffers_for_full_throughput(
+            graph, iterations=4, capacities={name: base[name]}
+        )
+        assert pinned == base
+        # The returned sizing is verified feasible under the pins.
+        result = self_timed_execution(graph, iterations=4, capacities=pinned)
+        assert result.peaks[name] <= base[name]
+
+    def test_below_floor_pins_rejected(self):
+        g = _two_actor_graph(initial=0)
+        # Capacity 0 on the only channel: the producer can never write.
+        with pytest.raises(ValueError, match="floor"):
+            min_buffers_for_full_throughput(g, capacities={"e": 0})
+
+    def test_pin_below_initial_tokens_is_deadlock(self):
+        g = _two_actor_graph(initial=3)
+        with pytest.raises(DeadlockError, match="initial tokens"):
+            min_buffers_for_full_throughput(g, capacities={"e": 2})

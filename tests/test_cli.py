@@ -208,6 +208,70 @@ class TestThroughput:
                      "--iterations", "3"]) == 0
         assert "throughput" in capsys.readouterr().out
 
+    def test_capacity_bounds(self, fig1_json, fig1, capsys):
+        channel = sorted(fig1.channels)[0]
+        assert main(["throughput", fig1_json,
+                     "--cap", f"{channel}=64"]) == 0
+        assert "steady period" in capsys.readouterr().out
+
+    def test_unknown_capacity_name_exits(self, fig1_json):
+        with pytest.raises(SystemExit, match="typo"):
+            main(["throughput", fig1_json, "--cap", "typo=4"])
+
+    def test_bad_capacity_syntax_exits(self, fig1_json):
+        with pytest.raises(SystemExit, match="channel=tokens"):
+            main(["throughput", fig1_json, "--cap", "e1"])
+
+    def test_deadlocking_capacity_exits_one(self, fig1_json, fig1, capsys):
+        caps = [f"{name}=1" for name in fig1.channels]
+        args = ["throughput", fig1_json]
+        for cap in caps:
+            args += ["--cap", cap]
+        code = main(args)
+        out = capsys.readouterr().out
+        if code == 1:
+            assert "deadlock" in out
+        else:  # fig1 happens to run under unit capacities
+            assert "steady period" in out
+
+    def test_probe_caps_batch(self, fig1_json, fig1, tmp_path, capsys):
+        loose = {name: 64 for name in fig1.channels}
+        tight = {name: 1 for name in fig1.channels}
+        probe_file = tmp_path / "caps.json"
+        probe_file.write_text(json.dumps([loose, tight]))
+        code = main(["throughput", fig1_json,
+                     "--probe-caps", str(probe_file)])
+        out = capsys.readouterr().out
+        assert "[0] period=" in out
+        assert ("[1] period=" in out) or ("[1] deadlock" in out)
+        assert code == (1 if "deadlock" in out else 0)
+
+    def test_probe_caps_unknown_name_exits(self, fig1_json, tmp_path):
+        probe_file = tmp_path / "caps.json"
+        probe_file.write_text(json.dumps([{"typo": 4}]))
+        with pytest.raises(SystemExit, match="typo"):
+            main(["throughput", fig1_json, "--probe-caps", str(probe_file)])
+
+    def test_probe_caps_requires_array(self, fig1_json, tmp_path):
+        probe_file = tmp_path / "caps.json"
+        probe_file.write_text(json.dumps({"e1": 4}))
+        with pytest.raises(SystemExit, match="array"):
+            main(["throughput", fig1_json, "--probe-caps", str(probe_file)])
+
+
+class TestBufferSearch:
+    def test_search_and_batched_agree(self, fig1_json, capsys):
+        assert main(["buffers", fig1_json, "--search"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["buffers", fig1_json, "--search", "--batched"]) == 0
+        batched = capsys.readouterr().out
+        # Identical capacities and totals; only the probe accounting
+        # line may differ.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("probes executed")]
+        assert strip(sequential) == strip(batched)
+        assert "batch rounds:" in batched
+
 
 class TestErrors:
     def test_unknown_model(self, tmp_path):
