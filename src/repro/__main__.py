@@ -21,7 +21,13 @@ Commands operate on graphs serialized by :mod:`repro.io`:
     and list-schedule it onto ``--cores N`` processing elements;
 ``buffers``
     print per-channel buffer bounds (symbolic when possible, concrete
-    under ``--bind``).
+    under ``--bind``);
+``serve``
+    run the resident analysis service (:mod:`repro.service`): a
+    persistent worker pool behind an asyncio HTTP front door with a
+    fingerprint-keyed result cache (``--workers``, ``--cache-size``,
+    ``--max-attempts``; ``--smoke`` starts, self-checks against a
+    built-in graph, and exits).
 """
 
 from __future__ import annotations
@@ -376,6 +382,62 @@ def _run_probe_caps(args, csdf, bindings) -> int:
     return exit_code
 
 
+def cmd_serve(args) -> int:
+    """``serve``: run the resident analysis service until interrupted.
+
+    With ``--smoke`` the service starts on an ephemeral port, analyzes
+    a built-in gallery graph through a real HTTP round trip, verifies
+    the result against a direct in-process analysis (bit-for-bit
+    fingerprints) and exits — a deployment self-check.
+    """
+    from .service import ServiceClient, serve_in_thread
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.smoke:
+        from .analysis import analyze
+        from .gallery import fig1_graph
+
+        graph = fig1_graph()
+        direct = analyze(graph)
+        with serve_in_thread(host=args.host, port=args.port or 0,
+                             workers=args.workers,
+                             cache_limit=args.cache_size,
+                             max_attempts=args.max_attempts) as handle:
+            client = ServiceClient(handle.url)
+            served = client.analyze(graph)
+            health = client.health()
+        if served.fingerprint() != direct.fingerprint():
+            print("smoke: FAILED (served report diverged from direct analysis)")
+            return 1
+        alive = sum(1 for w in health["workers"] if w["alive"])
+        print(f"smoke: ok ({alive}/{args.workers} workers, "
+              f"mcr={served.mcr:.4f})")
+        return 0
+
+    import asyncio
+
+    from .service import AnalysisService
+
+    async def run() -> None:
+        service = AnalysisService(workers=args.workers,
+                                  cache_limit=args.cache_size,
+                                  max_attempts=args.max_attempts)
+        await service.start(args.host, args.port)
+        print(f"repro analysis service listening on {service.url} "
+              f"({args.workers} workers)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -479,6 +541,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "vectors, evaluated as one lock-step batch "
                             "(one verdict line per vector)")
     p_thr.set_defaults(func=cmd_throughput)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident analysis service (HTTP, persistent workers)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="persistent analysis worker processes")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="result-cache entries (LRU bound)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="executions tried per request before a "
+                              "worker-crash error (503)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="start on an ephemeral port, self-check one "
+                              "analysis over HTTP against a direct run, exit")
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

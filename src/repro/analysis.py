@@ -81,12 +81,11 @@ import itertools
 import os
 import time
 import uuid
-from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Union
 
-from .cache import cached, register_binding_insensitive, version_of
+from .cache import ContentStore, cached, register_binding_insensitive, version_of
 from .csdf.buffers import minimal_buffer_schedule
 from .csdf.graph import CSDFGraph
 from .csdf.mcr import max_cycle_ratio
@@ -715,12 +714,11 @@ class EditSession:
 
 #: Per-worker decoded-graph cache: (batch token, shard rank) -> graph.
 #: Each batch gets a fresh uuid token because forked workers inherit
-#: this dict's current contents: entries created by in-process calls
-#: (tests, diagnostics) — or by a future persistent pool — must never
-#: collide with a new batch's ranks.  The FIFO bound keeps such
-#: inherited/accumulated entries from growing without limit.
-_WORKER_GRAPHS: "OrderedDict[tuple, AnyGraph]" = OrderedDict()
-_WORKER_GRAPH_LIMIT = 32
+#: this store's current contents: entries created by in-process calls
+#: (tests, diagnostics) — or by the resident service's persistent
+#: pool — must never collide with a new batch's ranks.  The LRU bound
+#: keeps such inherited/accumulated entries from growing without limit.
+_WORKER_GRAPHS = ContentStore(limit=32)
 
 
 def _worker_graph(key: tuple, payload: Mapping) -> AnyGraph:
@@ -730,11 +728,7 @@ def _worker_graph(key: tuple, payload: Mapping) -> AnyGraph:
     graph = _WORKER_GRAPHS.get(key)
     if graph is None:
         graph = warm_graph(graph_from_payload(payload))
-        _WORKER_GRAPHS[key] = graph
-        while len(_WORKER_GRAPHS) > _WORKER_GRAPH_LIMIT:
-            _WORKER_GRAPHS.popitem(last=False)
-    else:
-        _WORKER_GRAPHS.move_to_end(key)
+        _WORKER_GRAPHS.put(key, graph)
     return graph
 
 

@@ -233,14 +233,19 @@ class ContentStore:
     keys MUST be content fingerprints (stale content is unreachable
     because its key changed with it), or the caller must revalidate the
     entry against the current version before trusting it (the pattern
-    used for "last known template" slots).  Eviction is LRU.
+    used for "last known template" slots).  Eviction is LRU and
+    counted (:attr:`evictions`), so bounded consumers — the resident
+    service's result cache and per-worker decode caches — can report
+    cache pressure without wrapping the store.
     """
 
-    __slots__ = ("_data", "limit")
+    __slots__ = ("_data", "limit", "evictions")
 
     def __init__(self, limit: int):
         self._data: OrderedDict = OrderedDict()
         self.limit = limit
+        #: Entries dropped by the LRU bound since construction.
+        self.evictions = 0
 
     def get(self, key: Hashable, default=None):
         try:
@@ -255,6 +260,17 @@ class ContentStore:
         self._data.move_to_end(key)
         while len(self._data) > self.limit:
             self._data.popitem(last=False)
+            self.evictions += 1
+
+    def pop(self, key: Hashable, default=None):
+        """Remove and return ``key``'s entry (``default`` when absent).
+        An explicit drop is not an eviction — the counter tracks only
+        the LRU bound."""
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        """Drop every entry (the eviction counter is kept)."""
+        self._data.clear()
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data

@@ -23,10 +23,23 @@ Parametric-MCR artefacts have their own JSON view
 (:func:`domain_to_dict`, :func:`piecewise_to_dict` and inverses):
 piecewise results are persisted by the EXT5 benchmark and round-trip
 value-identically (fingerprints match).
+
+Analysis *results* have a JSON wire form as well
+(:func:`report_to_dict` / :func:`report_from_dict` and the
+``timed_result_*`` / ``parametric_report_*`` pairs): the resident
+analysis service (:mod:`repro.service`) answers HTTP requests with
+these documents, and the round trip preserves
+:meth:`~repro.analysis.GraphReport.fingerprint` exactly — floats
+travel through JSON's shortest-repr encoding bit-for-bit, Fractions
+are carried as tagged ``{"$fraction": [num, den]}`` objects, and
+piecewise payloads reuse :func:`piecewise_to_dict`.
+:func:`payload_fingerprint` gives graph payloads a stable content
+address (the service's cache and worker decode keys).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from fractions import Fraction
@@ -329,6 +342,24 @@ def graph_to_payload(graph: AnyGraph) -> dict:
     raise GraphConstructionError(f"cannot encode {type(graph).__name__} for workers")
 
 
+def payload_fingerprint(payload: Mapping) -> str:
+    """Stable content address of a graph payload (sha256 hex digest of
+    its canonical JSON rendering).
+
+    Two payloads fingerprint identically iff they describe the same
+    structure, rates, tokens and execution times — dict ordering and
+    formatting do not matter.  The resident analysis service keys its
+    result cache and per-worker decode caches on this value, so an
+    edited graph (different payload) can never be served a stale
+    entry: its key changed with its content.
+    """
+    text = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str,
+        allow_nan=True,
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 def graph_from_payload(payload: Mapping) -> AnyGraph:
     """Rebuild a worker-side graph from :func:`graph_to_payload`.
 
@@ -336,10 +367,19 @@ def graph_from_payload(payload: Mapping) -> AnyGraph:
     the worker warms them itself (see
     :func:`repro.analysis.warm_graph`)."""
     model = payload.get("model")
-    if model == "tpdf":
-        return tpdf_from_dict(payload)
-    if model == "csdf":
-        return csdf_from_dict(payload)
+    try:
+        if model == "tpdf":
+            return tpdf_from_dict(payload)
+        if model == "csdf":
+            return csdf_from_dict(payload)
+    except (KeyError, TypeError, AttributeError) as exc:
+        # A structurally incomplete payload (missing sections, wrong
+        # shapes) is a construction error, not a stray KeyError deep
+        # inside the decoder — callers (the analysis service maps this
+        # to HTTP 400) rely on the typed surface.
+        raise GraphConstructionError(
+            f"malformed {model} payload: {exc!r}"
+        ) from exc
     raise GraphConstructionError(f"unknown payload model {model!r}")
 
 
@@ -388,6 +428,205 @@ def piecewise_to_dict(piecewise) -> dict:
             for r in piecewise.regions
         ],
     }
+
+
+# -- analysis-report wire forms ------------------------------------------
+#
+# The resident analysis service speaks JSON over HTTP, so every field
+# of a GraphReport must survive a JSON round trip *bit-for-bit* (the
+# differential suite compares fingerprints of decoded responses against
+# direct analyze() calls with no tolerance).  Python's json module
+# already guarantees exact float round-trips (shortest-repr encoding);
+# what needs care is everything JSON has no native type for: Fractions
+# (tagged objects), numpy scalars that leak out of the arrays backend
+# (normalized to native int/float — np.int64 is *not* JSON-encodable),
+# and tuples (re-tupled on decode where the dataclasses expect them).
+
+def _scalar_to_wire(value):
+    """Normalize one scalar for the JSON wire, preserving value
+    identity: native bool/int/float/str/None pass through, Fractions
+    become ``{"$fraction": [num, den]}``, numpy integer/floating
+    scalars collapse to the equal native number."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, Fraction):
+        return {"$fraction": [value.numerator, value.denominator]}
+    if isinstance(value, int):
+        return int(value)  # collapse bool-free int subclasses (IntEnum)
+    if isinstance(value, float):
+        return float(value)  # collapse np.float64 (a float subclass)
+    try:  # numpy integer scalars define __index__ but are not ints
+        return int(value.__index__())
+    except AttributeError:
+        raise GraphConstructionError(
+            f"cannot encode {value!r} (type {type(value).__name__}) "
+            f"for the JSON wire"
+        ) from None
+
+
+def _scalar_from_wire(value):
+    """Inverse of :func:`_scalar_to_wire`."""
+    if isinstance(value, Mapping) and set(value) == {"$fraction"}:
+        num, den = value["$fraction"]
+        return Fraction(num, den)
+    return value
+
+
+def timed_result_to_dict(timed) -> dict:
+    """JSON-ready view of a :class:`~repro.csdf.throughput.TimedResult`."""
+    return {
+        "makespan": float(timed.makespan),
+        "iterations": int(timed.iterations),
+        "firings": int(timed.firings),
+        "iteration_ends": [float(t) for t in timed.iteration_ends],
+        "peaks": {str(name): int(peak) for name, peak in timed.peaks.items()},
+    }
+
+
+def timed_result_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.csdf.throughput.TimedResult` from
+    :func:`timed_result_to_dict` output."""
+    from .csdf.throughput import TimedResult
+
+    return TimedResult(
+        makespan=data["makespan"],
+        iterations=data["iterations"],
+        firings=data["firings"],
+        iteration_ends=list(data["iteration_ends"]),
+        peaks=dict(data["peaks"]),
+    )
+
+
+def parametric_report_to_dict(report) -> dict:
+    """JSON-ready view of a :class:`~repro.analysis.ParametricReport`
+    (piecewise payloads ride through :func:`piecewise_to_dict`)."""
+    return {
+        "name": report.name,
+        "domain": {
+            str(name): [int(lo), int(hi)]
+            for name, (lo, hi) in report.domain.items()
+        },
+        "piecewise": (
+            None if report.piecewise is None
+            else piecewise_to_dict(report.piecewise)
+        ),
+        "errors": {str(k): str(v) for k, v in report.errors.items()},
+        "elapsed": float(report.elapsed),
+    }
+
+
+def parametric_report_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.analysis.ParametricReport` from
+    :func:`parametric_report_to_dict` output (fingerprint-identical)."""
+    from .analysis import ParametricReport
+
+    return ParametricReport(
+        name=data["name"],
+        domain={
+            name: (lo, hi) for name, (lo, hi) in data["domain"].items()
+        },
+        piecewise=(
+            None if data.get("piecewise") is None
+            else piecewise_from_dict(data["piecewise"])
+        ),
+        errors=dict(data.get("errors", {})),
+        elapsed=float(data.get("elapsed", 0.0)),
+    )
+
+
+def report_to_dict(report) -> dict:
+    """JSON-ready view of a :class:`~repro.analysis.GraphReport`.
+
+    Carries every analysis-result field of the report and drops the
+    same things the fingerprint excludes: the live graph object (the
+    wire identifies graphs by :func:`payload_fingerprint` instead) and
+    the ``graph_version``/``analysis_options`` provenance pair, which
+    track caller-side object history that has no meaning across a
+    service boundary.  ``elapsed`` is kept (it reports the serving
+    cost) but is likewise outside the fingerprint.
+    """
+    return {
+        "kind": "graph_report",
+        "name": report.name,
+        "bindings": {
+            str(name): _scalar_to_wire(value)
+            for name, value in report.bindings.items()
+        },
+        "consistent": bool(report.consistent),
+        "repetition_symbolic": {
+            str(k): str(v) for k, v in report.repetition_symbolic.items()
+        },
+        "repetition": (
+            None if report.repetition is None
+            else {str(k): int(v) for k, v in report.repetition.items()}
+        ),
+        "live": report.live,
+        "safe": report.safe,
+        "bounded": report.bounded,
+        "mcr": None if report.mcr is None else float(report.mcr),
+        "buffers": (
+            None if report.buffers is None
+            else {str(k): int(v) for k, v in report.buffers.items()}
+        ),
+        "timed": (
+            None if report.timed is None
+            else timed_result_to_dict(report.timed)
+        ),
+        "parametric": (
+            None if report.parametric is None
+            else parametric_report_to_dict(report.parametric)
+        ),
+        "skipped": {str(k): str(v) for k, v in report.skipped.items()},
+        "errors": {str(k): str(v) for k, v in report.errors.items()},
+        "elapsed": float(report.elapsed),
+    }
+
+
+def report_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.analysis.GraphReport` from
+    :func:`report_to_dict` output.
+
+    The decoded report carries no graph object (``report.graph is
+    None``) and no provenance, exactly like a report that crossed the
+    parallel batch service's process boundary; its ``fingerprint()``
+    equals the original's bit-for-bit.
+    """
+    if data.get("kind") != "graph_report":
+        raise GraphConstructionError(
+            f"not a graph-report document: kind={data.get('kind')!r}"
+        )
+    from .analysis import GraphReport
+
+    return GraphReport(
+        graph=None,
+        name=data["name"],
+        bindings={
+            name: _scalar_from_wire(value)
+            for name, value in data.get("bindings", {}).items()
+        },
+        consistent=data.get("consistent", False),
+        repetition_symbolic=dict(data.get("repetition_symbolic", {})),
+        repetition=(
+            None if data.get("repetition") is None
+            else dict(data["repetition"])
+        ),
+        live=data.get("live"),
+        safe=data.get("safe"),
+        bounded=data.get("bounded"),
+        mcr=data.get("mcr"),
+        buffers=None if data.get("buffers") is None else dict(data["buffers"]),
+        timed=(
+            None if data.get("timed") is None
+            else timed_result_from_dict(data["timed"])
+        ),
+        parametric=(
+            None if data.get("parametric") is None
+            else parametric_report_from_dict(data["parametric"])
+        ),
+        skipped=dict(data.get("skipped", {})),
+        errors=dict(data.get("errors", {})),
+        elapsed=float(data.get("elapsed", 0.0)),
+    )
 
 
 def piecewise_from_dict(data: Mapping):

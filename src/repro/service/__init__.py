@@ -1,0 +1,37 @@
+"""repro.service — the resident analysis service.
+
+A long-running front door over :mod:`repro.analysis`: a persistent
+worker pool that keeps decoded graphs and analysis caches warm across
+requests, a content-fingerprint-keyed result cache with single-flight
+deduplication, and a stdlib-asyncio HTTP API speaking the
+:mod:`repro.io` payload and report codecs.  Start one with
+``python -m repro serve`` or, in-process,
+:func:`~repro.service.app.serve_in_thread`; talk to it with
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from .app import AnalysisService, ServiceThread, serve_in_thread
+from .client import ServiceClient, ServiceSession
+from .pool import WorkerPool
+from .rescache import ResultCache
+from .wire import (BadRequest, ServiceError, SessionLost, SessionNotFound,
+                   WorkerCrashError, error_from_dict, error_status,
+                   error_to_dict)
+
+__all__ = [
+    "AnalysisService",
+    "BadRequest",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceSession",
+    "ServiceThread",
+    "SessionLost",
+    "SessionNotFound",
+    "WorkerCrashError",
+    "WorkerPool",
+    "error_from_dict",
+    "error_status",
+    "error_to_dict",
+    "serve_in_thread",
+]

@@ -1,0 +1,82 @@
+"""Fingerprint-keyed result cache with single-flight deduplication.
+
+The service keys every stateless result by content: the graph's
+payload fingerprint (sha256 of its canonical JSON payload) plus the
+binding and option keys the analysis cache already uses.  Content
+addressing makes staleness structurally impossible — an edited graph
+has a different payload, hence a different key — so entries never need
+invalidating, only bounding (LRU via :class:`repro.cache.ContentStore`).
+
+Single-flight: when N identical requests arrive concurrently, the
+first computes and the other N-1 await the same :class:`asyncio.Future`,
+so the pool executes the analysis exactly once and every caller gets
+the *same* cached response object — bit-for-bit identical reports by
+construction.  Nothing is cached on failure; errors propagate to every
+coalesced waiter and the next submission retries fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable
+
+from ..cache import ContentStore
+
+
+class ResultCache:
+    """Bounded async result cache with per-key in-flight coalescing."""
+
+    def __init__(self, limit: int = 256):
+        self._entries = ContentStore(limit)
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        self.stats = {"hits": 0, "misses": 0, "coalesced": 0, "computed": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions
+
+    def peek(self, key: Hashable):
+        """The cached value for ``key`` (no compute, no coalescing)."""
+        return self._entries.get(key)
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert a value computed out of band (the session-edit path:
+        the edited graph's fresh result is valid for its new content
+        key, so plain ``/analyze`` of the edited graph hits warm)."""
+        self._entries.put(key, value)
+
+    async def get_or_compute(self, key: Hashable,
+                             compute: Callable[[], Awaitable]):
+        """Return the cached value for ``key``, computing it at most
+        once across all concurrent callers."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.stats["coalesced"] += 1
+            # shield: one waiter being cancelled must not cancel the
+            # computation out from under the others.
+            return await asyncio.shield(inflight)
+        self.stats["misses"] += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            value = await compute()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Waiters (if any) re-raise it; stop the "exception never
+            # retrieved" warning when there were none.
+            future.exception()
+            raise
+        else:
+            self.stats["computed"] += 1
+            self._entries.put(key, value)
+            future.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,138 @@
+"""Wire schemas of the resident analysis service: the structured error
+envelope and its two-way mapping to exception types.
+
+Every non-2xx response of the service carries a JSON body of the form
+``{"error": {"type": ..., "message": ..., "blocked": [...]}}`` —
+``type`` is the exception class name, ``blocked`` rides along only for
+:class:`~repro.errors.DeadlockError`.  :func:`error_to_dict` builds
+the envelope server-side; :func:`error_from_dict` reconstructs the
+*same exception type* client-side for every library error and the
+whitelisted builtins, so a caller of
+:class:`~repro.service.client.ServiceClient` catches exactly what a
+direct :func:`repro.analysis.analyze` call would raise.  Unknown
+types degrade to :class:`ServiceError` (which also carries the HTTP
+status).
+
+Report payloads themselves are encoded by the :mod:`repro.io` report
+codecs (``report_to_dict`` and friends) — this module only owns the
+error surface and the service-specific exception types.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Mapping
+
+from .. import errors as _errors
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Transport-level or unmapped service failure (client side).
+
+    Carries the wire ``type`` name and, when raised from an HTTP
+    response, the status code."""
+
+    def __init__(self, message: str, *, type_name: str = "ServiceError",
+                 status: int | None = None):
+        super().__init__(message)
+        self.type_name = type_name
+        self.status = status
+
+
+class BadRequest(ReproError):
+    """The request document is malformed (not JSON, missing fields,
+    unknown options...) — mapped to HTTP 400."""
+
+
+class SessionNotFound(ReproError):
+    """The referenced session id does not exist — HTTP 404."""
+
+
+class SessionLost(ReproError):
+    """The worker holding this session's resident state crashed; the
+    session cannot be resumed and must be reopened — HTTP 410."""
+
+
+class WorkerCrashError(ReproError):
+    """A request kept crashing its worker and the retry bound was
+    exhausted — HTTP 503.  ``attempts`` counts executions tried."""
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+#: Exception class -> HTTP status.  First match in order wins (checked
+#: with isinstance, so subclasses inherit their base's status unless
+#: listed earlier).
+_STATUS_TABLE: tuple[tuple[type, int], ...] = (
+    (BadRequest, 400),
+    (SessionNotFound, 404),
+    (SessionLost, 410),
+    (WorkerCrashError, 503),
+    (_errors.GraphConstructionError, 400),
+    (TypeError, 400),
+    (ValueError, 400),
+    (KeyError, 400),
+    (ReproError, 422),
+)
+
+
+def error_status(exc: BaseException) -> int:
+    """The HTTP status an exception maps to (500 when unmapped)."""
+    for cls, status in _STATUS_TABLE:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+def error_to_dict(exc: BaseException) -> dict:
+    """The structured error envelope body for ``exc``."""
+    entry: dict = {"type": type(exc).__name__, "message": str(exc)}
+    blocked = getattr(exc, "blocked", None)
+    if blocked:
+        entry["blocked"] = [str(name) for name in blocked]
+    attempts = getattr(exc, "attempts", None)
+    if attempts is not None:
+        entry["attempts"] = int(attempts)
+    return entry
+
+
+#: Builtin exception types the client is allowed to reconstruct.
+_BUILTIN_WHITELIST = frozenset({"TypeError", "ValueError", "KeyError"})
+
+#: Service-local exception types (not in repro.errors).
+_SERVICE_TYPES = {
+    cls.__name__: cls
+    for cls in (BadRequest, SessionNotFound, SessionLost, WorkerCrashError)
+}
+
+
+def error_from_dict(data: Mapping, status: int | None = None) -> BaseException:
+    """Reconstruct the exception an error envelope describes.
+
+    Library errors (:mod:`repro.errors`), service errors and the
+    whitelisted builtins come back as their original type —
+    :class:`~repro.errors.DeadlockError` with its blocked set,
+    :class:`WorkerCrashError` with its attempt count.  Anything else
+    becomes a :class:`ServiceError` carrying the wire type name.
+    """
+    type_name = str(data.get("type", "ServiceError"))
+    message = str(data.get("message", ""))
+    cls = getattr(_errors, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = _SERVICE_TYPES.get(type_name)
+    if cls is None and type_name in _BUILTIN_WHITELIST:
+        cls = getattr(builtins, type_name)
+    if cls is None:
+        return ServiceError(message, type_name=type_name, status=status)
+    if cls is _errors.DeadlockError:
+        return cls(message, blocked=list(data.get("blocked", [])))
+    if cls is WorkerCrashError:
+        return cls(message, attempts=int(data.get("attempts", 1)))
+    if cls is KeyError and message.startswith("'") and message.endswith("'"):
+        # KeyError str() quotes its argument; unquote so the round
+        # trip does not stack quotes.
+        return cls(message[1:-1])
+    return cls(message)

@@ -279,3 +279,17 @@ class TestErrors:
         path.write_text('{"model": "???"}')
         with pytest.raises(SystemExit):
             main(["analyze", str(path)])
+
+
+class TestServe:
+    def test_smoke_self_check(self, capsys):
+        # starts a real service on an ephemeral port, round-trips one
+        # analysis over HTTP, verifies bit-for-bit against direct
+        assert main(["serve", "--smoke", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke: ok" in out
+        assert "mcr=3.0000" in out  # fig1's MCR through the wire
+
+    def test_bad_worker_count_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--smoke", "--workers", "0"])
