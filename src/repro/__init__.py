@@ -35,6 +35,7 @@ from .analysis import (
     analyze,
     analyze_batch,
     probe_capacities,
+    simulate,
 )
 from .errors import (
     AnalysisError,
@@ -57,6 +58,7 @@ __all__ = [
     "analyze",
     "analyze_batch",
     "probe_capacities",
+    "simulate",
     "symbolic",
     "csdf",
     "tpdf",

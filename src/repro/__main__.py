@@ -22,6 +22,11 @@ Commands operate on graphs serialized by :mod:`repro.io`:
 ``buffers``
     print per-channel buffer bounds (symbolic when possible, concrete
     under ``--bind``);
+``simulate``
+    run the discrete-event TPDF simulator (control tokens, clocks,
+    data-dependent durations) on the schedule-plane / value-plane
+    core and print a trace summary; ``--check-reference`` cross-checks
+    the trace fingerprint against the legacy reference loop;
 ``serve``
     run the resident analysis service (:mod:`repro.service`): a
     persistent worker pool behind an asyncio HTTP front door with a
@@ -382,6 +387,76 @@ def _run_probe_caps(args, csdf, bindings) -> int:
     return exit_code
 
 
+def cmd_simulate(args) -> int:
+    """``simulate``: run the discrete-event TPDF simulator and print a
+    trace summary.
+
+    Executes :func:`repro.analysis.simulate` on the schedule-plane /
+    value-plane core (``--ready-core`` selects another engine); with
+    ``--check-reference`` the run is repeated on the legacy reference
+    loop and the trace fingerprints compared bit-for-bit (exit 1 on
+    divergence).
+    """
+    from .analysis import simulate
+    from .errors import DeadlockError, SimulationError
+
+    graph = _as_tpdf(_load(args.graph))
+    bindings = _parse_bindings(args.bind) or None
+    capacities = _parse_capacities(args.cap) or None
+    limits = None
+    if args.limit:
+        limits = {}
+        for pair in args.limit:
+            name, _, value = pair.partition("=")
+            try:
+                limits[name.strip()] = int(value)
+            except ValueError:
+                raise SystemExit(f"--limit expects node=firings, got {pair!r}")
+        unknown = sorted(set(limits) - set(graph.node_names()))
+        if unknown:
+            raise SystemExit(
+                f"--limit names unknown nodes: {', '.join(unknown)} "
+                f"(graph has: {', '.join(graph.node_names())})"
+            )
+    if args.until is None and limits is None and args.max_firings is None:
+        raise SystemExit(
+            "simulate needs a stop condition: --until, --limit or "
+            "--max-firings"
+        )
+    options = dict(bindings=bindings, until=args.until, limits=limits,
+                   max_firings=args.max_firings, cores=args.cores,
+                   capacities=capacities)
+    try:
+        trace = simulate(graph, ready_core=args.ready_core, **options)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except DeadlockError as exc:
+        print(f"deadlock: {exc}")
+        if exc.blocked:
+            print(f"blocked actors: {', '.join(exc.blocked)}")
+        return 1
+    except SimulationError as exc:
+        raise SystemExit(str(exc))
+    print(f"ready core:   {args.ready_core}")
+    print(f"firings:      {len(trace.firings)}")
+    print(f"end time:     {trace.end_time():.4f}")
+    print(f"discards:     {trace.discarded_tokens()} tokens "
+          f"({len(trace.discards)} records)")
+    print(f"buffer peaks: total {trace.total_buffer()}")
+    for name in sorted(trace.peaks):
+        print(f"  {name}: {trace.peaks[name]}")
+    exit_code = 0
+    if args.check_reference:
+        reference = simulate(graph, ready_core="reference", **options)
+        same = trace.fingerprint() == reference.fingerprint()
+        print(f"reference parity: {'identical' if same else 'DIVERGED'}")
+        if not same:
+            exit_code = 1
+    if args.gantt:
+        print(trace.gantt())
+    return exit_code
+
+
 def cmd_serve(args) -> int:
     """``serve``: run the resident analysis service until interrupted.
 
@@ -541,6 +616,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "vectors, evaluated as one lock-step batch "
                             "(one verdict line per vector)")
     p_thr.set_defaults(func=cmd_throughput)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="discrete-event TPDF simulation (schedule/value planes)",
+    )
+    p_sim.add_argument("graph")
+    p_sim.add_argument("--bind", action="append", default=[],
+                       metavar="NAME=VALUE")
+    p_sim.add_argument("--cap", action="append", default=[],
+                       metavar="CHANNEL=TOKENS",
+                       help="bound a channel's buffer (repeatable)")
+    p_sim.add_argument("--cores", type=int, default=None,
+                       help="concurrent-firing budget (default: unbounded)")
+    p_sim.add_argument("--limit", action="append", default=[],
+                       metavar="NODE=FIRINGS",
+                       help="cap a node's firing count (repeatable)")
+    p_sim.add_argument("--until", type=float, default=None,
+                       help="time horizon")
+    p_sim.add_argument("--max-firings", type=int, default=None,
+                       help="global firing budget")
+    p_sim.add_argument("--ready-core", choices=("arrays", "wakeup", "reference"),
+                       default="arrays",
+                       help="simulation engine (bit-identical traces; arrays "
+                            "is the schedule-plane/value-plane split)")
+    p_sim.add_argument("--check-reference", action="store_true",
+                       help="re-run on the legacy reference loop and compare "
+                            "trace fingerprints bit-for-bit (exit 1 on "
+                            "divergence)")
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="print an ASCII timeline of the trace")
+    p_sim.set_defaults(func=cmd_simulate)
 
     p_serve = sub.add_parser(
         "serve",

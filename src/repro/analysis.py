@@ -579,6 +579,61 @@ def probe_capacities(
     )
 
 
+def simulate(
+    graph: TPDFGraph,
+    bindings: Mapping | None = None,
+    *,
+    until: float | None = None,
+    limits: Mapping[str, int] | None = None,
+    max_firings: int | None = None,
+    cores: int | None = None,
+    capacities: Mapping[str, int] | None = None,
+    ready_core: str = "arrays",
+    record_values: bool = False,
+):
+    """Run the discrete-event TPDF simulator and return its
+    :class:`~repro.sim.Trace` — the analysis-level front door of
+    :class:`repro.sim.Simulator`.
+
+    This is the entry point for *functional* workloads: graphs whose
+    kernels carry ``function``/``meta["time_fn"]`` hooks, control
+    actors, clocks, or whose behaviour under a ``cores`` budget or
+    channel ``capacities`` matters.  (For pure rate/timing questions
+    :func:`analyze` is cheaper — its throughput stage runs the CSDF
+    abstraction without the TPDF machinery.)
+
+    ``ready_core`` defaults to ``"arrays"``, the schedule-plane /
+    value-plane split: scheduling runs on flat counters over the
+    memoized SoA template and token payloads are materialized only on
+    channels with a value-touching endpoint, so timing-only graphs
+    degenerate to the counters-only fast path.  All cores produce
+    bit-identical traces (``Trace.fingerprint()``).
+
+    At least one stop condition (``until``, ``limits`` or
+    ``max_firings``) is required — a live unbounded graph would
+    otherwise simulate forever.
+    """
+    if not isinstance(graph, TPDFGraph):
+        raise ValueError(
+            "simulate() runs TPDF graphs; for plain CSDF use "
+            "analyze() or repro.csdf.throughput.self_timed_execution()"
+        )
+    if until is None and limits is None and max_firings is None:
+        raise ValueError(
+            "simulate() needs a stop condition: until=, limits= or "
+            "max_firings="
+        )
+    from .sim import Simulator
+
+    sim = Simulator(
+        graph, bindings, cores=cores, record_values=record_values,
+        ready_core=ready_core, capacities=capacities,
+    )
+    sim.run(until=until, limits=limits,
+            max_firings=max_firings if max_firings is not None else 1_000_000)
+    return sim.trace
+
+
 class EditSession:
     """Edit/re-analyze helper for interactive and service traffic.
 

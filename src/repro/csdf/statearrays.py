@@ -69,7 +69,8 @@ from .analysis import concrete_repetition_vector
 from .calqueue import CalendarQueue
 from .graph import CSDFGraph
 
-__all__ = ["ArrayState", "array_state", "self_timed_execution_arrays"]
+__all__ = ["ArrayState", "array_state", "sim_array_state",
+           "self_timed_execution_arrays"]
 
 #: Capacity sentinel in the caps array: "unbounded".
 _UNCAPPED = -1
@@ -117,13 +118,24 @@ class ArrayState:
                  "in_edges", "out_edges", "exec_const", "exec_phases",
                  "self_loop", "batch")
 
-    def __init__(self, graph: CSDFGraph, bindings: Mapping | None):
-        q = concrete_repetition_vector(graph, bindings)
-        self.order = list(q)
+    def __init__(self, graph: CSDFGraph, bindings: Mapping | None,
+                 order: list[str] | None = None):
+        if order is None:
+            q = concrete_repetition_vector(graph, bindings)
+            self.order = list(q)
+            self.qv = [q[name] for name in self.order]
+            self.qv_np = np.asarray(self.qv, dtype=np.int64)
+        else:
+            # Explicit scan order (the TPDF simulator's control-first
+            # order): no repetition-vector iteration targets — the
+            # simulator bounds runs with limits/horizons, and the graph
+            # need not even be consistent.  Only the channel tables and
+            # exec tables below are meaningful for such templates.
+            self.order = list(order)
+            self.qv = None
+            self.qv_np = None
         apos = {name: i for i, name in enumerate(self.order)}
         self.n = len(self.order)
-        self.qv = [q[name] for name in self.order]
-        self.qv_np = np.asarray(self.qv, dtype=np.int64)
 
         channels = list(graph.channels.values())
         self.nchan = len(channels)
@@ -303,6 +315,26 @@ def _build_template(graph: CSDFGraph, bindings: Mapping | None, bk) -> ArrayStat
         state = _freeze_template(ArrayState(graph, bindings))
     store.put(bk, (version_of(graph), state))
     return state
+
+
+def sim_array_state(graph: CSDFGraph, bindings: Mapping | None,
+                    order: list[str]) -> ArrayState:
+    """The memoized :class:`ArrayState` template for the TPDF
+    simulator's schedule plane.
+
+    Same SoA product as :func:`array_state` but built over the
+    simulator's own scan order (control actors first by default) and
+    without repetition-vector targets — the simulator runs to
+    limits/horizons, not iteration counts, and accepts graphs the
+    balance equations reject.  Cached per (graph version, bindings,
+    order) so repeated ``Simulator`` constructions over the same graph
+    reuse the flattened rate/exec tables.
+    """
+    key = ("statearrays_sim", bindings_key(bindings), tuple(order))
+    return cached(
+        graph, key,
+        lambda: _freeze_template(ArrayState(graph, bindings, order=list(order))),
+    )
 
 
 def self_timed_execution_arrays(

@@ -497,6 +497,65 @@ def timed_result_from_dict(data: Mapping):
     )
 
 
+def _mode_to_wire(mode):
+    """Encode a :class:`~repro.tpdf.modes.ControlToken` (or ``None``)."""
+    if mode is None:
+        return None
+    return {"mode": mode.mode.value, "selection": list(mode.selection),
+            "deadline": mode.deadline}
+
+
+def _mode_from_wire(data):
+    if data is None:
+        return None
+    from .tpdf.modes import ControlToken, Mode
+
+    return ControlToken(Mode(data["mode"]), tuple(data["selection"]),
+                        data["deadline"])
+
+
+def trace_to_dict(trace) -> dict:
+    """JSON-ready view of a :class:`~repro.sim.Trace` (timing view:
+    firing times, modes, discards and peaks — not token payloads, which
+    are arbitrary Python objects).  Floats survive the JSON round trip
+    exactly, so a decoded trace fingerprints bit-for-bit like the
+    original (provided the original carried no recorded values)."""
+    return {
+        "firings": [
+            {"node": r.node, "index": r.index, "start": float(r.start),
+             "end": float(r.end), "mode": _mode_to_wire(r.mode)}
+            for r in trace.firings
+        ],
+        "discards": [
+            {"channel": d.channel, "port": d.port, "node": d.node,
+             "count": d.count, "time": float(d.time)}
+            for d in trace.discards
+        ],
+        "peaks": {str(name): int(peak)
+                  for name, peak in trace.peaks.items()},
+    }
+
+
+def trace_from_dict(data: Mapping):
+    """Rebuild a :class:`~repro.sim.Trace` from :func:`trace_to_dict`
+    output."""
+    from .sim import DiscardRecord, FiringRecord, Trace
+
+    return Trace(
+        firings=[
+            FiringRecord(node=r["node"], index=r["index"], start=r["start"],
+                         end=r["end"], mode=_mode_from_wire(r["mode"]))
+            for r in data["firings"]
+        ],
+        discards=[
+            DiscardRecord(channel=d["channel"], port=d["port"],
+                          node=d["node"], count=d["count"], time=d["time"])
+            for d in data["discards"]
+        ],
+        peaks=dict(data["peaks"]),
+    )
+
+
 def parametric_report_to_dict(report) -> dict:
     """JSON-ready view of a :class:`~repro.analysis.ParametricReport`
     (piecewise payloads ride through :func:`piecewise_to_dict`)."""

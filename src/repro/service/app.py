@@ -19,6 +19,7 @@ codec)::
     GET    /stats                      cache + pool + session counters
     POST   /analyze                    {"graph", "bindings", "options"}
     POST   /analyze_parametric         {"graph", "domain", "max_boxes"}
+    POST   /simulate                   {"graph", "bindings", "options"}
     POST   /batch                      {"graphs", "items", "options"}
     POST   /session                    open an edit-replay session
     POST   /session/<sid>/edits        apply edits + re-analyze (warm)
@@ -45,7 +46,7 @@ import threading
 
 from ..cache import bindings_key, domain_key
 from ..io import (parametric_report_to_dict, payload_fingerprint,
-                  report_to_dict)
+                  report_to_dict, trace_to_dict)
 from .pool import DEFAULT_DECODE_LIMIT, WorkerPool
 from .rescache import ResultCache
 from .wire import (BadRequest, SessionNotFound, error_from_dict, error_status,
@@ -58,6 +59,42 @@ _ANALYZE_OPTIONS = frozenset({
     "iterations", "with_liveness", "with_mcr", "with_buffers",
     "with_throughput", "backend", "parametric_domain",
 })
+
+#: ``simulate`` options accepted over the wire.  ``record_values`` is
+#: deliberately absent: token payloads are arbitrary Python objects
+#: with no JSON form (the timing view ships; see
+#: :func:`repro.io.trace_to_dict`).
+_SIMULATE_OPTIONS = frozenset({
+    "until", "limits", "max_firings", "cores", "capacities", "ready_core",
+})
+
+
+def _parse_simulate_options(data) -> dict:
+    if data is None:
+        return {}
+    if not isinstance(data, dict):
+        raise BadRequest(f"options must be an object, got {type(data).__name__}")
+    unknown = set(data) - _SIMULATE_OPTIONS
+    if unknown:
+        raise BadRequest(f"unknown simulate options: {sorted(unknown)}")
+    options = dict(data)
+    if (options.get("until") is None and options.get("limits") is None
+            and options.get("max_firings") is None):
+        raise BadRequest(
+            "simulate needs a stop condition in options: "
+            "'until', 'limits' or 'max_firings'"
+        )
+    return options
+
+
+def _simulate_options_key(options: dict) -> tuple:
+    items = []
+    for name in sorted(options):
+        value = options[name]
+        if isinstance(value, dict):
+            value = tuple(sorted(value.items()))
+        items.append((name, value))
+    return tuple(items)
 
 
 def _parse_options(data) -> dict:
@@ -232,6 +269,7 @@ class AnalysisService:
         (re.compile(r"^/analyze$"), {"POST": "_handle_analyze"}),
         (re.compile(r"^/analyze_parametric$"),
          {"POST": "_handle_parametric"}),
+        (re.compile(r"^/simulate$"), {"POST": "_handle_simulate"}),
         (re.compile(r"^/batch$"), {"POST": "_handle_batch"}),
         (re.compile(r"^/session$"), {"POST": "_handle_session_open"}),
         (re.compile(r"^/session/(?P<sid>[\w-]+)/edits$"),
@@ -302,7 +340,31 @@ class AnalysisService:
                       "evictions": self.cache.evictions},
             "pool": dict(self.pool.stats),
             "sessions": len(self.sessions),
+            "workers": await self._worker_stats(),
         }
+
+    async def _worker_stats(self) -> list:
+        """Per-worker resident-state rows for ``GET /stats``: each live
+        worker reports its decode-cache occupancy (``resident_graphs``)
+        and session count over a ``ping``; a dead worker's slot is
+        reported rather than hidden (the health loop replaces it)."""
+
+        async def one(handle) -> dict:
+            row = {"slot": handle.slot, "pid": handle.pid,
+                   "alive": (not handle.dead) and handle.proc.is_alive()}
+            if not row["alive"]:
+                return row
+            try:
+                reply = await self.pool.submit({"op": "ping"}, handle=handle)
+                row["resident_graphs"] = reply.get("resident_graphs", 0)
+                row["sessions"] = reply.get("sessions", 0)
+            except Exception:
+                row["alive"] = False
+            return row
+
+        return list(await asyncio.gather(
+            *(one(handle) for handle in list(self.pool.workers))
+        ))
 
     async def _analyze_cached(self, data) -> dict:
         payload, graph_key = self._graph_payload(data)
@@ -348,6 +410,30 @@ class AnalysisService:
             reply = await self._call_worker(request)
             return {"graph_key": graph_key,
                     "report": parametric_report_to_dict(reply["parametric"])}
+
+        if data.get("no_cache") or hooks:
+            return await compute()
+        return await self.cache.get_or_compute(key, compute)
+
+    async def _handle_simulate(self, data) -> dict:
+        """``POST /simulate``: timed TPDF simulation on a resident
+        worker (the schedule-plane/value-plane core by default; the
+        ``ready_core`` option selects another engine — traces are
+        bit-identical, so the cache key may include it safely)."""
+        payload, graph_key = self._graph_payload(data)
+        bindings = data.get("bindings")
+        options = _parse_simulate_options(data.get("options"))
+        hooks = self._hooks(data)
+        key = ("simulate", graph_key, bindings_key(bindings),
+               _simulate_options_key(options))
+        request = {"op": "simulate", "graph_key": graph_key,
+                   "payload": payload, "bindings": bindings,
+                   "options": options, "hooks": hooks}
+
+        async def compute() -> dict:
+            reply = await self._call_worker(request)
+            return {"graph_key": graph_key,
+                    "trace": trace_to_dict(reply["trace"])}
 
         if data.get("no_cache") or hooks:
             return await compute()

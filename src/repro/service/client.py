@@ -26,7 +26,7 @@ from typing import Mapping
 from urllib.parse import urlsplit
 
 from ..io import (graph_to_payload, parametric_report_from_dict,
-                  report_from_dict)
+                  report_from_dict, trace_from_dict)
 from .wire import error_from_dict
 
 
@@ -124,6 +124,40 @@ class ServiceClient:
             body["test"] = dict(test)
         data = self._request("POST", "/analyze", body)
         return report_from_dict(data["report"])
+
+    def simulate(self, graph, bindings: Mapping | None = None, *,
+                 until: float | None = None,
+                 limits: Mapping | None = None,
+                 max_firings: int | None = None,
+                 cores: int | None = None,
+                 capacities: Mapping | None = None,
+                 ready_core: str = "arrays",
+                 no_cache: bool = False):
+        """Remote :func:`repro.analysis.simulate`; returns the timing
+        view of the :class:`~repro.sim.Trace` (firings, modes,
+        discards, peaks — no token payloads).  A deadlock raises
+        :class:`~repro.errors.DeadlockError` with its blocked set,
+        exactly as the direct call would."""
+        options: dict = {}
+        if until is not None:
+            options["until"] = until
+        if limits is not None:
+            options["limits"] = dict(limits)
+        if max_firings is not None:
+            options["max_firings"] = max_firings
+        if cores is not None:
+            options["cores"] = cores
+        if capacities is not None:
+            options["capacities"] = dict(capacities)
+        if ready_core != "arrays":
+            options["ready_core"] = ready_core
+        body: dict = {"graph": _graph_arg(graph), "options": options}
+        if bindings:
+            body["bindings"] = dict(bindings)
+        if no_cache:
+            body["no_cache"] = True
+        data = self._request("POST", "/simulate", body)
+        return trace_from_dict(data["trace"])
 
     def analyze_parametric(self, graph, domain: Mapping, *,
                            max_boxes: int = 20_000,

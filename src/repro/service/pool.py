@@ -81,7 +81,8 @@ def _worker_main(conn, decode_limit: int, test_hooks: bool) -> None:
     because sessions mutate it)."""
     import dataclasses
 
-    from ..analysis import EditSession, analyze, analyze_parametric, warm_graph
+    from ..analysis import (EditSession, analyze, analyze_parametric,
+                            simulate, warm_graph)
     from ..cache import ContentStore
     from ..io import graph_from_payload, graph_to_payload, payload_fingerprint
     from .wire import SessionNotFound
@@ -126,6 +127,14 @@ def _worker_main(conn, decode_limit: int, test_hooks: bool) -> None:
                     max_boxes=request.get("max_boxes", 20_000),
                 )
                 reply = {"ok": True, "parametric": report}
+            elif op == "simulate":
+                # Timed TPDF simulation over the resident (shared,
+                # cache-warm) graph: the Simulator keeps all run state
+                # private, so the decoded instance is never mutated.
+                trace = simulate(resident_graph(request),
+                                 request.get("bindings"),
+                                 **request.get("options", {}))
+                reply = {"ok": True, "trace": trace}
             elif op == "session_open":
                 # Sessions edit their graph in place: decode a private
                 # instance, never the shared resident one.

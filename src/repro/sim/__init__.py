@@ -7,6 +7,8 @@ peaks and discarded tokens.
 """
 
 from .engine import Simulator
-from .trace import DiscardRecord, FiringRecord, Trace
+from .trace import (INITIAL_TOKEN, DiscardRecord, FiringRecord, InitialToken,
+                    Trace)
 
-__all__ = ["Simulator", "Trace", "FiringRecord", "DiscardRecord"]
+__all__ = ["Simulator", "Trace", "FiringRecord", "DiscardRecord",
+           "InitialToken", "INITIAL_TOKEN"]

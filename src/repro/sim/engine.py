@@ -47,14 +47,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Mapping
 
-from ..csdf.calqueue import CalendarQueue
 from ..csdf.eventloop import EventQueue, ReadyWorklist
 from ..errors import SimulationError
 from ..tpdf.builtins import ClockActor
 from ..tpdf.graph import TPDFChannel, TPDFGraph
 from ..tpdf.kernel import ControlActor, Kernel
 from ..tpdf.modes import ControlToken, Mode, highest_priority, wait_all
-from .trace import DiscardRecord, FiringRecord, Trace
+from .trace import INITIAL_TOKEN, DiscardRecord, FiringRecord, Trace
 
 
 class _ChannelState:
@@ -63,7 +62,12 @@ class _ChannelState:
 
     def __init__(self, channel: TPDFChannel):
         self.channel = channel
-        self.queue: deque = deque(None for _ in range(channel.initial_tokens))
+        # Initial tokens carry the InitialToken sentinel, not None: a
+        # consuming ``function`` can tell "no payload yet" from a
+        # produced ``None`` (the sentinel is falsy, like the old None).
+        self.queue: deque = deque(
+            INITIAL_TOKEN for _ in range(channel.initial_tokens)
+        )
         self.discard_debt = 0
         #: scan position of the consumer (set by the Simulator; the
         #: wakeup seed target when tokens arrive on this channel)
@@ -113,15 +117,16 @@ class Simulator:
         Start ready control actors before ready kernels (the paper's
         rule; disabled by the scheduler ablation).
     ready_core:
-        ``"wakeup"`` (default) uses the dependency-driven worklist;
-        ``"arrays"`` keeps that worklist but schedules events through
-        the calendar queue of :mod:`repro.csdf.calqueue` — the same
-        backend selection surface as
-        ``self_timed_execution(backend=...)``, restricted to the
-        scheduler because the simulator carries real data values that
-        have no flat-array form; ``"reference"`` keeps the legacy full
-        rescan of every node after every event — the differential
-        oracle.  All three produce bit-identical traces.
+        ``"arrays"`` (default) runs the schedule-plane / value-plane
+        split of :mod:`repro.sim.schedplane`: scheduling state lives in
+        flat slot-indexed counters over the memoized
+        :func:`repro.csdf.statearrays.sim_array_state` template, and
+        token payloads are materialized only on channels with a
+        value-touching endpoint; ``"wakeup"`` is the Python engine with
+        the dependency-driven worklist; ``"reference"`` keeps the
+        legacy full rescan of every node after every event — the
+        differential oracle.  All three produce bit-identical traces
+        (``stats()`` reports which plane actually ran).
     """
 
     #: Accepted ``ready_core`` selections (mirrors
@@ -135,7 +140,7 @@ class Simulator:
         cores: int | None = None,
         record_values: bool = False,
         control_priority: bool = True,
-        ready_core: str = "wakeup",
+        ready_core: str = "arrays",
         capacities: Mapping[str, int] | None = None,
     ):
         if ready_core not in self.READY_CORES:
@@ -180,9 +185,13 @@ class Simulator:
         self._mode_rate_cache: dict[tuple, tuple[int, ...]] = {}
         self._busy: set[str] = set()
         self._limits: dict[str, int] = {}
-        self._events = (
-            CalendarQueue() if ready_core == "arrays" else EventQueue()
-        )
+        #: ``"arrays"`` never touches this queue (the plane owns its
+        #: own calendar/heap event core).
+        self._events = None if ready_core == "arrays" else EventQueue()
+        #: the schedule/value plane, built lazily on the first run so
+        #: ``function``/``meta`` hooks attached after construction are
+        #: still honoured
+        self._plane = None
         if control_priority:
             self._order = list(graph.controls) + list(graph.kernels)
         else:
@@ -244,10 +253,48 @@ class Simulator:
         self._events.push(time, (kind, payload))
 
     def tokens_in(self, channel: str) -> int:
+        if self._plane is not None:
+            return self._plane.tokens_of(channel)
         return len(self._channels[channel].queue)
 
     def channel_values(self, channel: str) -> list:
+        """Current payloads on a channel (schedule-only channels report
+        their counters as ``InitialToken``/``None`` placeholders)."""
+        if self._plane is not None:
+            return self._plane.values_of(channel)
         return list(self._channels[channel].queue)
+
+    def channel_reserved(self, channel: str) -> int:
+        """Tokens promised by in-flight firings on a bounded channel."""
+        if self._plane is not None:
+            return self._plane.reserved_of(channel)
+        return self._channels[channel].reserved
+
+    def stats(self) -> dict:
+        """Which engine actually runs, plus the ready-check counters.
+
+        ``plane`` is ``"arrays"`` for the schedule/value-plane split
+        and ``"python"`` for the dict-walking wakeup/reference loops;
+        after an arrays run the value-plane split is reported too
+        (``value_channels`` materialized payload deques,
+        ``schedule_only_channels`` counters-only, ``fast_path`` the
+        whole-graph no-value degeneration).
+        """
+        info = {
+            "ready_core": self.ready_core,
+            "plane": "arrays" if self.ready_core == "arrays" else "python",
+        }
+        info.update(self.ready_stats)
+        if self._plane is not None:
+            value_channels = sum(
+                1 for queue in self._plane.queues if queue is not None
+            )
+            info["value_channels"] = value_channels
+            info["schedule_only_channels"] = (
+                self._plane.nchan - value_channels
+            )
+            info["fast_path"] = self._plane.fast_ok
+        return info
 
     # -- deposit with discard-debt settlement --------------------------------
     def _deposit(self, state: _ChannelState, values: list) -> None:
@@ -767,6 +814,12 @@ class Simulator:
         would otherwise run forever); ``until`` bounds model time —
         required when the graph contains clock actors and no limits.
         """
+        if self.ready_core == "arrays":
+            from .schedplane import SimPlane
+
+            if self._plane is None:
+                self._plane = SimPlane(self)
+            return self._plane.run(until, dict(limits or {}), max_firings)
         self._limits = dict(limits or {})
         has_clock = any(
             isinstance(self.graph.node(n), ClockActor) for n in self.graph.controls

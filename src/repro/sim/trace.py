@@ -9,10 +9,44 @@ latencies (Fig. 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..tpdf.modes import ControlToken
+
+
+class InitialToken:
+    """Sentinel payload carried by a channel's *initial* tokens.
+
+    Initial tokens exist before any producer fired, so they have no
+    computed value; pre-filling ``None`` (the pre-split behaviour) made
+    them indistinguishable from a genuine ``None`` produced by a
+    kernel function.  Every initial token is this singleton instead:
+    ``value is INITIAL_TOKEN`` tells a ``function`` kernel "no payload
+    yet".  The sentinel is falsy, so existing guards of the form
+    ``if consumed.get(port):`` keep treating it as absent.
+    """
+
+    __slots__ = ()
+    _singleton: "InitialToken | None" = None
+
+    def __new__(cls) -> "InitialToken":
+        if cls._singleton is None:
+            cls._singleton = super().__new__(cls)
+        return cls._singleton
+
+    def __repr__(self) -> str:
+        return "InitialToken"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (InitialToken, ())
+
+
+#: The one shared sentinel instance (``InitialToken()`` returns it too).
+INITIAL_TOKEN = InitialToken()
 
 
 @dataclass
@@ -43,14 +77,105 @@ class DiscardRecord:
     time: float
 
 
-@dataclass
 class Trace:
-    """Aggregated observations of one simulation run."""
+    """Aggregated observations of one simulation run.
 
-    firings: list[FiringRecord] = field(default_factory=list)
-    discards: list[DiscardRecord] = field(default_factory=list)
-    #: peak occupancy per channel (includes initial tokens)
-    peaks: dict[str, int] = field(default_factory=dict)
+    ``firings`` is a list of :class:`FiringRecord`; the reference and
+    wakeup engines append records directly.  The arrays schedule plane
+    instead hands over *columns* (parallel lists of node/index/start/
+    end/mode) via :meth:`_extend_from_columns` — record objects are
+    only constructed when ``firings`` is first read, and
+    :meth:`fingerprint` digests the columns without ever building
+    them.  Both paths produce byte-identical fingerprints.
+    """
+
+    __slots__ = ("_firings", "_columns", "discards", "peaks")
+
+    def __init__(self, firings: list[FiringRecord] | None = None,
+                 discards: list[DiscardRecord] | None = None,
+                 peaks: dict[str, int] | None = None):
+        self._firings: list[FiringRecord] = (
+            firings if firings is not None else []
+        )
+        #: un-materialized firing columns from the arrays plane:
+        #: ``(nodes, indices, starts, ends, modes, consumed, produced)``
+        self._columns: tuple | None = None
+        self.discards: list[DiscardRecord] = (
+            discards if discards is not None else []
+        )
+        #: peak occupancy per channel (includes initial tokens)
+        self.peaks: dict[str, int] = peaks if peaks is not None else {}
+
+    @property
+    def firings(self) -> list[FiringRecord]:
+        if self._columns is not None:
+            self._materialize()
+        return self._firings
+
+    @firings.setter
+    def firings(self, records: list[FiringRecord]) -> None:
+        self._columns = None
+        self._firings = records
+
+    def _materialize(self) -> None:
+        nodes, indices, starts, ends, modes, consumed, produced = self._columns
+        self._columns = None
+        append = self._firings.append
+        for i in range(len(nodes)):
+            append(FiringRecord(
+                node=nodes[i], index=indices[i], start=starts[i],
+                end=ends[i], mode=modes[i],
+                consumed=consumed[i] if consumed is not None else None,
+                produced=produced[i] if produced is not None else None,
+            ))
+
+    def _extend_from_columns(self, nodes, indices, starts, ends, modes,
+                             consumed=None, produced=None) -> None:
+        """Append a batch of firings in columnar form (arrays plane).
+
+        Record construction is deferred until ``firings`` is read; if
+        records were already materialized (or engine-appended), the
+        batch is converted eagerly so the list stays complete.
+        """
+        if not nodes:
+            return
+        if self._columns is None and not self._firings:
+            self._columns = (list(nodes), list(indices), list(starts),
+                             list(ends), list(modes),
+                             list(consumed) if consumed is not None else None,
+                             list(produced) if produced is not None else None)
+            return
+        if self._columns is not None:
+            cols = self._columns
+            cols[0].extend(nodes)
+            cols[1].extend(indices)
+            cols[2].extend(starts)
+            cols[3].extend(ends)
+            cols[4].extend(modes)
+            if cols[5] is not None and consumed is not None:
+                cols[5].extend(consumed)
+            if cols[6] is not None and produced is not None:
+                cols[6].extend(produced)
+            return
+        append = self._firings.append
+        for i in range(len(nodes)):
+            append(FiringRecord(
+                node=nodes[i], index=indices[i], start=starts[i],
+                end=ends[i], mode=modes[i],
+                consumed=consumed[i] if consumed is not None else None,
+                produced=produced[i] if produced is not None else None,
+            ))
+
+    def __reduce__(self):
+        # Pickle the materialized form (the service ships traces
+        # across the worker pipe).
+        return (Trace, (self.firings, self.discards, self.peaks))
+
+    def __repr__(self) -> str:
+        pending = len(self._columns[0]) if self._columns is not None else 0
+        return (f"Trace(firings={len(self._firings) + pending}, "
+                f"discards={len(self.discards)}, "
+                f"channels={len(self.peaks)})")
 
     def fingerprint(self) -> str:
         """Deterministic digest of the whole trace — firing order,
@@ -63,11 +188,18 @@ class Trace:
         import hashlib
 
         digest = hashlib.sha256()
-        for record in self.firings:
+        for record in self._firings:
             digest.update(
                 f"F|{record.node}|{record.index}|{record.start!r}|"
                 f"{record.end!r}|{record.mode!r}\n".encode()
             )
+        if self._columns is not None:
+            nodes, indices, starts, ends, modes = self._columns[:5]
+            for i in range(len(nodes)):
+                digest.update(
+                    f"F|{nodes[i]}|{indices[i]}|{starts[i]!r}|"
+                    f"{ends[i]!r}|{modes[i]!r}\n".encode()
+                )
         for discard in self.discards:
             digest.update(
                 f"D|{discard.channel}|{discard.port}|{discard.node}|"

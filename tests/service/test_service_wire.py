@@ -18,14 +18,15 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.analysis import analyze, analyze_parametric
+from repro.analysis import analyze, analyze_parametric, simulate
 from repro.errors import (DeadlockError, GraphConstructionError,
                           ParametricMCRError, ReproError)
 from repro.gallery import fig4_graph, parametric_radio_graph
 from repro.io import (_scalar_from_wire, _scalar_to_wire,
                       parametric_report_from_dict, parametric_report_to_dict,
                       payload_fingerprint, report_from_dict, report_to_dict,
-                      timed_result_from_dict, timed_result_to_dict)
+                      timed_result_from_dict, timed_result_to_dict,
+                      trace_from_dict, trace_to_dict)
 from repro.service import (BadRequest, ServiceError, SessionLost,
                            WorkerCrashError, error_from_dict, error_status,
                            error_to_dict)
@@ -89,6 +90,116 @@ class TestReportRoundTrip:
     def test_from_dict_rejects_wrong_kind(self):
         with pytest.raises(GraphConstructionError, match="kind"):
             report_from_dict({"kind": "something_else"})
+
+
+class TestTraceRoundTrip:
+    """The simulation-trace codec: timing view, fingerprints exact."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_control_traces_survive_json_exactly(self, seed):
+        from repro.tpdf import random_consistent_graph
+
+        graph = random_consistent_graph(6, extra_edges=3, n_cycles=1,
+                                        seed=seed, with_control=True)
+        want = simulate(graph,
+                        limits={name: 4 for name in graph.kernels})
+        got = trace_from_dict(json_round_trip(trace_to_dict(want)))
+        assert got.fingerprint() == want.fingerprint()  # == : bit-exact
+        assert len(got.firings) == len(want.firings)
+        assert got.peaks == want.peaks
+        # discards carry their channel/port/count payload through
+        for mine, theirs in zip(got.discards, want.discards):
+            assert (mine.channel, mine.port, mine.node, mine.count,
+                    mine.time) == (theirs.channel, theirs.port,
+                                   theirs.node, theirs.count, theirs.time)
+
+
+class TestServiceSimulate:
+    """``POST /simulate`` end to end: resident workers run the
+    schedule-plane core; the wire trace fingerprints bit-for-bit
+    against a direct in-process simulation."""
+
+    def test_simulate_matches_direct(self, client):
+        from repro.tpdf import random_consistent_graph
+
+        graph = random_consistent_graph(6, extra_edges=3, n_cycles=1,
+                                        seed=5, with_control=True)
+        limits = {name: 4 for name in graph.kernels}
+        served = client.simulate(graph, limits=limits)
+        direct = simulate(graph, limits=limits)
+        assert served.fingerprint() == direct.fingerprint()
+
+    def test_capacitated_run_with_cores(self, client):
+        from repro.tpdf import random_consistent_graph
+
+        graph = random_consistent_graph(5, extra_edges=2, n_cycles=0,
+                                        seed=9)
+        limits = {name: 4 for name in graph.kernels}
+        open_run = simulate(graph, limits=limits)
+        capacities = {name: max(1, peak)
+                      for name, peak in open_run.peaks.items()}
+        served = client.simulate(graph, limits=limits, cores=2,
+                                 capacities=capacities)
+        direct = simulate(graph, limits=limits, cores=2,
+                          capacities=capacities)
+        assert served.fingerprint() == direct.fingerprint()
+
+    def test_missing_stop_condition_is_rejected(self, client):
+        from repro.tpdf import random_consistent_graph
+
+        graph = random_consistent_graph(4, seed=1)
+        with pytest.raises(BadRequest, match="stop condition"):
+            client.simulate(graph)
+
+    def test_unknown_option_is_rejected(self, client):
+        import http.client
+        import json as _json
+
+        from repro.io import graph_to_payload
+        from repro.tpdf import random_consistent_graph
+
+        graph = random_consistent_graph(4, seed=1)
+        body = _json.dumps({"graph": graph_to_payload(graph),
+                            "options": {"record_values": True,
+                                        "limits": {}}}).encode()
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        try:
+            conn.request("POST", "/simulate", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = _json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "record_values" in data["error"]["message"]
+
+
+class TestStatsEndpoint:
+    """``GET /stats``: the result-cache eviction counter and the
+    per-worker decode-cache occupancy rows."""
+
+    def test_evictions_and_worker_rows(self, client):
+        stats = client.stats()
+        cache = stats["cache"]
+        assert isinstance(cache["evictions"], int)
+        assert cache["evictions"] >= 0
+        assert cache["entries"] <= 256  # the default LRU bound
+        workers = stats["workers"]
+        assert len(workers) == 2  # the module service runs 2 workers
+        for row in workers:
+            assert {"slot", "pid", "alive"} <= set(row)
+            if row["alive"]:
+                assert row["resident_graphs"] >= 0
+                assert row["sessions"] >= 0
+
+    def test_decode_cache_grows_with_traffic(self, client):
+        graph = small_csdf(seed=97)
+        client.analyze(graph, no_cache=True)
+        workers = client.stats()["workers"]
+        resident = sum(row.get("resident_graphs", 0) for row in workers
+                       if row["alive"])
+        assert resident >= 1  # the analyzed graph stayed decoded
 
 
 class TestScalarWire:

@@ -307,6 +307,66 @@ class TestSimulatorParity:
             Simulator(fig2, ready_core="bogus")
 
 
+def _sim_result_key(graph, ready_core, cores, limits, capacities=None,
+                    bindings=None):
+    """Exact observable outcome of one simulator run: the trace
+    fingerprint (firing order/times/modes, discards, peaks) or the
+    up-front capacity deadlock's blocked set."""
+    try:
+        sim = Simulator(graph, bindings=bindings, cores=cores,
+                        ready_core=ready_core, capacities=capacities)
+    except DeadlockError as exc:
+        return ("deadlock", tuple(exc.blocked))
+    sim.run(limits=limits, max_firings=20_000)
+    return (sim.trace.fingerprint(), len(sim.trace.discards),
+            sim.ready_stats["events"])
+
+
+def _sim_tight_capacities(graph, limits):
+    """Capacities one below an unconstrained reference run's peaks
+    (clamped to >= 1): back-pressure on every channel, and — where a
+    peak-1 bound falls below the initial marking — the up-front
+    capacity deadlock."""
+    sim = Simulator(graph, ready_core="reference")
+    sim.run(limits=limits, max_firings=20_000)
+    return {name: max(1, peak - 1) for name, peak in sim.trace.peaks.items()}
+
+
+class TestSimulatorCorpusParity:
+    """The schedule/value-plane split (``ready_core="arrays"``, the
+    default) is pinned bit for bit against the wakeup core and the
+    legacy reference oracle over the 200-graph corpus x core budgets
+    {None, 1, 2, 8} x capacity constraints on/off — the acceptance bar
+    of the plane refactor.  Control machinery rides along on odd
+    seeds (control actor + controlled sink per graph)."""
+
+    @pytest.mark.parametrize("constrained", (False, True),
+                             ids=("open", "capped"))
+    @pytest.mark.parametrize("shape", SHAPES,
+                             ids=lambda s: f"n{s[0]}e{s[1]}c{s[2]}")
+    def test_random_corpus(self, shape, constrained):
+        n, extra, cycles = shape
+        for seed in range(SEEDS_PER_SHAPE):
+            graph = random_consistent_graph(
+                n, extra_edges=extra, n_cycles=cycles, seed=seed,
+                with_control=bool(seed % 2),
+            )
+            limits = {name: 4 for name in graph.kernels}
+            capacities = (
+                _sim_tight_capacities(graph, limits) if constrained else None
+            )
+            for cores in CORE_BUDGETS:
+                keys = {
+                    core: _sim_result_key(graph, core, cores, limits,
+                                          capacities)
+                    for core in ("arrays", "wakeup", "reference")
+                }
+                assert keys["arrays"] == keys["wakeup"] == keys["reference"], (
+                    f"shape={shape} seed={seed} cores={cores} "
+                    f"constrained={constrained}"
+                )
+
+
 def _controlled_fingerprint(decision, ready_core):
     """The select/reject scenario of the engine mode tests: src feeds
     two branches, a control actor picks at the sink."""

@@ -259,6 +259,54 @@ class TestThroughput:
             main(["throughput", fig1_json, "--probe-caps", str(probe_file)])
 
 
+class TestSimulate:
+    def test_tpdf_simulation_summary(self, fig2_json, capsys):
+        assert main(["simulate", fig2_json, "--bind", "p=2",
+                     "--limit", "A=4"]) == 0
+        out = capsys.readouterr().out
+        assert "ready core:   arrays" in out
+        assert "firings:" in out
+        assert "buffer peaks" in out
+
+    def test_reference_parity_flag(self, fig2_json, capsys):
+        assert main(["simulate", fig2_json, "--bind", "p=2",
+                     "--limit", "A=4", "--check-reference"]) == 0
+        assert "reference parity: identical" in capsys.readouterr().out
+
+    def test_csdf_graph_wrapped(self, fig1_json, capsys):
+        assert main(["simulate", fig1_json, "--max-firings", "2000",
+                     "--until", "40"]) == 0
+        assert "end time:" in capsys.readouterr().out
+
+    def test_requires_stop_condition(self, fig2_json):
+        with pytest.raises(SystemExit, match="stop condition"):
+            main(["simulate", fig2_json, "--bind", "p=2"])
+
+    def test_unknown_limit_node_exits(self, fig2_json):
+        with pytest.raises(SystemExit, match="unknown nodes"):
+            main(["simulate", fig2_json, "--bind", "p=2",
+                  "--limit", "typo=4"])
+
+    def test_unknown_capacity_exits(self, fig2_json):
+        with pytest.raises(SystemExit, match="typo"):
+            main(["simulate", fig2_json, "--bind", "p=2",
+                  "--limit", "A=4", "--cap", "typo=1"])
+
+    def test_deadlocking_capacity_exits_one(self, fig2_json, capsys):
+        code = main(["simulate", fig2_json, "--bind", "p=2",
+                     "--limit", "A=8", "--cap", "e1=1"])
+        out = capsys.readouterr().out
+        if code == 1:
+            assert "deadlock" in out
+        else:  # fig2 happens to run under this bound
+            assert "firings:" in out
+
+    def test_gantt_output(self, fig2_json, capsys):
+        assert main(["simulate", fig2_json, "--bind", "p=2",
+                     "--limit", "A=2", "--gantt"]) == 0
+        assert "|" in capsys.readouterr().out
+
+
 class TestBufferSearch:
     def test_search_and_batched_agree(self, fig1_json, capsys):
         assert main(["buffers", fig1_json, "--search"]) == 0
