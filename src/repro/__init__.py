@@ -21,6 +21,9 @@ Subpackages
     The unified batch front door: consistency, liveness, MCR, buffer
     sizing and self-timed throughput over many graphs in one call,
     with all intermediates shared through per-graph caches.
+:mod:`repro.diagnostics`
+    Static diagnostics engine: structured lint over both graph models
+    with stable codes and soundness-proven ERROR passes.
 
 Quick start::
 
@@ -28,7 +31,8 @@ Quick start::
     q = repetition_vector(fig2_graph())      # {'A': 2, 'B': 2p, ...}
 """
 
-from . import analysis, apps, csdf, platform, scheduling, sim, symbolic, tpdf, util
+from . import (analysis, apps, csdf, diagnostics, platform, scheduling, sim,
+               symbolic, tpdf, util)
 from .analysis import (
     EditSession,
     GraphReport,
@@ -37,10 +41,12 @@ from .analysis import (
     probe_capacities,
     simulate,
 )
+from .diagnostics import Diagnostic, Severity, run_diagnostics
 from .errors import (
     AnalysisError,
     BoundednessError,
     DeadlockError,
+    DiagnosticsError,
     GraphConstructionError,
     RateSafetyError,
     ReproError,
@@ -53,6 +59,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "diagnostics",
+    "Diagnostic",
+    "DiagnosticsError",
+    "Severity",
+    "run_diagnostics",
     "EditSession",
     "GraphReport",
     "analyze",

@@ -130,6 +130,19 @@ def _run_edit_replay(args, bindings, domain) -> int:
     options = dict(iterations=args.iterations, parametric_domain=domain,
                    backend=args.backend)
     session = EditSession(graph, bindings, **options)
+    if args.preflight:
+        # Fatal scripts fail fast on a scratch copy, before the replay
+        # touches the session graph.
+        from .errors import DiagnosticsError
+
+        try:
+            findings = session.preflight(script)
+        except DiagnosticsError as exc:
+            for diagnostic in exc.diagnostics:
+                print(diagnostic, file=sys.stderr)
+            raise SystemExit(f"preflight: {exc}")
+        label = (f"{len(findings)} warning(s)" if findings else "clean")
+        print(f"[preflight] {label}")
     exit_code = 0
 
     def step(label: str) -> None:
@@ -194,6 +207,8 @@ def cmd_analyze(args) -> int:
             raise SystemExit(str(exc))
     if args.verify_cold and not args.edits:
         raise SystemExit("--verify-cold only applies to an --edits replay")
+    if args.preflight and not args.edits:
+        raise SystemExit("--preflight only applies to an --edits replay")
     if args.edits:
         if args.jobs is not None:
             raise SystemExit("--edits is a sequential warm replay; drop --jobs")
@@ -218,15 +233,38 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .tpdf.lint import lint
+    """Static diagnostics over a TPDF *or* CSDF graph.
 
-    graph = _as_tpdf(_load(args.graph))
-    warnings = lint(graph)
-    for warning in warnings:
-        print(warning)
-    if not warnings:
-        print("clean")
-    return 1 if warnings else 0
+    Exit status contract: always 0 unless ``--strict`` is given, in
+    which case the exit is 1 exactly when ERROR-severity diagnostics
+    are present (warnings never fail the build).  ``--codes`` prints
+    the code catalog and needs no graph.
+    """
+    from .diagnostics import (Severity, catalog_lines, has_errors,
+                              run_diagnostics)
+
+    if args.codes:
+        for line in catalog_lines():
+            print(line)
+        return 0
+    if not args.graph:
+        raise SystemExit("lint needs a graph file (or --codes)")
+    graph = _load(args.graph)
+    bindings = _parse_bindings(args.bind) or None
+    diagnostics = run_diagnostics(graph, bindings=bindings)
+    if args.format == "json":
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic)
+        if not diagnostics:
+            print("clean")
+        else:
+            errors = sum(d.severity is Severity.ERROR for d in diagnostics)
+            print(f"{len(diagnostics)} finding(s), {errors} error(s)")
+    if args.strict and has_errors(diagnostics):
+        return 1
+    return 0
 
 
 def cmd_dot(args) -> int:
@@ -549,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 '{"op": ..., ...} objects) replayed '
                                 "incrementally against a single CSDF graph; "
                                 "prints one warm re-analysis verdict per step")
+    p_analyze.add_argument("--preflight", action="store_true",
+                           help="with --edits: dry-run the script on a "
+                                "scratch copy first and abort (with "
+                                "diagnostics) before replaying a script "
+                                "that ends in a statically-broken state")
     p_analyze.add_argument("--verify-cold", action="store_true",
                            help="with --edits: cross-check every warm report "
                                 "against a cold analysis of a round-trip "
@@ -561,8 +604,25 @@ def build_parser() -> argparse.ArgumentParser:
                                 "fast struct-of-arrays backend)")
     p_analyze.set_defaults(func=cmd_analyze)
 
-    p_lint = sub.add_parser("lint", help="structural diagnostics")
-    p_lint.add_argument("graph")
+    p_lint = sub.add_parser(
+        "lint",
+        help="static diagnostics (rates, deadlocks, control contracts, "
+             "bindings, structure) over a TPDF or CSDF graph",
+    )
+    p_lint.add_argument("graph", nargs="?", default=None)
+    p_lint.add_argument("--bind", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="parameter bindings checked by the binding "
+                             "passes (BIND003 unhashable values...)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        help="text prints one line per finding; json prints "
+                             "the structured diagnostic records")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit 1 when ERROR-severity diagnostics are "
+                             "present (default exit is always 0)")
+    p_lint.add_argument("--codes", action="store_true",
+                        help="print the diagnostic code catalog and exit "
+                             "(no graph needed)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_dot = sub.add_parser("dot", help="Graphviz rendering")

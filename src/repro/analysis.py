@@ -90,7 +90,7 @@ from .csdf.buffers import minimal_buffer_schedule
 from .csdf.graph import CSDFGraph
 from .csdf.mcr import max_cycle_ratio
 from .csdf.throughput import TimedResult, self_timed_execution
-from .errors import GraphConstructionError, ReproError
+from .errors import DiagnosticsError, GraphConstructionError, ReproError
 from .symbolic import InconsistentRatesError
 from .tpdf.graph import TPDFGraph
 
@@ -135,6 +135,11 @@ class GraphReport:
     skipped: dict[str, str] = field(default_factory=dict)
     #: stage -> error message for stages that raised
     errors: dict[str, str] = field(default_factory=dict)
+    #: static diagnostics attached by ``analyze(lint="warn")`` —
+    #: presentation data like ``elapsed``, outside the fingerprint
+    #: (the same graph analyzed with ``lint="off"`` must stay
+    #: bit-identical).
+    diagnostics: tuple = ()
     #: wall-clock cost of this report, seconds
     elapsed: float = 0.0
     #: mutation version of the analyzed graph object when the report
@@ -358,6 +363,30 @@ def _is_concrete(csdf: CSDFGraph, bindings: Mapping | None) -> bool:
     return not (csdf.parameters() - set(bindings or {}))
 
 
+def _lint_gate(graph: AnyGraph, bindings: Mapping | None,
+               mode: str) -> list:
+    """Run the diagnostics engine for ``analyze(lint=...)``.
+
+    ``mode="error"`` raises :class:`~repro.errors.DiagnosticsError`
+    (carrying the full diagnostic list) when any ERROR-severity defect
+    is present; otherwise the list is returned for attachment to the
+    report.
+    """
+    from .diagnostics import Severity, run_diagnostics
+
+    findings = run_diagnostics(graph, bindings=bindings)
+    fatal = [d for d in findings if d.severity is Severity.ERROR]
+    if mode == "error" and fatal:
+        summary = "; ".join(f"{d.code} {d.subject}" for d in fatal[:5])
+        if len(fatal) > 5:
+            summary += f" (+{len(fatal) - 5} more)"
+        raise DiagnosticsError(
+            f"graph {graph.name!r} fails static diagnostics: {summary}",
+            diagnostics=findings,
+        )
+    return findings
+
+
 def analyze(
     graph: AnyGraph,
     bindings: Mapping | None = None,
@@ -369,6 +398,7 @@ def analyze(
     with_throughput: bool = True,
     parametric_domain=None,
     backend: str = "arrays",
+    lint: str = "off",
     reuse_from: "GraphReport | None" = None,
 ) -> GraphReport:
     """Run the full analysis chain over one graph.
@@ -401,11 +431,24 @@ def analyze(
     :mod:`repro.cache` and :mod:`repro.csdf.mcr`).  Warm results are
     bit-for-bit identical to cold analysis (``fingerprint()``).  See
     :class:`EditSession` for the convenience wrapper.
+
+    ``lint`` runs the static diagnostics engine
+    (:func:`repro.diagnostics.run_diagnostics`) before the stages:
+    ``"error"`` raises :class:`~repro.errors.DiagnosticsError` when any
+    ERROR-severity defect is found (rejecting statically-doomed graphs
+    without burning analysis time), ``"warn"`` attaches the diagnostic
+    list to ``report.diagnostics``, and ``"off"`` (the default) skips
+    the engine entirely.
     """
     start = time.perf_counter()
+    if lint not in ("off", "warn", "error"):
+        raise ValueError(
+            f"lint must be 'off', 'warn' or 'error', got {lint!r}"
+        )
     options_key = (
         iterations, with_liveness, with_mcr, with_buffers, with_throughput,
         backend, None if parametric_domain is None else repr(parametric_domain),
+        lint,
     )
     if reuse_from is not None:
         if reuse_from.graph is not graph:
@@ -419,9 +462,13 @@ def analyze(
             return dataclasses.replace(
                 reuse_from, elapsed=time.perf_counter() - start
             )
+    lint_findings: tuple = ()
+    if lint != "off":
+        lint_findings = tuple(_lint_gate(graph, bindings, lint))
     report = GraphReport(
         graph=graph, name=graph.name, bindings=dict(bindings or {}),
         graph_version=version_of(graph), analysis_options=options_key,
+        diagnostics=lint_findings,
     )
     csdf = _csdf_view(graph)
 
@@ -685,6 +732,47 @@ class EditSession:
             **options,
         )
         return self.report
+
+    # -- pre-flight ------------------------------------------------------
+    def preflight(self, edits: Iterable[Mapping],
+                  bindings: Mapping | None = None) -> list:
+        """Dry-run an edit script on a scratch copy of the graph.
+
+        Replays every edit on a value-identical clone, then runs the
+        static diagnostics engine on the result.  A script that cannot
+        even apply raises its structural error immediately; a script
+        whose end state carries ERROR-severity diagnostics raises
+        :class:`~repro.errors.DiagnosticsError` — in both cases the
+        session's real graph is untouched, so a fatal script fails
+        *fast* instead of crashing (or corrupting the session) half-way
+        through a replay.  Returns the full diagnostic list otherwise
+        (warnings included, for display).
+        """
+        from .diagnostics import Severity, run_diagnostics
+
+        scratch = self.graph.bind({})  # mutable value-identical clone
+        scratch.name = self.graph.name
+        probe = EditSession(scratch)
+        for index, edit in enumerate(edits):
+            try:
+                probe.apply(edit)
+            except KeyError as exc:
+                raise GraphConstructionError(
+                    f"edit {index} ({edit.get('op', '?')!r}) references an "
+                    f"unknown actor/channel: {exc}"
+                ) from exc
+        findings = run_diagnostics(
+            scratch, bindings=self.bindings if bindings is None else bindings
+        )
+        fatal = [d for d in findings if d.severity is Severity.ERROR]
+        if fatal:
+            summary = "; ".join(f"{d.code} {d.subject}" for d in fatal[:5])
+            raise DiagnosticsError(
+                f"edit script would leave {self.graph.name!r} statically "
+                f"broken: {summary}",
+                diagnostics=findings,
+            )
+        return findings
 
     # -- edits -----------------------------------------------------------
     def set_exec_time(self, actor: str, value) -> "EditSession":

@@ -45,7 +45,7 @@ recorded as a conservative structural bump with unknown scope.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, Mapping, NamedTuple
+from typing import Any, Callable, Hashable, Iterable, Mapping, NamedTuple
 
 from .errors import GraphConstructionError
 
@@ -115,7 +115,8 @@ def register_binding_insensitive(tag: str) -> None:
     _BINDING_INSENSITIVE_TAGS.add(tag)
 
 
-def bump_version(graph: Any, kind: str = "structural", scope=None) -> None:
+def bump_version(graph: Any, kind: str = "structural",
+                 scope: Iterable[str] | None = None) -> None:
     """Invalidate cached analyses of ``graph`` (called by the graph
     classes' construction methods and field setters).
 
@@ -247,7 +248,7 @@ class ContentStore:
         #: Entries dropped by the LRU bound since construction.
         self.evictions = 0
 
-    def get(self, key: Hashable, default=None):
+    def get(self, key: Hashable, default: Any = None) -> Any:
         try:
             value = self._data[key]
         except KeyError:
@@ -255,14 +256,14 @@ class ContentStore:
         self._data.move_to_end(key)
         return value
 
-    def put(self, key: Hashable, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.limit:
             self._data.popitem(last=False)
             self.evictions += 1
 
-    def pop(self, key: Hashable, default=None):
+    def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return ``key``'s entry (``default`` when absent).
         An explicit drop is not an eviction — the counter tracks only
         the LRU bound."""
@@ -353,7 +354,7 @@ def bindings_key(bindings: Mapping | None) -> tuple:
     return tuple(sorted(items))
 
 
-def domain_key(domain) -> tuple:
+def domain_key(domain: Any) -> tuple:
     """Hashable view of a parameter *domain* (order-insensitive).
 
     Accepts a :class:`repro.csdf.parametric.ParamDomain` (anything with

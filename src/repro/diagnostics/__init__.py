@@ -1,0 +1,29 @@
+"""Unified static diagnostics over TPDF and CSDF graphs.
+
+Front door: :func:`run_diagnostics` — pure (no graph mutation, no
+version bumps, no cache population), emits structured
+:class:`Diagnostic` records with stable codes, wired into
+``analyze(lint=...)``, the edit-session pre-flight, the service's
+``POST /lint`` endpoint and the CLI ``lint`` subcommand.  See
+``docs/diagnostics.md`` for the code catalog with runtime-failure
+demonstrations.
+"""
+
+from .core import (CATALOG, ERROR_CODES, CodeInfo, Diagnostic, Severity,
+                   catalog_lines, sort_diagnostics)
+from .passes import has_errors, run_diagnostics
+from .view import ChannelView, GraphView
+
+__all__ = [
+    "CATALOG",
+    "ERROR_CODES",
+    "ChannelView",
+    "CodeInfo",
+    "Diagnostic",
+    "GraphView",
+    "Severity",
+    "catalog_lines",
+    "has_errors",
+    "run_diagnostics",
+    "sort_diagnostics",
+]

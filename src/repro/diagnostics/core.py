@@ -1,0 +1,188 @@
+"""Core vocabulary of the static diagnostics engine.
+
+A :class:`Diagnostic` is one finding of the engine: a stable
+machine-readable ``code`` (``RATE001``), a :class:`Severity`, the
+``subject`` it points at (an actor, a ``node.port`` pair, a channel, a
+parameter), a human-readable message and an optional fix ``hint``.
+
+The :data:`CATALOG` is the authoritative registry of codes: every pass
+in :mod:`repro.diagnostics.passes` emits codes declared here, the CLI
+``lint --codes`` listing renders it, and the soundness suite iterates
+its ERROR entries to assert each one is backed by a runtime failure.
+
+Severity contract:
+
+``ERROR``
+    The graph (or binding set) is statically *proven* to fail at
+    runtime — ``analyze``/``simulate`` raises or reports the failure.
+    The differential soundness suite enforces exactly this, per code.
+``WARNING``
+    Well-formed but suspicious; the runtime tolerates it (e.g. an
+    unfed control port falls back to WAIT_ALL firing).
+``INFO``
+    Neutral observations; never gates anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: most severe first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding of the diagnostics engine."""
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+    hint: str | None = None
+
+    def __str__(self) -> str:
+        body = f"[{self.code}:{self.severity}] {self.subject}: {self.message}"
+        if self.hint:
+            body += f" (hint: {self.hint})"
+        return body
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the CLI ``--format json`` rows and the
+        service wire form)."""
+        entry = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.hint is not None:
+            entry["hint"] = self.hint
+        return entry
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Diagnostic":
+        return Diagnostic(
+            code=str(data.get("code", "UNKNOWN")),
+            severity=Severity(str(data.get("severity", "warning"))),
+            subject=str(data.get("subject", "")),
+            message=str(data.get("message", "")),
+            hint=(None if data.get("hint") is None else str(data["hint"])),
+        )
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry: what a code means and how severe it is."""
+
+    code: str
+    severity: Severity
+    title: str
+    description: str
+
+
+def _entry(code: str, severity: Severity, title: str,
+           description: str) -> tuple[str, CodeInfo]:
+    return (code, CodeInfo(code, severity, title, description))
+
+
+#: The authoritative code registry.  ERROR entries carry a soundness
+#: obligation: an injected-defect corpus test must show the runtime
+#: failing on every graph the code fires for (tests/diagnostics/).
+CATALOG: dict[str, CodeInfo] = dict([
+    _entry("RATE001", Severity.ERROR, "inconsistent rates",
+           "The balance equations admit only the trivial solution: some "
+           "cycle of rate constraints is contradictory (or a self-loop is "
+           "unbalanced).  analyze() reports consistent=False."),
+    _entry("RATE002", Severity.ERROR, "zero repetition vector",
+           "The only balance solution assigns repetition count 0 to some "
+           "actor — no non-trivial periodic schedule exists.  analyze() "
+           "reports consistent=False."),
+    _entry("DEAD001", Severity.ERROR, "capacity below initial tokens",
+           "A declared channel capacity is smaller than the channel's "
+           "initial tokens: the initial marking does not fit, and every "
+           "execution backend rejects the run up front with DeadlockError."),
+    _entry("DEAD002", Severity.ERROR, "token-free directed cycle",
+           "Every hop of a directed cycle starves its consumer's first "
+           "firing (initial tokens below the first-phase consumption, "
+           "WAIT_ALL consumers): a circular wait no firing can ever break. "
+           "analyze() reports live=False."),
+    _entry("DEAD003", Severity.ERROR, "strangled port",
+           "A channel whose production or consumption rate sequence is "
+           "identically zero on one side while the other side moves "
+           "tokens: the consumer starves forever or tokens pile up "
+           "unboundedly; the balance equations collapse to the trivial "
+           "solution."),
+    _entry("CTRL001", Severity.WARNING, "unfed control port",
+           "A kernel declares a control port that no control actor "
+           "feeds; the simulator falls back to WAIT_ALL firings, which "
+           "is rarely what a controlled kernel means."),
+    _entry("CTRL002", Severity.ERROR, "control rate contract violation",
+           "A control port phase rate is not in {0, 1} (Def. 2): the "
+           "simulator refuses the firing with SimulationError (which of "
+           "several control tokens would select the mode?)."),
+    _entry("CTRL003", Severity.WARNING, "unreceived control tokens",
+           "A control actor has no outgoing control channel; its "
+           "decisions reach nobody."),
+    _entry("CTRL004", Severity.WARNING, "inconsistent mode restriction",
+           "A SELECT_ONE restriction of the graph (one selectable port "
+           "kept, the siblings dropped) is still rate-inconsistent: the "
+           "full-graph inconsistency does not disappear under this mode, "
+           "so the mode can never run a full iteration (Sec. III-A)."),
+    _entry("BIND001", Severity.ERROR, "undeclared parameter",
+           "A rate uses a parameter the graph never declares, so its "
+           "domain is unknown; the TPDF consistency/boundedness chain "
+           "rejects the graph (AnalysisError)."),
+    _entry("BIND002", Severity.WARNING, "unused parameter",
+           "A declared parameter appears in no rate sequence."),
+    _entry("BIND003", Severity.ERROR, "unhashable binding value",
+           "A binding value is not hashable, so it cannot key the "
+           "analysis caches: analyze() raises TypeError before any "
+           "stage runs."),
+    _entry("STRUCT001", Severity.WARNING, "dangling port",
+           "A port is declared but never connected."),
+    _entry("STRUCT002", Severity.WARNING, "unreachable actor",
+           "No path from any source (or clock) reaches the actor."),
+    _entry("STRUCT003", Severity.WARNING, "clock in feedback cycle",
+           "A clock actor participates in a feedback cycle; its "
+           "time-triggered firings race the data path."),
+    _entry("STRUCT004", Severity.WARNING, "zero-rate port",
+           "Every phase of a port's rate sequence is 0; the port can "
+           "never move a token."),
+])
+
+#: Codes whose severity is ERROR (the soundness-harness surface).
+ERROR_CODES: tuple[str, ...] = tuple(
+    code for code, info in CATALOG.items() if info.severity is Severity.ERROR
+)
+
+
+def catalog_lines() -> list[str]:
+    """One formatted line per catalog code (the ``lint --codes``
+    listing)."""
+    return [
+        f"{info.code}  {info.severity.value:<7}  {info.title}"
+        for info in CATALOG.values()
+    ]
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Deterministic presentation order: severity, then code, then
+    subject."""
+    return sorted(
+        diagnostics,
+        key=lambda d: (d.severity.rank, d.code, d.subject, d.message),
+    )

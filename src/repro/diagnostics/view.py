@@ -1,0 +1,152 @@
+"""A unified, read-only structural view over both graph models.
+
+The diagnostics passes must work identically on
+:class:`~repro.csdf.graph.CSDFGraph` and
+:class:`~repro.tpdf.graph.TPDFGraph` *and* must be pure — no graph
+mutation, no version bumps, no population of the per-graph analysis
+caches (the purity property suite spies on exactly that).  That rules
+out the memoized front doors (``TPDFGraph.as_csdf()``,
+``repro.csdf.analysis.base_solution``...), so this module rebuilds the
+minimal structural facts the passes need directly from the public
+accessors, all of which are pure reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..csdf.graph import CSDFGraph
+from ..csdf.rates import RateSequence, lcm_int
+from ..tpdf.builtins import ClockActor
+from ..tpdf.graph import TPDFGraph
+from ..tpdf.kernel import ControlActor, Kernel
+from ..tpdf.modes import Mode
+
+
+@dataclass(frozen=True)
+class ChannelView:
+    """One channel, normalized across the two models."""
+
+    name: str
+    src: str
+    dst: str
+    #: ``node.port`` labels for subjects (fall back to the actor name
+    #: on CSDF graphs, which have no ports).
+    src_label: str
+    dst_label: str
+    production: RateSequence
+    consumption: RateSequence
+    initial_tokens: int
+    is_control: bool
+
+
+class GraphView:
+    """Pure structural snapshot of a graph for the diagnostics passes."""
+
+    def __init__(self, graph: Any):
+        if not isinstance(graph, (TPDFGraph, CSDFGraph)):
+            raise TypeError(
+                f"diagnostics run on CSDF or TPDF graphs, got "
+                f"{type(graph).__name__}"
+            )
+        self.graph = graph
+        self.is_tpdf = isinstance(graph, TPDFGraph)
+        self.name: str = graph.name
+        self.channels: list[ChannelView] = []
+        self._exec_len: dict[str, int] = {}
+        if self.is_tpdf:
+            self.actors = list(graph.node_names())
+            for actor in self.actors:
+                self._exec_len[actor] = len(graph.node(actor).exec_times)
+            for channel in graph.channels.values():
+                src_port = graph.node(channel.src).port(channel.src_port)
+                dst_port = graph.node(channel.dst).port(channel.dst_port)
+                self.channels.append(ChannelView(
+                    name=channel.name,
+                    src=channel.src,
+                    dst=channel.dst,
+                    src_label=f"{channel.src}.{channel.src_port}",
+                    dst_label=f"{channel.dst}.{channel.dst_port}",
+                    production=src_port.rates,
+                    consumption=dst_port.rates,
+                    initial_tokens=channel.initial_tokens,
+                    is_control=channel.is_control,
+                ))
+        else:
+            self.actors = list(graph.actor_names())
+            for actor in self.actors:
+                self._exec_len[actor] = len(graph.actor(actor).exec_times)
+            for channel in graph.channels.values():
+                self.channels.append(ChannelView(
+                    name=channel.name,
+                    src=channel.src,
+                    dst=channel.dst,
+                    src_label=channel.src,
+                    dst_label=channel.dst,
+                    production=channel.production,
+                    consumption=channel.consumption,
+                    initial_tokens=channel.initial_tokens,
+                    is_control=False,
+                ))
+
+    # -- derived structure ------------------------------------------------
+    def tau(self, actor: str) -> int:
+        """Cycle length of ``actor`` (lcm of attached sequence lengths
+        and the execution-time sequence) without touching the graph's
+        memoized products."""
+        length = self._exec_len[actor]
+        for channel in self.channels:
+            if channel.src == actor:
+                length = lcm_int(length, len(channel.production))
+            if channel.dst == actor:
+                length = lcm_int(length, len(channel.consumption))
+        return length
+
+    def in_channels(self, actor: str) -> list[ChannelView]:
+        return [c for c in self.channels if c.dst == actor]
+
+    def out_channels(self, actor: str) -> list[ChannelView]:
+        return [c for c in self.channels if c.src == actor]
+
+    def used_parameters(self) -> set[str]:
+        names: set[str] = set()
+        for channel in self.channels:
+            names |= channel.production.variables()
+            names |= channel.consumption.variables()
+        if self.is_tpdf:
+            # Dangling ports carry rates too (they join tau and the
+            # undeclared-parameter surface even without a channel).
+            for actor in self.actors:
+                for port in self.graph.node(actor).ports.values():
+                    names |= port.rates.variables()
+        return names
+
+    def declared_parameters(self) -> set[str] | None:
+        """Declared parameter names, or ``None`` when the model has no
+        declaration concept (plain CSDF)."""
+        if self.is_tpdf:
+            return set(self.graph.parameters)
+        return None
+
+    # -- firing semantics -------------------------------------------------
+    def is_clock(self, actor: str) -> bool:
+        return self.is_tpdf and isinstance(self.graph.node(actor), ClockActor)
+
+    def blocks_on_all_inputs(self, actor: str) -> bool:
+        """True when the actor *provably* cannot fire while any data
+        input is starved: CSDF actors and plain WAIT_ALL kernels.
+
+        Clocks fire on time triggers and SELECT/priority kernels may
+        fire on a subset of inputs — for those nothing is provable, so
+        the deadlock pass must not count them as blocked.
+        """
+        if not self.is_tpdf:
+            return True
+        node = self.graph.node(actor)
+        if isinstance(node, ClockActor):
+            return False
+        if isinstance(node, Kernel):
+            return tuple(node.modes) == (Mode.WAIT_ALL,)
+        # Plain control actors read all their inputs before deciding.
+        return isinstance(node, ControlActor)

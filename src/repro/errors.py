@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
@@ -36,6 +38,22 @@ class DeadlockError(AnalysisError):
         self.blocked = blocked or []
         #: Firing sequence achieved before the deadlock.
         self.partial_schedule = partial_schedule or []
+
+
+class DiagnosticsError(AnalysisError):
+    """Static diagnostics found ERROR-severity defects and the caller
+    asked for strict handling (``analyze(lint="error")``, edit-script
+    pre-flight, service strict lint).
+
+    Carries the full diagnostic list so front doors (CLI, service
+    error envelope) can show *which* contracts the graph breaks
+    instead of a single flattened message."""
+
+    def __init__(self, message: str, diagnostics: Iterable = ()):
+        super().__init__(message)
+        #: The :class:`repro.diagnostics.Diagnostic` records (all
+        #: severities, not only the fatal ones) backing this rejection.
+        self.diagnostics = list(diagnostics)
 
 
 class ParametricMCRError(AnalysisError):

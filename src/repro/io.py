@@ -637,6 +637,7 @@ def report_to_dict(report) -> dict:
         ),
         "skipped": {str(k): str(v) for k, v in report.skipped.items()},
         "errors": {str(k): str(v) for k, v in report.errors.items()},
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
         "elapsed": float(report.elapsed),
     }
 
@@ -655,6 +656,7 @@ def report_from_dict(data: Mapping):
             f"not a graph-report document: kind={data.get('kind')!r}"
         )
     from .analysis import GraphReport
+    from .diagnostics import Diagnostic
 
     return GraphReport(
         graph=None,
@@ -684,6 +686,9 @@ def report_from_dict(data: Mapping):
         ),
         skipped=dict(data.get("skipped", {})),
         errors=dict(data.get("errors", {})),
+        diagnostics=tuple(
+            Diagnostic.from_dict(row) for row in data.get("diagnostics", ())
+        ),
         elapsed=float(data.get("elapsed", 0.0)),
     )
 

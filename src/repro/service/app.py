@@ -20,9 +20,13 @@ codec)::
     POST   /analyze                    {"graph", "bindings", "options"}
     POST   /analyze_parametric         {"graph", "domain", "max_boxes"}
     POST   /simulate                   {"graph", "bindings", "options"}
+    POST   /lint                       {"graph", "bindings"} -> diagnostics
     POST   /batch                      {"graphs", "items", "options"}
     POST   /session                    open an edit-replay session
-    POST   /session/<sid>/edits        apply edits + re-analyze (warm)
+    POST   /session/<sid>/edits        apply edits + re-analyze (warm);
+                                       {"preflight": true} dry-runs the
+                                       script first and 422s with the
+                                       diagnostics if it would end broken
     DELETE /session/<sid>              close a session
 
 Errors come back as the structured envelope of
@@ -270,6 +274,7 @@ class AnalysisService:
         (re.compile(r"^/analyze_parametric$"),
          {"POST": "_handle_parametric"}),
         (re.compile(r"^/simulate$"), {"POST": "_handle_simulate"}),
+        (re.compile(r"^/lint$"), {"POST": "_handle_lint"}),
         (re.compile(r"^/batch$"), {"POST": "_handle_batch"}),
         (re.compile(r"^/session$"), {"POST": "_handle_session_open"}),
         (re.compile(r"^/session/(?P<sid>[\w-]+)/edits$"),
@@ -439,6 +444,28 @@ class AnalysisService:
             return await compute()
         return await self.cache.get_or_compute(key, compute)
 
+    async def _handle_lint(self, data) -> dict:
+        """``POST /lint``: static diagnostics on a resident worker.
+
+        Diagnostics are pure and deterministic in the graph content +
+        bindings, so the result rides the fingerprint-keyed cache like
+        any analysis."""
+        payload, graph_key = self._graph_payload(data)
+        bindings = data.get("bindings")
+        hooks = self._hooks(data)
+        key = ("lint", graph_key, bindings_key(bindings))
+        request = {"op": "lint", "graph_key": graph_key,
+                   "payload": payload, "bindings": bindings, "hooks": hooks}
+
+        async def compute() -> dict:
+            reply = await self._call_worker(request)
+            return {"graph_key": graph_key,
+                    "diagnostics": reply["diagnostics"]}
+
+        if data.get("no_cache") or hooks:
+            return await compute()
+        return await self.cache.get_or_compute(key, compute)
+
     async def _handle_batch(self, data) -> dict:
         graphs = data.get("graphs", [])
         items = data.get("items")
@@ -507,6 +534,7 @@ class AnalysisService:
             try:
                 reply = await self._call_worker(
                     {"op": "session_edits", "session": sid, "edits": edits,
+                     "preflight": bool(data.get("preflight")),
                      "hooks": hooks},
                     handle=session.handle,
                 )

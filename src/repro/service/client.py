@@ -48,9 +48,19 @@ class ServiceSession:
         #: Baseline report from opening the session.
         self.report = report
 
-    def edits(self, edits: list, *, test: Mapping | None = None):
-        """Apply an edit script and return the re-analyzed report."""
+    def edits(self, edits: list, *, preflight: bool = False,
+              test: Mapping | None = None):
+        """Apply an edit script and return the re-analyzed report.
+
+        With ``preflight=True`` the server dry-runs the script on a
+        scratch copy first and raises
+        :class:`~repro.errors.DiagnosticsError` (with the structured
+        findings attached) instead of replaying a script that would
+        end in a statically-broken state — the session graph stays at
+        its pre-script state in that case."""
         body: dict = {"edits": list(edits)}
+        if preflight:
+            body["preflight"] = True
         if test:
             body["test"] = dict(test)
         data = self.client._request("POST", f"/session/{self.sid}/edits",
@@ -158,6 +168,20 @@ class ServiceClient:
             body["no_cache"] = True
         data = self._request("POST", "/simulate", body)
         return trace_from_dict(data["trace"])
+
+    def lint(self, graph, bindings: Mapping | None = None, *,
+             no_cache: bool = False) -> list:
+        """Remote :func:`repro.diagnostics.run_diagnostics`; returns
+        the list of :class:`~repro.diagnostics.Diagnostic` records."""
+        from ..diagnostics import Diagnostic
+
+        body: dict = {"graph": _graph_arg(graph)}
+        if bindings:
+            body["bindings"] = dict(bindings)
+        if no_cache:
+            body["no_cache"] = True
+        data = self._request("POST", "/lint", body)
+        return [Diagnostic.from_dict(row) for row in data["diagnostics"]]
 
     def analyze_parametric(self, graph, domain: Mapping, *,
                            max_boxes: int = 20_000,

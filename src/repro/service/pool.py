@@ -127,6 +127,15 @@ def _worker_main(conn, decode_limit: int, test_hooks: bool) -> None:
                     max_boxes=request.get("max_boxes", 20_000),
                 )
                 reply = {"ok": True, "parametric": report}
+            elif op == "lint":
+                # Static diagnostics are pure (no mutation, no cache
+                # population), so the shared resident graph is safe.
+                from ..diagnostics import run_diagnostics
+
+                findings = run_diagnostics(resident_graph(request),
+                                           bindings=request.get("bindings"))
+                reply = {"ok": True,
+                         "diagnostics": [d.to_dict() for d in findings]}
             elif op == "simulate":
                 # Timed TPDF simulation over the resident (shared,
                 # cache-warm) graph: the Simulator keeps all run state
@@ -151,6 +160,10 @@ def _worker_main(conn, decode_limit: int, test_hooks: bool) -> None:
                     raise SessionNotFound(
                         f"unknown session {request['session']!r} on this worker"
                     )
+                if request.get("preflight"):
+                    # Raises DiagnosticsError (→ 422 envelope with the
+                    # findings) before any edit touches the session.
+                    session.preflight(request.get("edits", []))
                 for edit in request.get("edits", []):
                     session.apply(edit)
                 report = session.analyze()

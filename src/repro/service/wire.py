@@ -4,7 +4,9 @@ envelope and its two-way mapping to exception types.
 Every non-2xx response of the service carries a JSON body of the form
 ``{"error": {"type": ..., "message": ..., "blocked": [...]}}`` —
 ``type`` is the exception class name, ``blocked`` rides along only for
-:class:`~repro.errors.DeadlockError`.  :func:`error_to_dict` builds
+:class:`~repro.errors.DeadlockError` and ``diagnostics`` (the
+structured findings) only for
+:class:`~repro.errors.DiagnosticsError`.  :func:`error_to_dict` builds
 the envelope server-side; :func:`error_from_dict` reconstructs the
 *same exception type* client-side for every library error and the
 whitelisted builtins, so a caller of
@@ -96,6 +98,9 @@ def error_to_dict(exc: BaseException) -> dict:
     attempts = getattr(exc, "attempts", None)
     if attempts is not None:
         entry["attempts"] = int(attempts)
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics:
+        entry["diagnostics"] = [d.to_dict() for d in diagnostics]
     return entry
 
 
@@ -129,6 +134,12 @@ def error_from_dict(data: Mapping, status: int | None = None) -> BaseException:
         return ServiceError(message, type_name=type_name, status=status)
     if cls is _errors.DeadlockError:
         return cls(message, blocked=list(data.get("blocked", [])))
+    if cls is _errors.DiagnosticsError:
+        from ..diagnostics import Diagnostic
+
+        return cls(message, diagnostics=[
+            Diagnostic.from_dict(row) for row in data.get("diagnostics", ())
+        ])
     if cls is WorkerCrashError:
         return cls(message, attempts=int(data.get("attempts", 1)))
     if cls is KeyError and message.startswith("'") and message.endswith("'"):

@@ -84,7 +84,8 @@ class TPDFChannel:
                 f"channel {self.name!r}: negative initial tokens"
             )
         if self._owner is not None:
-            bump_version(self._owner)  # raises first on frozen graphs
+            # raises first on frozen graphs
+            bump_version(self._owner, kind="structural", scope=(self.name,))
         self._initial_tokens = int(value)
 
     def __repr__(self) -> str:
@@ -115,7 +116,7 @@ class TPDFGraph:
                 f"parameter {param.name!r} redeclared with a different domain"
             )
         self._params[param.name] = param
-        bump_version(self)
+        bump_version(self, kind="structural")
         return param
 
     def add_kernel(
@@ -129,7 +130,7 @@ class TPDFGraph:
         kernel = Kernel(name, exec_time=exec_time, function=function, modes=modes)
         kernel._graph = self
         self._kernels[name] = kernel
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(name,))
         return kernel
 
     def add_control_actor(
@@ -142,7 +143,7 @@ class TPDFGraph:
         actor = ControlActor(name, exec_time=exec_time, decision=decision)
         actor._graph = self
         self._controls[name] = actor
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(name,))
         return actor
 
     def register(self, node: Node) -> Node:
@@ -155,7 +156,7 @@ class TPDFGraph:
             self._controls[node.name] = node
         else:
             self._kernels[node.name] = node
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(node.name,))
         return node
 
     def _check_fresh(self, name: str) -> None:
@@ -230,7 +231,7 @@ class TPDFGraph:
         )
         channel._owner = self
         self._channels[name] = channel
-        bump_version(self)
+        bump_version(self, kind="structural", scope=(name, src_node, dst_node))
         return channel
 
     # -- access -----------------------------------------------------------

@@ -1,29 +1,18 @@
-"""Structural diagnostics for TPDF graphs.
+"""Legacy lint facade over the unified diagnostics engine.
 
-`check_*` analyses answer "is this graph correct?"; :func:`lint`
-answers "is this graph *suspicious*?" — the well-formed-but-probably-
-wrong patterns a toolchain should warn about before burning analysis
-time:
-
-* dangling ports (declared but never connected),
-* kernels with a control port that no control actor feeds,
-* control actors whose tokens nobody receives,
-* unreachable actors (no path from any source),
-* undeclared parameters,
-* rate sequences that are all-zero on some port (the port can never
-  move a token),
-* clock actors inside feedback cycles (their time-triggered firings
-  would race the data path).
+Historically this module owned seven TPDF-local structural checks with
+string codes (``dangling-port``...).  Those passes now live in
+:mod:`repro.diagnostics` with stable catalog codes and severities;
+this facade keeps the original API — :func:`lint` returning
+:class:`LintWarning` rows with the legacy codes, and
+:func:`assert_clean` — for callers and tests written against it.  New
+code should call :func:`repro.diagnostics.run_diagnostics` directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
 
-import networkx as nx
-
-from .builtins import ClockActor
 from .graph import TPDFGraph
 
 
@@ -37,79 +26,30 @@ class LintWarning:
         return f"[{self.code}] {self.subject}: {self.message}"
 
 
+#: Catalog code -> historical string code.  Only these surface through
+#: the legacy API; everything else (RATE/DEAD/CTRL002...) is new
+#: ground owned by the diagnostics engine.
+_LEGACY_CODES = {
+    "STRUCT001": "dangling-port",
+    "STRUCT004": "zero-rate-port",
+    "CTRL001": "unfed-control-port",
+    "CTRL003": "ineffective-control",
+    "STRUCT002": "unreachable",
+    "BIND001": "undeclared-parameter",
+    "STRUCT003": "clock-in-cycle",
+}
+
+
 def lint(graph: TPDFGraph) -> list[LintWarning]:
-    """Run all structural checks; returns warnings (possibly empty)."""
-    return list(_iter_warnings(graph))
+    """Run the structural checks; returns warnings (possibly empty)
+    with the historical string codes."""
+    from ..diagnostics import run_diagnostics
 
-
-def _iter_warnings(graph: TPDFGraph) -> Iterator[LintWarning]:
-    connected_ports = set()
-    for channel in graph.channels.values():
-        connected_ports.add((channel.src, channel.src_port))
-        connected_ports.add((channel.dst, channel.dst_port))
-
-    for name in graph.node_names():
-        node = graph.node(name)
-        for port in node.ports.values():
-            if (name, port.name) not in connected_ports:
-                yield LintWarning(
-                    "dangling-port", f"{name}.{port.name}",
-                    f"{port.kind} port is declared but never connected",
-                )
-            if all(entry.is_zero() for entry in port.rates):
-                yield LintWarning(
-                    "zero-rate-port", f"{name}.{port.name}",
-                    "every phase of the rate sequence is 0; the port can "
-                    "never move a token",
-                )
-
-    for name, kernel in graph.kernels.items():
-        port = kernel.control_port()
-        if port is not None and (name, port.name) not in connected_ports:
-            yield LintWarning(
-                "unfed-control-port", f"{name}.{port.name}",
-                "kernel declares a control port but no control actor "
-                "feeds it; it can never fire",
-            )
-
-    for name in graph.controls:
-        outs = graph.out_channels(name)
-        if not outs:
-            yield LintWarning(
-                "ineffective-control", name,
-                "control actor has no outgoing control channel; its "
-                "decisions reach nobody",
-            )
-
-    nxg = graph.to_networkx()
-    sources = {n for n in nxg.nodes
-               if nxg.in_degree(n) == 0
-               or isinstance(graph.node(n), ClockActor)}
-    reachable = set(sources)
-    for source in sources:
-        reachable |= nx.descendants(nxg, source)
-    for name in graph.node_names():
-        if name not in reachable:
-            yield LintWarning(
-                "unreachable", name,
-                "no path from any source or clock reaches this actor",
-            )
-
-    for undeclared in sorted(graph.undeclared_parameters()):
-        yield LintWarning(
-            "undeclared-parameter", undeclared,
-            "parameter used in rates but not declared on the graph "
-            "(domain unknown)",
-        )
-
-    for scc in nx.strongly_connected_components(nxg):
-        clocks = [n for n in scc if isinstance(graph.node(n), ClockActor)]
-        if clocks and (len(scc) > 1 or nxg.has_edge(clocks[0], clocks[0])):
-            yield LintWarning(
-                "clock-in-cycle", clocks[0],
-                "clock actor participates in a feedback cycle; its "
-                "time-triggered firings race the data path",
-            )
+    return [
+        LintWarning(_LEGACY_CODES[d.code], d.subject, d.message)
+        for d in run_diagnostics(graph)
+        if d.code in _LEGACY_CODES
+    ]
 
 
 def assert_clean(graph: TPDFGraph) -> None:

@@ -1,0 +1,108 @@
+"""Purity property of the diagnostics engine.
+
+``run_diagnostics`` sells itself as a *pure observer*: it may read the
+graph but must not mutate it, must not write (or even touch) the
+memoized analysis caches, and must not bump the mutation version.
+That property is what makes it safe to run as an ``analyze(lint=...)``
+gate, an ``EditSession.preflight`` probe against a live session graph,
+and a service endpoint sharing resident worker graphs with real
+analysis traffic.
+
+This suite proves it over the standard 200-graph corpus with a spy:
+every ``repro.*`` module namespace that imported :func:`repro.cache.cached`
+gets a counting wrapper patched in (plus the origin attribute itself,
+which catches call-time local imports), and the engine must complete
+the full corpus without a single ``cached()`` call, version bump,
+cache-key change, or payload change.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+import repro.cache
+from repro.cache import version_of
+from repro.diagnostics import run_diagnostics
+from repro.io import graph_to_payload, payload_fingerprint
+
+
+@pytest.fixture
+def cached_spy(monkeypatch):
+    """Patch a counting wrapper over every live alias of
+    ``repro.cache.cached``.
+
+    ``cached`` is imported *by name* into each consuming module and
+    called at call time, so patching the module-namespace attributes
+    intercepts every memoization attempt; patching ``repro.cache.cached``
+    too covers the function-local ``from ..cache import cached`` style.
+    """
+    original = repro.cache.cached
+    calls: list[tuple] = []
+
+    def spy(graph, key, factory):
+        calls.append((type(graph).__name__, key))
+        return original(graph, key, factory)
+
+    for name, module in list(sys.modules.items()):
+        if not (name == "repro" or name.startswith("repro.")):
+            continue
+        if getattr(module, "cached", None) is original:
+            monkeypatch.setattr(module, "cached", spy)
+    monkeypatch.setattr(repro.cache, "cached", spy)
+    return calls
+
+
+def _bindings(shape):
+    return {"p": 2} if shape[3] else None
+
+
+def test_spy_seam_actually_counts(cached_spy):
+    """Guard the spy itself: a real analysis MUST register calls —
+    otherwise a silent seam change would turn the purity test into a
+    vacuous pass."""
+    from repro.analysis import analyze
+    from repro.tpdf import fig2_graph
+
+    analyze(fig2_graph())
+    assert cached_spy, "analyze() no longer routes through cached()"
+
+
+def test_run_diagnostics_is_pure_over_the_corpus(
+        cached_spy, corpus_graphs, corpus_shapes):
+    """Zero cached() calls, zero version bumps, zero cache-key churn,
+    zero payload drift — across all 200 corpus graphs, including the
+    capacity-aware DEAD001 pass."""
+    assert len(corpus_graphs) >= 200
+    for (index, seed), graph in corpus_graphs.items():
+        shape = corpus_shapes[index]
+        version_before = version_of(graph)
+        cache_before = getattr(graph, "_analysis_cache", None)
+        keys_before = (None if cache_before is None
+                       else sorted(map(repr, cache_before[1])))
+        payload_before = payload_fingerprint(graph_to_payload(graph))
+
+        capacities = {
+            channel.name: max(channel.initial_tokens, 1) + 64
+            for channel in graph.channels.values()
+        }
+        first = run_diagnostics(graph, bindings=_bindings(shape))
+        second = run_diagnostics(graph, bindings=_bindings(shape),
+                                 capacities=capacities)
+
+        label = f"shape={shape} seed={seed}"
+        assert cached_spy == [], f"cached() used during lint of {label}"
+        assert version_of(graph) == version_before, \
+            f"lint bumped the version of {label}"
+        cache_after = getattr(graph, "_analysis_cache", None)
+        keys_after = (None if cache_after is None
+                      else sorted(map(repr, cache_after[1])))
+        assert keys_after == keys_before, \
+            f"lint changed the analysis cache of {label}"
+        assert payload_fingerprint(graph_to_payload(graph)) == \
+            payload_before, f"lint mutated the payload of {label}"
+        # Determinism rides along: same inputs, same findings.
+        assert first == run_diagnostics(graph, bindings=_bindings(shape))
+        assert second == run_diagnostics(graph, bindings=_bindings(shape),
+                                         capacities=capacities)

@@ -1,0 +1,218 @@
+"""Soundness harness for the ERROR-severity diagnostic codes.
+
+The contract the diagnostics engine sells: an **ERROR** means the
+runtime provably fails.  This suite enforces both directions
+differentially over the repo's standard 200-graph random corpus:
+
+* **no false alarms** — on the clean corpus, zero ERROR-severity
+  diagnostics across all 200 graphs (warnings are allowed; several
+  shapes are legitimately source-less cycles);
+* **no missed defects** — for every ERROR code, an injector plants
+  that defect class into corpus graphs and the suite asserts (a) the
+  engine flags it with the documented code and (b) the runtime —
+  ``analyze`` verdicts, ``simulate``, or the capacity-bounded
+  execution — actually fails on the same graph.
+
+Injectors mutate *fresh* corpus graphs through public mutators (or
+the same internal bypass the engine-validation tests use, for the
+contract the construction API already rejects).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+import pytest
+
+from repro.analysis import analyze, simulate
+from repro.csdf.rates import RateSequence
+from repro.diagnostics import Severity, run_diagnostics
+from repro.errors import DeadlockError, SimulationError
+from repro.symbolic import Param
+from repro.tpdf import random_consistent_graph
+
+#: Seeds per shape for the injection sweeps (every shape is hit; the
+#: full corpus runs in the clean scan).
+INJECTION_SEEDS = range(3)
+
+N_SHAPES = 8
+
+
+@pytest.fixture(params=range(N_SHAPES), ids=lambda i: f"shape{i}")
+def shape(request, corpus_shapes):
+    assert len(corpus_shapes) == N_SHAPES
+    return corpus_shapes[request.param]
+
+
+def _bindings(shape):
+    return {"p": 2} if shape[3] else None
+
+
+def _fresh(shape, seed):
+    """A fresh mutable corpus graph (injectors mutate it)."""
+    n, extra, cycles, parametric, control = shape
+    return random_consistent_graph(
+        n, extra_edges=extra, n_cycles=cycles, seed=seed,
+        parametric=parametric, with_control=control,
+    )
+
+
+def _error_codes(graph, **kw):
+    return [d.code for d in run_diagnostics(graph, **kw)
+            if d.severity is Severity.ERROR]
+
+
+def _data_channels(graph):
+    return [c for c in graph.channels.values() if not c.is_control]
+
+
+def _port(graph, actor, port_name):
+    return graph.node(actor).port(port_name)
+
+
+class TestCleanCorpusHasNoFalseErrors:
+    """Direction one: the generator only emits consistent, live,
+    well-formed graphs — any ERROR on them is a false alarm."""
+
+    def test_every_graph_is_error_free(self, corpus_graphs, corpus_shapes,
+                                       seeds_per_shape):
+        assert len(corpus_graphs) == N_SHAPES * seeds_per_shape >= 200
+        for (index, seed), graph in corpus_graphs.items():
+            errors = _error_codes(graph, bindings=_bindings(corpus_shapes[index]))
+            assert errors == [], (
+                f"false ERRORs {errors} on clean graph "
+                f"shape={corpus_shapes[index]} seed={seed}"
+            )
+
+
+@pytest.mark.parametrize("seed", INJECTION_SEEDS)
+class TestInjectedDefectsAreFlaggedAndFatal:
+    """Direction two: plant each defect class, assert code + runtime
+    failure.  Injections that need a specific substrate (a seeded back
+    edge, a control port...) skip shapes without one."""
+
+    def test_rate001_parallel_channel_imbalance(self, shape, seed):
+        graph = _fresh(shape, seed)
+        channel = _data_channels(graph)[0]
+        src_rate = _port(graph, channel.src, channel.src_port).rates
+        dst_rate = _port(graph, channel.dst, channel.dst_port).rates
+        # A parallel channel pinning double the production ratio
+        # contradicts the original's balance equation.
+        graph.node(channel.src).add_output(
+            "inj_o", [entry * 2 for entry in src_rate.entries])
+        graph.node(channel.dst).add_input(
+            "inj_i", list(dst_rate.entries))
+        graph.connect((channel.src, "inj_o"), (channel.dst, "inj_i"),
+                      name="inj")
+        assert "RATE001" in _error_codes(graph)
+        report = analyze(graph, _bindings(shape))
+        assert report.consistent is False
+
+    def test_rate002_zero_production_collapses_component(self, shape, seed):
+        # A zero-fed appendage adds no cycle, so the balance system
+        # stays condition-free and the defect surfaces as the pure
+        # zero-repetition collapse (zeroing an existing channel inside
+        # a cycle would trip the RATE001 condition check first).
+        graph = _fresh(shape, seed)
+        src = _data_channels(graph)[0].src
+        graph.node(src).add_output("inj_o", 0)
+        graph.add_kernel("inj_sink").add_input("inj_i", 1)
+        graph.connect((src, "inj_o"), ("inj_sink", "inj_i"), name="inj")
+        codes = _error_codes(graph)
+        assert "RATE002" in codes
+        assert "DEAD003" in codes  # the channel-level root cause rides along
+        report = analyze(graph, _bindings(shape))
+        assert report.consistent is False
+
+    def test_dead003_strangled_consumer(self, shape, seed):
+        graph = _fresh(shape, seed)
+        channel = _data_channels(graph)[0]
+        _port(graph, channel.dst, channel.dst_port).rates = 0
+        assert "DEAD003" in _error_codes(graph)
+        report = analyze(graph, _bindings(shape))
+        assert report.consistent is False
+
+    def test_dead001_capacity_below_initial_tokens(self, shape, seed):
+        graph = _fresh(shape, seed)
+        seeded = [c for c in _data_channels(graph) if c.initial_tokens >= 1]
+        if not seeded:
+            pytest.skip("shape has no seeded back edge to underflow")
+        channel = seeded[0]
+        capacities = {channel.name: channel.initial_tokens - 1}
+        assert "DEAD001" in _error_codes(graph, capacities=capacities)
+        with pytest.raises(DeadlockError):
+            simulate(graph, _bindings(shape), max_firings=50,
+                     capacities=capacities)
+
+    def test_dead002_token_free_cycle(self, shape, seed):
+        if shape[3] or shape[4]:
+            pytest.skip("injector computes integer reverse rates from the "
+                        "concrete repetition vector; plain shapes only")
+        graph = _fresh(shape, seed)
+        q = analyze(graph).repetition
+        forward = next(
+            (c for c in _data_channels(graph) if c.initial_tokens == 0),
+            None,
+        )
+        if forward is None:
+            pytest.skip("no token-free forward channel to close a cycle on")
+        g = gcd(q[forward.src], q[forward.dst])
+        graph.node(forward.dst).add_output("inj_o", q[forward.src] // g)
+        graph.node(forward.src).add_input("inj_i", q[forward.dst] // g)
+        graph.connect((forward.dst, "inj_o"), (forward.src, "inj_i"),
+                      name="inj", initial_tokens=0)
+        assert "DEAD002" in _error_codes(graph)
+        report = analyze(graph)
+        assert report.consistent is True  # rates stayed balanced
+        assert report.live is False
+
+    def test_ctrl002_control_rate_outside_contract(self, shape, seed):
+        if not shape[4]:
+            pytest.skip("shape has no control plane")
+        graph = _fresh(shape, seed)
+        port = next(
+            (k.control_port() for k in graph.kernels.values()
+             if k.control_port() is not None),
+            None,
+        )
+        assert port is not None, "with_control shapes feed one kernel"
+        # The rates setter rejects values outside {0, 1}; a buggy
+        # frontend writing the slot directly is what CTRL002 catches
+        # (same bypass as tests/sim/test_engine_mode_rates.py).
+        port._rates = RateSequence.of([2])
+        assert "CTRL002" in _error_codes(graph)
+        with pytest.raises(SimulationError):
+            simulate(graph, _bindings(shape), max_firings=200)
+
+    def test_bind001_undeclared_parameter(self, shape, seed):
+        graph = _fresh(shape, seed)
+        channel = _data_channels(graph)[0]
+        port = _port(graph, channel.src, channel.src_port)
+        port._rates = RateSequence.of(Param("ghost", lo=1, hi=4))
+        assert "BIND001" in _error_codes(graph)
+        report = analyze(graph, _bindings(shape))
+        # The chain rejects the unknown domain at whichever stage first
+        # touches the symbolic rate (consistency or boundedness).
+        assert report.consistent is False or report.bounded is False
+        assert report.errors
+
+    def test_bind003_unhashable_binding_value(self, shape, seed):
+        graph = _fresh(shape, seed)
+        bindings = {**(_bindings(shape) or {}), "p": [1, 2]}
+        assert "BIND003" in _error_codes(graph, bindings=bindings)
+        with pytest.raises(TypeError):
+            analyze(graph, bindings)
+
+
+class TestInjectionSubstrateCoverage:
+    """The skips above must not silently hollow the suite out: every
+    injector has to actually run on at least one corpus shape."""
+
+    def test_some_shape_has_a_seeded_back_edge(self, corpus_shapes):
+        assert any(shape[2] >= 1 for shape in corpus_shapes)
+
+    def test_some_plain_shape_exists_for_dead002(self, corpus_shapes):
+        assert any(not shape[3] and not shape[4] for shape in corpus_shapes)
+
+    def test_some_shape_has_a_control_plane(self, corpus_shapes):
+        assert any(shape[4] for shape in corpus_shapes)

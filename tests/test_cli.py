@@ -145,18 +145,71 @@ class TestAnalyzeEdits:
 
 
 class TestLint:
-    def test_clean_graph(self, fig2_json, capsys):
-        assert main(["lint", fig2_json]) == 0
-        assert "clean" in capsys.readouterr().out
-
-    def test_warnings_exit_one(self, tmp_path, capsys):
+    def _warned_json(self, tmp_path):
         g = TPDFGraph("warned")
         k = g.add_kernel("k")
         k.add_output("dangling", 1)
         path = tmp_path / "warned.json"
         path.write_text(json.dumps(tpdf_to_dict(g)))
-        assert main(["lint", str(path)]) == 1
-        assert "dangling-port" in capsys.readouterr().out
+        return str(path)
+
+    def _broken_json(self, tmp_path):
+        from repro.csdf import CSDFGraph
+        from repro.io import csdf_to_dict
+
+        g = CSDFGraph("broken")
+        g.add_actor("a", exec_time=1)
+        g.add_actor("b", exec_time=1)
+        g.add_channel("ab", "a", "b", production=2, consumption=3)
+        g.add_channel("ab2", "a", "b", production=1, consumption=1)
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps(csdf_to_dict(g)))
+        return str(path)
+
+    def test_clean_graph(self, fig2_json, capsys):
+        assert main(["lint", fig2_json]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    # The exit-code contract: the default run is a *report* (always 0);
+    # only --strict turns ERROR findings into exit 1.
+    def test_findings_exit_zero_by_default(self, tmp_path, capsys):
+        assert main(["lint", self._warned_json(tmp_path)]) == 0
+        assert "STRUCT001" in capsys.readouterr().out
+
+    def test_broken_graph_exits_zero_without_strict(self, tmp_path, capsys):
+        assert main(["lint", self._broken_json(tmp_path)]) == 0
+        assert "RATE001" in capsys.readouterr().out
+
+    def test_strict_exits_one_on_error(self, tmp_path, capsys):
+        assert main(["lint", self._broken_json(tmp_path), "--strict"]) == 1
+        assert "RATE001" in capsys.readouterr().out
+
+    def test_strict_exits_zero_on_warnings_only(self, tmp_path, capsys):
+        assert main(["lint", self._warned_json(tmp_path), "--strict"]) == 0
+        assert "STRUCT001" in capsys.readouterr().out
+
+    def test_strict_exits_zero_on_clean(self, fig2_json):
+        assert main(["lint", fig2_json, "--strict"]) == 0
+
+    def test_json_format(self, tmp_path, capsys):
+        assert main(["lint", self._broken_json(tmp_path),
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert any(row["code"] == "RATE001" for row in rows)
+        assert all({"code", "severity", "subject", "message"} <= set(row)
+                   for row in rows)
+
+    def test_codes_listing_needs_no_graph(self, capsys):
+        assert main(["lint", "--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RATE001" in out and "STRUCT004" in out
+
+    def test_lint_accepts_plain_csdf(self, fig1_json, capsys):
+        # fig1 is a source-less cycle: STRUCT002 warnings, no errors —
+        # so even --strict exits 0 on a plain-CSDF input.
+        assert main(["lint", fig1_json, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "STRUCT002" in out and "0 error(s)" in out
 
 
 class TestDot:

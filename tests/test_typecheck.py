@@ -1,0 +1,39 @@
+"""Typed-core shard: ``mypy --strict`` over the modules whose contracts
+other layers lean on (the exception hierarchy, the cache/version
+machinery, and the diagnostics engine).
+
+mypy is a CI-only dependency (the runtime container deliberately ships
+without it), so this test self-skips when it is not importable; the CI
+``lint`` job installs it and runs the same shard.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+mypy_api = pytest.importorskip("mypy.api")
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The shard — one file list shared verbatim with the CI job.
+TARGETS = [
+    "src/repro/errors.py",
+    "src/repro/cache.py",
+    "src/repro/diagnostics",
+]
+
+FLAGS = [
+    "--strict",
+    # third-party deps (networkx) ship no stubs; the shard types OUR
+    # modules, not the import closure
+    "--ignore-missing-imports",
+    "--follow-imports=silent",
+]
+
+
+def test_mypy_strict_shard():
+    stdout, stderr, status = mypy_api.run(
+        FLAGS + [str(REPO / target) for target in TARGETS])
+    assert status == 0, f"mypy --strict failed:\n{stdout}\n{stderr}"
